@@ -1,0 +1,82 @@
+"""Section 2.2 semantics: unbiased estimates and honest error bars.
+
+Statistical validation of the execution model over many seeds: the
+running estimate Q(D_i, k/i) centers on the ground truth, its bootstrap
+confidence intervals cover the truth at close to the nominal rate, and
+the error decays as more batches fold in.
+"""
+
+import numpy as np
+import pytest
+
+from repro import GolaConfig, GolaSession
+from repro.workloads import SBI_QUERY, generate_sessions
+
+N_ROWS = 6000
+SEEDS = list(range(10))
+
+
+def coverage_run(seed, num_batches=6, confidence=0.95):
+    session = GolaSession(
+        GolaConfig(num_batches=num_batches, bootstrap_trials=60,
+                   seed=seed, confidence=confidence)
+    )
+    session.register_table("sessions", generate_sessions(N_ROWS, seed=99))
+    query = session.sql(SBI_QUERY)
+    snapshots = list(query.run_online())
+    exact = session.execute_batch(query)
+    truth = float(exact.column(exact.schema.names[0])[0])
+    return snapshots, truth
+
+
+@pytest.fixture(scope="module")
+def runs():
+    return [coverage_run(seed) for seed in SEEDS]
+
+
+def test_convergence_benchmark(benchmark):
+    snapshots, truth = benchmark.pedantic(
+        coverage_run, args=(0,), rounds=1, iterations=1
+    )
+    assert snapshots[-1].estimate == pytest.approx(truth, rel=1e-9)
+
+
+class TestStatisticalValidity:
+    def test_coverage_close_to_nominal(self, runs):
+        hits = total = 0
+        for snapshots, truth in runs:
+            for snapshot in snapshots[:-1]:
+                total += 1
+                hits += snapshot.interval.contains(truth)
+        coverage = hits / total
+        assert coverage >= 0.82, f"coverage {coverage:.2%} too low"
+
+    def test_first_batch_estimates_unbiased(self, runs):
+        """Across partitionings, early estimates center on the truth."""
+        firsts = np.array([s[0][0].estimate for s in runs])
+        truth = runs[0][1]
+        spread = firsts.std(ddof=1)
+        assert abs(firsts.mean() - truth) < 3.0 * spread / np.sqrt(
+            len(firsts)
+        ) + 1e-9
+
+    def test_error_decays(self, runs):
+        """Mean |error| at the last refinement < at the first."""
+        first_err = np.mean(
+            [abs(snapshots[0].estimate - truth)
+             for snapshots, truth in runs]
+        )
+        last_err = np.mean(
+            [abs(snapshots[-2].estimate - truth)
+             for snapshots, truth in runs]
+        )
+        assert last_err < first_err
+
+    def test_interval_widths_shrink(self, runs):
+        for snapshots, _ in runs:
+            widths = [s.interval.width for s in snapshots]
+            assert widths[-1] <= widths[0]
+
+    def test_final_is_exact_for_all_seeds(self, runs):
+        for snapshots, truth in runs:
+            assert snapshots[-1].estimate == pytest.approx(truth, rel=1e-9)

@@ -1,0 +1,130 @@
+"""Engine microbenchmarks (real wall-clock, pytest-benchmark).
+
+Not a paper figure: these track the substrate's raw throughput so
+regressions in the vectorized operators, the bootstrap update path and
+the classifier show up independently of the end-to-end figures.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import IntervalEnv, ScalarSlotState
+from repro.core.classify import tri_eval
+from repro.engine import BatchExecutor, hash_join
+from repro.engine.aggregates import AvgState, SumState
+from repro.estimate import VariationRange
+from repro.expr.expressions import (
+    ColumnRef,
+    Comparison,
+    Environment,
+    SubqueryRef,
+)
+from repro.plan import bind_statement
+from repro.sql import parse_sql
+from repro.storage import Catalog, Table
+
+N = 200_000
+
+
+@pytest.fixture(scope="module")
+def arrays():
+    rng = np.random.default_rng(0)
+    return {
+        "values": rng.normal(10, 3, N),
+        "groups": rng.integers(0, 64, N),
+        "weights": rng.poisson(1.0, (N, 50)).astype(float),
+    }
+
+
+@pytest.fixture(scope="module")
+def table(arrays):
+    return Table.from_columns(
+        {
+            "k": arrays["groups"].astype(np.int64),
+            "x": arrays["values"],
+            "y": arrays["values"] * 2.0,
+        }
+    )
+
+
+def test_exact_aggregate_update(benchmark, arrays):
+    def run():
+        state = AvgState()
+        state.update(arrays["groups"], arrays["values"])
+        return state.finalize()
+
+    out = benchmark(run)
+    assert out.shape == (64,)
+
+
+def test_bootstrap_trial_update(benchmark, arrays):
+    """The hot path: folding one batch into 50 per-trial states."""
+    def run():
+        state = SumState(trials=50)
+        state.update(arrays["groups"], arrays["values"],
+                     arrays["weights"])
+        return state.finalize()
+
+    out = benchmark(run)
+    assert out.shape == (64, 50)
+
+
+def test_filter_mask(benchmark, table):
+    predicate = Comparison(">", ColumnRef("x"), ColumnRef("y"))
+
+    def run():
+        return table.take(
+            np.asarray(predicate.evaluate(table, Environment()), dtype=bool)
+        )
+
+    out = benchmark(run)
+    assert out.num_rows < N
+
+
+def test_hash_join_throughput(benchmark, table):
+    dim = Table.from_columns(
+        {
+            "k": np.arange(64, dtype=np.int64),
+            "label": np.array([f"g{i}" for i in range(64)], dtype=object),
+        }
+    )
+    out = benchmark(hash_join, table, dim, [("k", "k")])
+    assert out.num_rows == N
+
+
+def test_classifier_throughput(benchmark, table):
+    state = ScalarSlotState(
+        slot=0, estimate=10.0, replicas=np.array([9.5, 10.5]),
+        vrange=VariationRange(9.0, 11.0),
+    )
+    env = IntervalEnv(slots={0: state},
+                      point=Environment(scalars={0: 10.0}))
+    predicate = Comparison(">", ColumnRef("x"), SubqueryRef(0))
+    tri = benchmark(tri_eval, predicate, table, env)
+    assert tri.shape == (N,)
+
+
+def test_sql_group_by_executor(benchmark, table):
+    cat = Catalog()
+    cat.register("t", table)
+    query = bind_statement(
+        parse_sql("SELECT k, AVG(x) AS m, SUM(y) AS s FROM t GROUP BY k"),
+        cat,
+    )
+    executor = BatchExecutor({"t": table})
+    out = benchmark(executor.execute, query)
+    assert out.num_rows == 64
+
+
+def test_nested_query_executor(benchmark, table):
+    cat = Catalog()
+    cat.register("t", table)
+    query = bind_statement(
+        parse_sql(
+            "SELECT AVG(y) FROM t WHERE x > (SELECT AVG(x) FROM t)"
+        ),
+        cat,
+    )
+    executor = BatchExecutor({"t": table})
+    out = benchmark(executor.execute, query)
+    assert out.num_rows == 1

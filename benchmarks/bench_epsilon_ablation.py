@@ -1,0 +1,70 @@
+"""Section 3.2 ablation: the ε slack's recomputation/uncertainty trade.
+
+The paper: "The user can decrease the chance of recomputation by setting
+a larger ε (at the cost of increasing the size of the uncertain sets).
+In practice, setting ε to the standard deviation of û achieves a good
+balance."  We sweep ε over multiples of stdev(û) on the SBI query and
+measure recomputations and uncertain-set sizes.
+"""
+
+import pytest
+
+from repro import GolaConfig, GolaSession
+from repro.workloads import SBI_QUERY, generate_sessions
+
+EPSILONS = [0.0, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0]
+N_ROWS = 3000
+NUM_BATCHES = 30
+
+
+def sweep_point(epsilon):
+    session = GolaSession(
+        GolaConfig(num_batches=NUM_BATCHES, bootstrap_trials=24, seed=31,
+                   epsilon_multiplier=epsilon)
+    )
+    session.register_table("sessions", generate_sessions(N_ROWS, seed=7))
+    snapshots = list(session.sql(SBI_QUERY).run_online())
+    rebuilds = sum(len(s.rebuilds) for s in snapshots)
+    mean_uncertain = sum(s.total_uncertain for s in snapshots) / len(
+        snapshots
+    )
+    return rebuilds, mean_uncertain, snapshots[-1].estimate
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return {eps: sweep_point(eps) for eps in EPSILONS}
+
+
+def test_epsilon_sweep_benchmark(benchmark):
+    rebuilds, mean_uncertain, _ = benchmark.pedantic(
+        sweep_point, args=(1.0,), rounds=1, iterations=1
+    )
+    assert mean_uncertain > 0
+
+
+class TestEpsilonTrade:
+    def test_uncertainty_monotone_in_epsilon(self, sweep):
+        """Wider slack -> larger uncertain sets (weakly monotone)."""
+        means = [sweep[eps][1] for eps in EPSILONS]
+        assert means[0] < means[-1]
+        # Allow small local non-monotonicity from rebuild resets.
+        for a, b in zip(means, means[2:]):
+            assert b >= 0.8 * a
+
+    def test_rebuilds_vanish_at_large_epsilon(self, sweep):
+        assert sweep[8.0][0] == 0
+
+    def test_small_epsilon_risks_rebuilds(self, sweep):
+        assert sweep[0.0][0] >= 1
+
+    def test_default_epsilon_balances(self, sweep):
+        """ε = 1·stdev: few rebuilds AND far-from-max uncertainty."""
+        rebuilds, mean_uncertain, _ = sweep[1.0]
+        assert rebuilds <= sweep[0.0][0]
+        assert mean_uncertain < 0.6 * sweep[8.0][1]
+
+    def test_answers_invariant(self, sweep):
+        """ε is a performance knob, never a correctness knob."""
+        estimates = {round(sweep[eps][2], 9) for eps in EPSILONS}
+        assert len(estimates) == 1

@@ -1,0 +1,82 @@
+"""Figure 3(b): CDM / G-OLA per-batch query-time ratio, first 10 batches.
+
+Paper's claims for queries C1, C2, C3 (Conviva) and Q11, Q17, Q18, Q20
+(TPC-H), 1 GB mini-batches:
+  * in classical delta maintenance every inner-aggregate refinement
+    forces recomputation over all previously processed data, so the
+    per-batch time — and hence the CDM/G-OLA ratio — grows roughly
+    linearly with the batch index;
+  * G-OLA bounds per-batch work by the new batch plus the (small)
+    uncertain set, achieving almost constant per-iteration time.
+
+Both engines really execute here; latencies come from the cluster
+simulator over their measured per-batch row volumes.
+"""
+
+import pytest
+
+from common import ALL_QUERIES, run_cdm_rows, run_gola, simulate_latency
+from repro import GolaConfig
+
+CONFIG = GolaConfig(num_batches=10, bootstrap_trials=40, seed=2015)
+QUERY_NAMES = sorted(ALL_QUERIES)
+
+
+@pytest.fixture(scope="module")
+def fig3b(small_tables):
+    """(gola_batch_seconds, cdm_batch_seconds) per query."""
+    results = {}
+    for name in QUERY_NAMES:
+        table_name, sql = ALL_QUERIES[name]
+        trace = run_gola(sql, table_name, small_tables, CONFIG)
+        gola_run = simulate_latency(trace.per_batch_rows)
+        cdm_rows = run_cdm_rows(sql, table_name, small_tables, CONFIG)
+        cdm_run = simulate_latency(cdm_rows, bootstrap=False)
+        results[name] = (gola_run.batch_seconds, cdm_run.batch_seconds,
+                         trace)
+    return results
+
+
+@pytest.mark.parametrize("name", QUERY_NAMES)
+def test_fig3b_benchmark(benchmark, small_tables, name):
+    """Wall-clock of the G-OLA online run for each figure query."""
+    table_name, sql = ALL_QUERIES[name]
+    trace = benchmark.pedantic(
+        run_gola, args=(sql, table_name, small_tables, CONFIG),
+        rounds=1, iterations=1,
+    )
+    assert len(trace.snapshots) == CONFIG.num_batches
+
+
+class TestFig3bShape:
+    @pytest.mark.parametrize("name", QUERY_NAMES)
+    def test_ratio_grows_with_batches(self, fig3b, name):
+        """CDM/G-OLA time ratio at batch 10 well above batch 1's."""
+        gola, cdm, _ = fig3b[name]
+        ratios = [c / g for c, g in zip(cdm, gola)]
+        assert ratios[-1] > 1.5 * ratios[0]
+
+    @pytest.mark.parametrize("name", QUERY_NAMES)
+    def test_cdm_per_batch_grows_linearly(self, fig3b, name):
+        """CDM's per-batch latency grows ~linearly (prefix re-reads)."""
+        _, cdm, _ = fig3b[name]
+        # The simulated latencies are near-affine in the batch index.
+        assert cdm[-1] > 3.0 * cdm[0]
+        increments = [b - a for a, b in zip(cdm, cdm[1:])]
+        assert min(increments) > 0
+
+    @pytest.mark.parametrize("name", QUERY_NAMES)
+    def test_gola_per_batch_roughly_constant(self, fig3b, name):
+        """G-OLA's per-batch latency stays bounded (paper: ~constant)."""
+        gola, _, trace = fig3b[name]
+        steady = [
+            s for i, s in enumerate(gola, start=1)
+            if i not in trace.rebuild_batches and i > 1
+        ]
+        if len(steady) >= 2:
+            assert max(steady) < 3.5 * min(steady)
+
+    @pytest.mark.parametrize("name", QUERY_NAMES)
+    def test_gola_beats_cdm_by_batch_10(self, fig3b, name):
+        gola, cdm, _ = fig3b[name]
+        assert cdm[-1] > 1.5 * gola[-1]

@@ -1,0 +1,96 @@
+"""Classical OLA vs G-OLA on the monotonic (SPJA) query class.
+
+Section 7's positioning: on simple SPJA queries both systems apply —
+classical OLA with CLT error bars, G-OLA with bootstrap.  Their
+estimates must coincide (same running aggregates over the same batch
+stream) and their intervals must agree in width order; on nested
+queries only G-OLA survives.  Validates that G-OLA's generality costs
+no statistical fidelity where the classical method applies.
+"""
+
+import numpy as np
+import pytest
+
+from repro import GolaConfig, GolaSession, UnsupportedQueryError
+from repro.baselines import ClassicalOLA
+from repro.plan import bind_statement
+from repro.sql import parse_sql
+from repro.storage import Catalog
+from repro.workloads import generate_sessions
+
+CONFIG = GolaConfig(num_batches=8, bootstrap_trials=80, seed=12)
+SPJA = "SELECT AVG(play_time) AS m FROM sessions WHERE buffer_time < 60"
+NESTED = ("SELECT AVG(play_time) AS m FROM sessions WHERE buffer_time > "
+          "(SELECT AVG(buffer_time) FROM sessions)")
+
+
+@pytest.fixture(scope="module")
+def table():
+    return generate_sessions(20_000, seed=6)
+
+
+@pytest.fixture(scope="module")
+def runs(table):
+    session = GolaSession(CONFIG)
+    session.register_table("sessions", table)
+    gola = list(session.sql(SPJA).run_online())
+
+    cat = Catalog()
+    cat.register("sessions", table, streamed=True)
+    query = bind_statement(parse_sql(SPJA), cat)
+    ola = list(ClassicalOLA(query, {"sessions": table}, CONFIG).run())
+    return gola, ola
+
+
+def test_ola_comparison_benchmark(benchmark, table):
+    cat = Catalog()
+    cat.register("sessions", table, streamed=True)
+    query = bind_statement(parse_sql(SPJA), cat)
+
+    def run():
+        return list(ClassicalOLA(query, {"sessions": table}, CONFIG).run())
+
+    snaps = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(snaps) == CONFIG.num_batches
+
+
+class TestSpjaAgreement:
+    def test_point_estimates_identical(self, runs):
+        gola, ola = runs
+        for g, o in zip(gola, ola):
+            assert g.estimate == pytest.approx(o.scalar()[0], rel=1e-9)
+
+    def test_interval_widths_same_order(self, runs):
+        """Bootstrap and CLT intervals agree within a factor ~2."""
+        gola, ola = runs
+        for g, o in zip(gola, ola):
+            boot_width = g.interval.width
+            _, lo, hi = o.scalar()
+            clt_width = hi - lo
+            if clt_width > 0:
+                assert 0.4 < boot_width / clt_width < 2.5
+
+    def test_both_tighten_over_batches(self, runs):
+        gola, ola = runs
+        assert gola[-1].interval.width < gola[0].interval.width
+        first = ola[0].scalar()
+        last = ola[-1].scalar()
+        assert (last[2] - last[1]) < (first[2] - first[1])
+
+
+class TestGeneralizationGap:
+    def test_classical_ola_cannot_run_nested(self, table):
+        cat = Catalog()
+        cat.register("sessions", table, streamed=True)
+        query = bind_statement(parse_sql(NESTED), cat)
+        with pytest.raises(UnsupportedQueryError):
+            ClassicalOLA(query, {"sessions": table}, CONFIG)
+
+    def test_gola_runs_nested(self, table):
+        session = GolaSession(CONFIG)
+        session.register_table("sessions", table)
+        last = session.sql(NESTED).run_to_completion()
+        exact = session.execute_batch(NESTED)
+        assert last.estimate == pytest.approx(
+            float(exact.column("m")[0]), rel=1e-9
+        )

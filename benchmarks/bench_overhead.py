@@ -1,0 +1,74 @@
+"""Section 5 claim: ~60% overhead of a full online pass vs batch.
+
+The paper attributes G-OLA's extra cost over the batch engine "primarily
+to the error estimation overheads".  We decompose it: the same online
+run simulated with and without the bootstrap cost multiplier, against
+the batch engine's single exact pass.
+"""
+
+import pytest
+
+from common import (
+    run_batch_rows,
+    run_gola,
+    simulate_batch_engine,
+    simulate_latency,
+)
+from repro import GolaConfig
+from repro.workloads import TPCH_QUERIES
+
+CONFIG = GolaConfig(num_batches=10, bootstrap_trials=40, seed=2015)
+
+
+@pytest.fixture(scope="module")
+def overhead(small_tables):
+    trace = run_gola(TPCH_QUERIES["Q17"], "tpch", small_tables, CONFIG)
+    with_boot = simulate_latency(trace.per_batch_rows, bootstrap=True)
+    without_boot = simulate_latency(trace.per_batch_rows, bootstrap=False)
+    total_rows, num_blocks, _ = run_batch_rows(
+        TPCH_QUERIES["Q17"], "tpch", small_tables
+    )
+    batch_seconds = simulate_batch_engine(total_rows, num_blocks)
+    return trace, with_boot, without_boot, batch_seconds
+
+
+def test_overhead_benchmark(benchmark, small_tables):
+    trace = benchmark.pedantic(
+        run_gola, args=(TPCH_QUERIES["Q17"], "tpch", small_tables, CONFIG),
+        rounds=1, iterations=1,
+    )
+    assert trace.snapshots
+
+
+class TestOverheadDecomposition:
+    def test_bootstrap_adds_the_expected_factor(self, overhead):
+        """Error estimation costs ~60% extra compute (the configured
+        multiplier shows through the end-to-end latency)."""
+        _, with_boot, without_boot, _ = overhead
+        ratio = with_boot.total_seconds / without_boot.total_seconds
+        assert 1.3 < ratio < 1.7
+
+    def test_online_pass_costs_more_than_batch(self, overhead):
+        """The full online pass is slower than one exact batch pass —
+        the price of continuous feedback (paper: ~60%, ours similar
+        order)."""
+        _, with_boot, _, batch_seconds = overhead
+        assert with_boot.total_seconds > batch_seconds
+
+    def test_online_without_bootstrap_is_near_batch(self, overhead):
+        """Without error estimation, mini-batch processing costs within
+        ~2x of batch (delta maintenance itself is cheap)."""
+        trace, _, without_boot, batch_seconds = overhead
+        assert without_boot.total_seconds < 2.0 * batch_seconds
+
+    def test_real_engine_reflects_bootstrap_cost(self, small_tables):
+        """Wall-clock: more bootstrap trials cost more real time."""
+        few = run_gola(
+            TPCH_QUERIES["Q17"], "tpch", small_tables,
+            CONFIG.with_options(bootstrap_trials=8),
+        )
+        many = run_gola(
+            TPCH_QUERIES["Q17"], "tpch", small_tables,
+            CONFIG.with_options(bootstrap_trials=200),
+        )
+        assert many.wall_seconds > few.wall_seconds

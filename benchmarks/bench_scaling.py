@@ -1,0 +1,85 @@
+"""Scaling behaviour of the G-OLA per-batch bound (not a paper figure).
+
+Empirical verification of the complexity claim behind Figure 3(b):
+per-batch work is O(|ΔD_i| + |U_{i-1}|) —
+
+* with the data size fixed, doubling k halves the per-batch row volume
+  (until |U| dominates);
+* with k fixed, per-batch work scales linearly in the data size;
+* per-batch work does NOT scale with the batch index (CDM's failure
+  mode), rebuild batches aside.
+"""
+
+import numpy as np
+import pytest
+
+from common import run_gola
+from repro import GolaConfig
+from repro.workloads import SBI_QUERY, generate_sessions
+
+
+@pytest.fixture(scope="module")
+def sessions_tables():
+    return {
+        20_000: {"sessions": generate_sessions(20_000, seed=3)},
+        40_000: {"sessions": generate_sessions(40_000, seed=3)},
+    }
+
+
+def steady_rows(trace):
+    """Mean rows/batch over non-rebuild batches in the second half."""
+    rows = [
+        sum(r.values()) for i, r in enumerate(trace.per_batch_rows, 1)
+        if i not in trace.rebuild_batches
+        and i > len(trace.per_batch_rows) // 2
+    ]
+    return float(np.mean(rows))
+
+
+def test_scaling_benchmark(benchmark, sessions_tables):
+    config = GolaConfig(num_batches=10, bootstrap_trials=30, seed=3)
+    trace = benchmark.pedantic(
+        run_gola,
+        args=(SBI_QUERY, "sessions", sessions_tables[20_000], config),
+        rounds=1, iterations=1,
+    )
+    assert trace.snapshots
+
+
+class TestPerBatchBound:
+    def test_more_batches_less_work_each(self, sessions_tables):
+        tables = sessions_tables[20_000]
+        coarse = run_gola(
+            SBI_QUERY, "sessions", tables,
+            GolaConfig(num_batches=5, bootstrap_trials=30, seed=3),
+        )
+        fine = run_gola(
+            SBI_QUERY, "sessions", tables,
+            GolaConfig(num_batches=20, bootstrap_trials=30, seed=3),
+        )
+        assert steady_rows(fine) < 0.6 * steady_rows(coarse)
+
+    def test_work_linear_in_data_size(self, sessions_tables):
+        config = GolaConfig(num_batches=10, bootstrap_trials=30, seed=3)
+        small = run_gola(SBI_QUERY, "sessions",
+                         sessions_tables[20_000], config)
+        big = run_gola(SBI_QUERY, "sessions",
+                       sessions_tables[40_000], config)
+        ratio = steady_rows(big) / steady_rows(small)
+        assert 1.5 < ratio < 2.6  # ~2x data -> ~2x per-batch rows
+
+    def test_no_growth_with_batch_index(self, sessions_tables):
+        trace = run_gola(
+            SBI_QUERY, "sessions", sessions_tables[20_000],
+            GolaConfig(num_batches=20, bootstrap_trials=30, seed=3),
+        )
+        rows = [
+            sum(r.values())
+            for i, r in enumerate(trace.per_batch_rows, 1)
+            if i not in trace.rebuild_batches and i > 1
+        ]
+        # Late batches do at most modestly more work than early ones
+        # (the uncertain set grows ~sqrt(i), never linearly).
+        first_quarter = np.mean(rows[: len(rows) // 4])
+        last_quarter = np.mean(rows[-(len(rows) // 4):])
+        assert last_quarter < 1.5 * first_quarter

@@ -1,0 +1,22 @@
+"""Session-scoped benchmark fixtures: datasets generated once."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from common import make_tables  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def bench_tables():
+    """100k-row TPC-H and Conviva fact tables (the paper's '100GB')."""
+    return make_tables(100_000, seed=2015)
+
+
+@pytest.fixture(scope="session")
+def small_tables():
+    """Smaller tables for the quadratic CDM executions."""
+    return make_tables(30_000, seed=2015)

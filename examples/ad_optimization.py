@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Real-time ad optimization (demo scenario 1, paper section 6.2).
+
+MyTube wants to re-optimize ad placement every minute, not every day.
+The analyst watches two online queries refine:
+
+1. *over-performing ads per region* — impressions whose revenue beats
+   twice the (running) average ad revenue, broken down by region; the
+   threshold is an uncertain nested aggregate;
+2. *off-peak click-through* — CTR of impressions served far from each
+   ad's typical hour; the inner aggregate is correlated per ad.
+
+Both stop as soon as the answers are accurate enough to act on.
+
+Usage:  python examples/ad_optimization.py [num_rows]
+"""
+
+import sys
+
+from repro import GolaConfig, GolaSession
+from repro.frontends import render_snapshot
+from repro.workloads import ADSTREAM_QUERIES, generate_adstream
+
+
+def run_query(session: GolaSession, title: str, sql: str,
+              stop_rel_stdev: float) -> None:
+    print(f"=== {title} ===")
+    query = session.sql(sql)
+    for snapshot in query.run_online():
+        print(render_snapshot(snapshot, max_rows=6))
+        print()
+        stoppable = True
+        try:
+            reached = snapshot.relative_stdev <= stop_rel_stdev
+        except ValueError:
+            # Grouped result: stop when every group's error is low.
+            import numpy as np
+
+            rel = [
+                float(np.nanmax(err.rel_stdev))
+                for err in snapshot.errors.values() if len(err.rel_stdev)
+            ]
+            reached = bool(rel) and max(rel) <= stop_rel_stdev
+        if reached:
+            print(f"accuracy target {stop_rel_stdev:.1%} reached after "
+                  f"{snapshot.fraction:.0%} of the data -- acting on it\n")
+            query.stop()
+
+
+def main() -> None:
+    num_rows = int(sys.argv[1]) if len(sys.argv) > 1 else 300_000
+    print(f"generating {num_rows:,} ad impressions ...\n")
+    impressions = generate_adstream(num_rows, seed=11)
+
+    session = GolaSession(
+        GolaConfig(num_batches=25, bootstrap_trials=80, seed=11)
+    )
+    session.register_table("adstream", impressions)
+
+    run_query(session, "over-performing ads by region",
+              ADSTREAM_QUERIES["overperformers"], stop_rel_stdev=0.05)
+    run_query(session, "off-peak click-through rate",
+              ADSTREAM_QUERIES["off_peak_ctr"], stop_rel_stdev=0.02)
+
+
+if __name__ == "__main__":
+    main()

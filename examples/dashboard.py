@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""The demo's dashboard (paper section 6): cycling online metric panels.
+
+"The attendees will be able to interact with a web-based dashboard that
+will compute and plot a number of ad popularity and user retention
+metrics while cycling through various user groups and/or geographical
+regions … the dashboard will feature approximate answers with error bars
+that will get progressively refined with time."
+
+This is the terminal rendition: a panel of metrics — each a nested
+aggregate query over the Conviva-like trace — advances one mini-batch per
+"tick", every metric shows its running value with an error bar, and the
+whole board tightens as data streams in.
+
+Usage:  python examples/dashboard.py [num_rows] [ticks]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import GolaConfig, GolaSession
+from repro.frontends import error_bar
+from repro.workloads import generate_conviva
+
+METRICS = {
+    "slow-buffer retention (s)": """
+        SELECT AVG(play_time) FROM conviva
+        WHERE buffer_time > (SELECT AVG(buffer_time) FROM conviva)
+    """,
+    "slow-buffer failure rate": """
+        SELECT AVG(join_failure) FROM conviva
+        WHERE buffer_time > (SELECT AVG(buffer_time) FROM conviva)
+    """,
+    "content-relative stragglers": """
+        SELECT COUNT(*) FROM conviva
+        WHERE buffer_time > (SELECT 2.0 * AVG(buffer_time) FROM conviva c
+                             WHERE c.content_id = conviva.content_id)
+    """,
+    "overall retention (s)": """
+        SELECT AVG(play_time) FROM conviva
+    """,
+}
+
+
+def main() -> None:
+    num_rows = int(sys.argv[1]) if len(sys.argv) > 1 else 120_000
+    ticks = int(sys.argv[2]) if len(sys.argv) > 2 else 8
+
+    print(f"generating {num_rows:,} session rows ...\n")
+    session = GolaSession(
+        GolaConfig(num_batches=ticks, bootstrap_trials=60, seed=42)
+    )
+    session.register_table("conviva", generate_conviva(num_rows, seed=42))
+
+    runs = {
+        name: session.sql(sql).run_online() for name, sql in METRICS.items()
+    }
+
+    width = max(len(name) for name in METRICS)
+    for tick in range(1, ticks + 1):
+        print(f"--- dashboard tick {tick}/{ticks} "
+              f"({tick * 100 // ticks}% of the stream) ---")
+        for name, run in runs.items():
+            snapshot = next(run)
+            est = snapshot.estimate
+            ci = snapshot.interval
+            bar = error_bar(ci.low, est, ci.high, width=20)
+            print(f"  {name:<{width}}  {est:>12,.3f}  {bar}  "
+                  f"±{(ci.width / 2):,.3f}")
+        print()
+    print("stream fully processed; values are now exact.")
+
+
+if __name__ == "__main__":
+    main()

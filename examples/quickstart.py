@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Quickstart: the paper's Slow Buffering Impact (SBI) query, online.
+
+Runs Example 1 from the paper over a synthetic MyTube session log:
+
+    SELECT AVG(play_time) FROM Sessions
+    WHERE buffer_time > (SELECT AVG(buffer_time) FROM Sessions)
+
+The query is non-monotonic — the inner AVG refines every mini-batch and
+can flip which sessions qualify — which is exactly what G-OLA's delta
+maintenance handles.  Watch the estimate and its error bar tighten, then
+compare with the exact batch answer.
+
+Usage:  python examples/quickstart.py [num_rows] [num_batches]
+"""
+
+import sys
+
+from repro import GolaConfig, GolaSession
+from repro.frontends import ProgressConsole
+from repro.workloads import SBI_QUERY, generate_sessions
+
+
+def main() -> None:
+    num_rows = int(sys.argv[1]) if len(sys.argv) > 1 else 200_000
+    num_batches = int(sys.argv[2]) if len(sys.argv) > 2 else 20
+
+    print(f"generating {num_rows:,} session log rows ...")
+    sessions = generate_sessions(num_rows, seed=7)
+
+    session = GolaSession(
+        GolaConfig(num_batches=num_batches, bootstrap_trials=100, seed=7)
+    )
+    session.register_table("sessions", sessions)
+
+    query = session.sql(SBI_QUERY)
+    print("meta query plan:")
+    print(query.plan_description)
+    print()
+
+    console = ProgressConsole()
+    target = 0.005  # stop at 0.5% relative standard deviation
+    for snapshot in query.run_online():
+        console.update(snapshot)
+        if snapshot.relative_stdev <= target:
+            print(f"reached {target:.1%} relative stdev -- stopping early, "
+                  "the OLA way\n")
+            query.stop()
+    console.finish()
+
+    exact = session.execute_batch(query)
+    print("\nexact batch answer for comparison:")
+    print(exact.head_str())
+
+
+if __name__ == "__main__":
+    main()

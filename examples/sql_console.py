@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""An interactive online-SQL console (the demo's web console, in a TTY).
+
+Loads the synthetic Conviva-like trace plus the MyTube session log and
+lets you type arbitrary aggregate SQL; every query executes online with
+progressively refined answers.  Commands:
+
+    \\tables          list registered tables and their schemas
+    \\batch <sql>     run a query with the exact batch engine instead
+    \\quit            exit
+
+Usage:  python examples/sql_console.py [num_rows]
+"""
+
+import sys
+
+from repro import GolaConfig, GolaSession, ReproError
+from repro.frontends import render_snapshot
+from repro.workloads import generate_conviva, generate_sessions
+
+
+def main() -> None:
+    num_rows = int(sys.argv[1]) if len(sys.argv) > 1 else 100_000
+    print(f"loading {num_rows:,} rows per table ...")
+    session = GolaSession(
+        GolaConfig(num_batches=10, bootstrap_trials=60, seed=1)
+    )
+    session.register_table("conviva", generate_conviva(num_rows, seed=1))
+    session.register_table("sessions", generate_sessions(num_rows, seed=1))
+
+    print("online SQL console — try:")
+    print("  SELECT AVG(play_time) FROM sessions WHERE buffer_time >"
+          " (SELECT AVG(buffer_time) FROM sessions)")
+    print("type \\quit to exit\n")
+
+    while True:
+        try:
+            line = input("gola> ").strip()
+        except (EOFError, KeyboardInterrupt):
+            print()
+            break
+        if not line:
+            continue
+        if line in ("\\quit", "\\q", "exit", "quit"):
+            break
+        if line == "\\tables":
+            for name in session.catalog.names():
+                print(f"  {name}: {session.catalog.schema(name)}")
+            continue
+        batch_mode = line.startswith("\\batch")
+        if batch_mode:
+            line = line[len("\\batch"):].strip()
+        try:
+            if batch_mode:
+                result = session.execute_batch(line)
+                print(result.head_str())
+                continue
+            query = session.sql(line)
+            for snapshot in query.run_online():
+                print(render_snapshot(snapshot, max_rows=8))
+                print()
+        except ReproError as exc:
+            print(f"error: {exc}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""repro — a reproduction of G-OLA: Generalized On-Line Aggregation.
+
+G-OLA (Zeng, Agarwal, Dave, Armbrust, Stoica — SIGMOD 2015) generalizes
+online aggregation to OLAP queries with arbitrarily nested aggregates via
+mini-batch execution and uncertain/deterministic delta maintenance.  This
+package implements the full system in pure Python/numpy: the SQL front
+end, a vectorized relational engine, poissonized-bootstrap error
+estimation, the G-OLA execution model itself, the classical baselines it
+is evaluated against, a discrete-event cluster simulator for the paper's
+latency figures, and the paper's workloads.
+
+Quickstart::
+
+    from repro import GolaSession, GolaConfig
+
+    session = GolaSession(GolaConfig(num_batches=50))
+    session.register_table("sessions", sessions_table)
+    query = session.sql(
+        "SELECT AVG(play_time) FROM sessions "
+        "WHERE buffer_time > (SELECT AVG(buffer_time) FROM sessions)"
+    )
+    for snapshot in query.run_online():
+        print(snapshot.describe())
+"""
+
+from .config import ClusterConfig, GolaConfig
+from .core.result import OnlineSnapshot
+from .core.session import GolaSession, OnlineQuery
+from .errors import (
+    BindError,
+    CatalogError,
+    ExecutionError,
+    ParseError,
+    PlanError,
+    QueryStopped,
+    RangeViolation,
+    ReproError,
+    SchemaError,
+    UnsupportedQueryError,
+)
+from .storage.table import Column, ColumnType, Schema, Table
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BindError",
+    "CatalogError",
+    "ClusterConfig",
+    "Column",
+    "ColumnType",
+    "ExecutionError",
+    "GolaConfig",
+    "GolaSession",
+    "OnlineQuery",
+    "OnlineSnapshot",
+    "ParseError",
+    "PlanError",
+    "QueryStopped",
+    "RangeViolation",
+    "ReproError",
+    "Schema",
+    "SchemaError",
+    "Table",
+    "UnsupportedQueryError",
+    "__version__",
+]

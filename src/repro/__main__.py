@@ -1,0 +1,120 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands:
+    demo      run the SBI quickstart online (generated data)
+    console   interactive online-SQL console over generated workloads
+    queries   list the bundled paper queries
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _demo(args) -> int:
+    from .config import GolaConfig
+    from .core.session import GolaSession
+    from .frontends.console import ProgressConsole
+    from .workloads.sessions import SBI_QUERY, generate_sessions
+
+    session = GolaSession(
+        GolaConfig(num_batches=args.batches, bootstrap_trials=80,
+                   seed=args.seed)
+    )
+    print(f"generating {args.rows:,} session rows ...")
+    session.register_table(
+        "sessions", generate_sessions(args.rows, seed=args.seed)
+    )
+    query = session.sql(SBI_QUERY)
+    print(query.plan_description, "\n")
+    console = ProgressConsole()
+    for snapshot in query.run_online():
+        console.update(snapshot)
+    console.finish()
+    return 0
+
+
+def _console(args) -> int:
+    import runpy
+    from pathlib import Path
+
+    script = Path(__file__).resolve().parents[2] / "examples" / \
+        "sql_console.py"
+    if script.exists():
+        sys.argv = [str(script), str(args.rows)]
+        runpy.run_path(str(script), run_name="__main__")
+        return 0
+    # Installed without the examples directory: inline minimal console.
+    from .config import GolaConfig
+    from .core.session import GolaSession
+    from .errors import ReproError
+    from .frontends.console import render_snapshot
+    from .workloads.conviva import generate_conviva
+    from .workloads.sessions import generate_sessions
+
+    session = GolaSession(GolaConfig(num_batches=10, bootstrap_trials=60))
+    session.register_table("sessions", generate_sessions(args.rows))
+    session.register_table("conviva", generate_conviva(args.rows))
+    print("online SQL console; \\quit to exit")
+    while True:
+        try:
+            line = input("gola> ").strip()
+        except (EOFError, KeyboardInterrupt):
+            return 0
+        if line in ("\\quit", "\\q", "exit", "quit"):
+            return 0
+        if not line:
+            continue
+        try:
+            for snapshot in session.sql(line).run_online():
+                print(render_snapshot(snapshot))
+        except ReproError as exc:
+            print(f"error: {exc}")
+
+
+def _queries(args) -> int:
+    from .workloads import (
+        ADSTREAM_QUERIES,
+        CONVIVA_QUERIES,
+        SBI_QUERY,
+        TPCH_QUERIES,
+    )
+
+    print("SBI (paper Example 1):")
+    print(SBI_QUERY)
+    for suite, queries in (("Conviva", CONVIVA_QUERIES),
+                           ("TPC-H", TPCH_QUERIES),
+                           ("Ad stream", ADSTREAM_QUERIES)):
+        for name, sql in queries.items():
+            print(f"-- {suite} {name} " + "-" * 40)
+            print(sql.strip())
+            print()
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="G-OLA reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="run the SBI quickstart online")
+    demo.add_argument("--rows", type=int, default=100_000)
+    demo.add_argument("--batches", type=int, default=10)
+    demo.add_argument("--seed", type=int, default=2015)
+    demo.set_defaults(fn=_demo)
+
+    console = sub.add_parser("console", help="interactive SQL console")
+    console.add_argument("--rows", type=int, default=50_000)
+    console.set_defaults(fn=_console)
+
+    queries = sub.add_parser("queries", help="print the bundled queries")
+    queries.set_defaults(fn=_queries)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

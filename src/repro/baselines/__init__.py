@@ -1,0 +1,14 @@
+"""Baselines the paper evaluates G-OLA against."""
+
+from .batch import BatchBaseline, BatchRunResult
+from .cdm import CdmSnapshot, ClassicalDeltaMaintenance
+from .ola import ClassicalOLA, OlaSnapshot
+
+__all__ = [
+    "BatchBaseline",
+    "BatchRunResult",
+    "CdmSnapshot",
+    "ClassicalDeltaMaintenance",
+    "ClassicalOLA",
+    "OlaSnapshot",
+]

@@ -1,0 +1,46 @@
+"""Traditional batch execution baseline.
+
+The comparator marked by the vertical bar in the paper's Figure 3(a): a
+query engine that only answers after processing the entire dataset.  Thin
+wrapper over the exact executor that also reports the row-volume metric
+the cluster simulator converts to latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..engine.aggregates import UDAFRegistry
+from ..engine.executor import BatchExecutor
+from ..plan.logical import Query
+from ..storage.table import Table
+
+
+@dataclass
+class BatchRunResult:
+    """The exact answer plus the work done to produce it."""
+
+    table: Table
+    rows_processed: int
+    elapsed_s: float
+
+
+class BatchBaseline:
+    """Runs queries exactly, once, over all the data."""
+
+    def __init__(self, tables: Dict[str, Table],
+                 udafs: Optional[UDAFRegistry] = None):
+        self.executor = BatchExecutor(tables, udafs)
+
+    def run(self, query: Query) -> BatchRunResult:
+        import time
+
+        started = time.perf_counter()
+        table = self.executor.execute(query)
+        elapsed = time.perf_counter() - started
+        return BatchRunResult(
+            table=table,
+            rows_processed=self.executor.last_rows_processed,
+            elapsed_s=elapsed,
+        )

@@ -1,0 +1,16 @@
+"""Simulated shared-nothing cluster (the paper's Spark/EC2 stand-in)."""
+
+from .cost import StageCost, broadcast_cost, task_durations
+from .events import EventLoop, WorkerPool
+from .simulator import ClusterSimulator, SimulatedBatch, SimulatedRun
+
+__all__ = [
+    "ClusterSimulator",
+    "EventLoop",
+    "SimulatedBatch",
+    "SimulatedRun",
+    "StageCost",
+    "WorkerPool",
+    "broadcast_cost",
+    "task_durations",
+]

@@ -1,0 +1,51 @@
+"""Operator cost model for the simulated cluster.
+
+Calibrated so the *shape* of the paper's Figure 3 reproduces at laptop
+scale: task scheduling overhead dominates tiny stages (the first-answer
+latency), per-tuple costs dominate large stages (the batch-engine bar),
+and bootstrap error estimation adds the ~60 % overhead the paper reports
+for a full online pass.
+
+All latencies are simulated; they are a deterministic function of row
+volumes, so benchmarks are stable across machines.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..config import ClusterConfig
+
+
+@dataclass(frozen=True)
+class StageCost:
+    """The work of one stage (one lineage block's pass over some rows)."""
+
+    rows: int
+    bootstrap: bool = True
+    broadcasts: int = 0
+
+
+def task_durations(rows: int, config: ClusterConfig,
+                   bootstrap: bool = True) -> List[float]:
+    """Durations of the tasks a stage of ``rows`` rows fans out into."""
+    per_tuple = config.per_tuple_cost_s
+    if bootstrap:
+        per_tuple *= 1.0 + config.bootstrap_overhead_factor
+    if rows <= 0:
+        return [config.task_overhead_s]
+    num_tasks = max(1, math.ceil(rows / config.rows_per_task))
+    base = rows // num_tasks
+    remainder = rows - base * num_tasks
+    durations = []
+    for t in range(num_tasks):
+        task_rows = base + (1 if t < remainder else 0)
+        durations.append(config.task_overhead_s + task_rows * per_tuple)
+    return durations
+
+
+def broadcast_cost(count: int, config: ClusterConfig) -> float:
+    """Serialized cost of broadcasting aggregate values between blocks."""
+    return count * config.broadcast_cost_s

@@ -1,0 +1,187 @@
+"""The G-OLA query controller (paper section 4, component 2).
+
+Drives one online query end to end:
+
+* randomly partitions the streamed relation into ``k`` uniform
+  mini-batches (via :class:`~repro.storage.partition.MiniBatchPartitioner`);
+* draws one shared Poisson bootstrap weight matrix per batch so every
+  lineage block sees consistent simulated databases per trial;
+* evaluates *static* subqueries (those over non-streamed dimension
+  tables) exactly once, publishing them as certain (degenerate-range)
+  slot states;
+* per batch, steps the lineage blocks in dependency order — inner blocks
+  refresh their uncertain values first, outer blocks then validate their
+  guards (recomputing on a range violation) and fold the batch;
+* assembles an :class:`~repro.core.result.OnlineSnapshot` from the main
+  block after each batch.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from ..config import GolaConfig
+from ..engine.aggregates import GroupIndex, UDAFRegistry
+from ..engine.executor import BatchExecutor
+from ..estimate.bootstrap import PoissonWeightSource
+from ..estimate.intervals import percentile_intervals, relative_stdevs
+from ..estimate.variation import VariationRange
+from ..expr.expressions import Environment
+from ..expr.functions import DEFAULT_FUNCTIONS, FunctionRegistry
+from ..plan.logical import Query, Scan
+from ..storage.partition import MiniBatchPartitioner
+from ..storage.table import Table
+from .meta_plan import MetaPlan, compile_meta_plan
+from .result import ColumnErrors, OnlineSnapshot
+from .uncertain import (
+    TRI_FALSE,
+    TRI_TRUE,
+    KeyedSlotState,
+    ScalarSlotState,
+    SetSlotState,
+)
+
+
+class QueryController:
+    """Coordinates one online query run."""
+
+    def __init__(self, query: Query, tables: Dict[str, Table],
+                 streamed: Dict[str, bool], config: GolaConfig,
+                 udafs: Optional[UDAFRegistry] = None,
+                 functions: FunctionRegistry = DEFAULT_FUNCTIONS):
+        self.query = query
+        self.config = config
+        self.tables = {k.lower(): v for k, v in tables.items()}
+        self.streamed = {k.lower(): v for k, v in streamed.items()}
+        self.udafs = udafs
+        self.functions = functions
+
+        self.meta_plan = compile_meta_plan(
+            query, self.tables, self.streamed, config, udafs
+        )
+        self.streamed_table = self.meta_plan.streamed_table
+        self.runtimes = self.meta_plan.runtimes
+        self._online_blocks = self.meta_plan.online_blocks
+        self.static_states: Dict[int, object] = {
+            spec.slot: self._run_static(spec)
+            for spec in self.meta_plan.static_specs
+        }
+        self.main_runtime = self.meta_plan.main_runtime
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+
+    def _run_static(self, spec) -> object:
+        """Evaluate a dimension-table subquery exactly, once.
+
+        Static values are certain: their variation ranges are degenerate
+        and their replicas constant, so consumers classify against them
+        deterministically from the first batch.
+        """
+        executor = BatchExecutor(self.tables, self.udafs, self.functions)
+        result = executor.run_plan(spec.plan)
+        trials = self.config.bootstrap_trials
+        if spec.kind == "scalar":
+            values = result.column(spec.value_column)
+            value = float(values[0]) if len(values) else float("nan")
+            return ScalarSlotState(
+                slot=spec.slot, estimate=value,
+                replicas=np.full(trials, value),
+                vrange=VariationRange.degenerate(value),
+            )
+        if spec.kind == "keyed":
+            keys = result.column(spec.key_column)
+            values = result.column(spec.value_column).astype(np.float64)
+            index = GroupIndex()
+            index.encode(keys)
+            return KeyedSlotState(
+                slot=spec.slot, index=index, estimates=values,
+                replicas=np.repeat(values[:, None], trials, axis=1),
+                lows=values.copy(), highs=values.copy(),
+            )
+        members = set(result.column(spec.value_column).tolist())
+        return SetSlotState(
+            slot=spec.slot, point_members=members,
+            tri_status={k: TRI_TRUE for k in members},
+            default_status=TRI_FALSE,
+        )
+
+    # ------------------------------------------------------------------
+
+    def stop(self) -> None:
+        """Stop after the current batch (the user is satisfied)."""
+        self._stopped = True
+
+    def run(self) -> Iterator[OnlineSnapshot]:
+        """Process mini-batches, yielding one snapshot per batch."""
+        self._stopped = False
+        table = self.tables[self.streamed_table]
+        partitioner = MiniBatchPartitioner(
+            self.config.num_batches, seed=self.config.seed,
+            shuffle=self.config.shuffle,
+        )
+        batches = partitioner.partition(table)
+        weight_source = PoissonWeightSource(
+            self.config.bootstrap_trials, self.config.seed,
+            label=f"bootstrap:{self.streamed_table}",
+        )
+        retained: List[Tuple[Table, np.ndarray]] = []
+        k = self.config.num_batches
+
+        for i, batch in enumerate(batches, start=1):
+            started = time.perf_counter()
+            weights = weight_source.weights_for(batch.num_rows)
+            if self.config.retain_batches:
+                retained.append((batch, weights))
+            scale = k / i
+
+            slot_states: Dict[int, object] = dict(self.static_states)
+            penv = Environment(functions=self.functions)
+            for state in slot_states.values():
+                state.bind_point(penv)
+
+            rows_processed: Dict[str, int] = {}
+            uncertain_sizes: Dict[str, int] = {}
+            rebuilds: List[str] = []
+
+            for block in self._online_blocks:
+                runtime = self.runtimes[block.block_id]
+                stats = runtime.process_batch(
+                    i, batch, weights, slot_states, penv,
+                    retained=retained if self.config.retain_batches else None,
+                )
+                rows_processed[block.block_id] = stats.rows_processed
+                uncertain_sizes[block.block_id] = stats.uncertain_size
+                if stats.rebuilt:
+                    rebuilds.append(block.block_id)
+                if block.produces is not None:
+                    state = runtime.publish(penv, slot_states, scale)
+                    slot_states[block.produces] = state
+                    state.bind_point(penv)
+
+            out_table, col_replicas = self.main_runtime.snapshot_output(
+                penv, slot_states, scale
+            )
+            errors: Dict[str, ColumnErrors] = {}
+            for name, matrix in col_replicas.items():
+                lows, highs = percentile_intervals(
+                    matrix, self.config.confidence
+                )
+                errors[name] = ColumnErrors(
+                    lows=lows, highs=highs,
+                    rel_stdev=relative_stdevs(
+                        out_table.column(name).astype(np.float64), matrix
+                    ),
+                )
+            elapsed = time.perf_counter() - started
+            yield OnlineSnapshot(
+                batch_index=i, num_batches=k, table=out_table,
+                errors=errors, uncertain_sizes=uncertain_sizes,
+                rows_processed=rows_processed, rebuilds=rebuilds,
+                elapsed_s=elapsed, confidence=self.config.confidence,
+            )
+            if self._stopped:
+                return

@@ -1,0 +1,43 @@
+"""Lineage capture for cached uncertain tuples (paper section 3.3).
+
+To re-evaluate a cached uncertain tuple with the latest aggregate values,
+G-OLA keeps the tuple's *lineage* — the values feeding its uncertain
+attributes.  Propagating full lineage through aggregates would explode,
+so lineage is confined to a lineage block and minimized to exactly the
+columns the block's re-evaluation needs:
+
+* columns referenced by the uncertain predicates (so classification and
+  the lazy point re-evaluation can run on the cache alone), and
+* columns referenced by GROUP BY expressions (group identity is
+  precomputed into dense indices, but kept for auditability).
+
+Aggregate *argument* values are precomputed into the cache as plain
+vectors, so their source columns are dropped — the "broadcast only the
+aggregate results between blocks" optimization.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from ..storage.table import Schema
+
+
+def lineage_columns(uncertain_predicates, group_by, available: Schema
+                    ) -> List[str]:
+    """The minimal column set the uncertain cache must retain.
+
+    Args:
+        uncertain_predicates: the block's slot-referencing predicates.
+        group_by: the block's (expression, name) grouping pairs.
+        available: schema after the block's certain filter/join steps.
+
+    Returns:
+        Sorted column names to retain in the uncertain cache.
+    """
+    needed: Set[str] = set()
+    for predicate in uncertain_predicates:
+        needed |= predicate.references()
+    for expr, _ in group_by:
+        needed |= expr.references()
+    return sorted(needed & set(available.names))

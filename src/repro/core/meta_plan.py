@@ -1,0 +1,126 @@
+"""The online query compiler (paper section 4, component 1).
+
+"The online query compiler compiles the query into a *meta query plan*,
+which when plugged with different mini-batches of data, turns into a
+series of mini-batch queries [where] each mini-batch query depends on
+the state computed in the previous iteration, and computes delta-updates
+on the results of its predecessor."
+
+Concretely, a :class:`MetaPlan` is:
+
+* the lineage-block partition of the bound query, in broadcast
+  (dependency) order;
+* one :class:`~repro.core.delta.BlockRuntime` per block over the
+  *streamed* relation — these hold the iteration-to-iteration state
+  (folded aggregates, uncertain caches, guards);
+* the set of *static* subqueries (blocks scanning only non-streamed
+  dimension tables), which the controller evaluates exactly once and
+  publishes as certain slot states.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..config import GolaConfig
+from ..engine.aggregates import UDAFRegistry
+from ..errors import UnsupportedQueryError
+from ..plan.lineage_blocks import LineageBlock, lineage_blocks
+from ..plan.logical import Query, SubquerySpec
+from ..storage.table import Table
+from .delta import BlockRuntime, parse_block
+
+
+@dataclass
+class MetaPlan:
+    """A compiled online query, ready to be driven batch by batch."""
+
+    query: Query
+    streamed_table: str
+    #: Online blocks in dependency order (inner producers first, the
+    #: main block last).
+    online_blocks: List[LineageBlock]
+    #: block_id -> its delta-maintenance runtime.
+    runtimes: Dict[str, BlockRuntime]
+    #: Subqueries over non-streamed tables, evaluated once, exactly.
+    static_specs: List[SubquerySpec]
+
+    @property
+    def main_runtime(self) -> BlockRuntime:
+        return self.runtimes["main"]
+
+    def describe(self) -> str:
+        """Human-readable meta plan: blocks, dependencies, strategy."""
+        lines = []
+        for block in self.online_blocks:
+            consumes = (
+                ", ".join(f"#{s}" for s in sorted(block.consumes))
+                or "nothing"
+            )
+            runtime = self.runtimes[block.block_id]
+            uncertain = len(runtime.pipeline.uncertain_predicates)
+            lines.append(
+                f"{block.block_id}: streams {self.streamed_table!r}, "
+                f"consumes {consumes}, {uncertain} uncertain predicate(s)"
+            )
+        for spec in self.static_specs:
+            lines.append(
+                f"sub#{spec.slot}: static ({spec.kind}), evaluated once"
+            )
+        return "\n".join(lines)
+
+
+def compile_meta_plan(query: Query, tables: Dict[str, Table],
+                      streamed: Dict[str, bool], config: GolaConfig,
+                      udafs: Optional[UDAFRegistry] = None) -> MetaPlan:
+    """Partition a bound query into its meta plan.
+
+    Raises :class:`~repro.errors.UnsupportedQueryError` if no streamed
+    relation is involved or the main query does not scan it.
+    """
+    if query.streamed_table is None:
+        raise UnsupportedQueryError(
+            "online execution needs a streamed relation; register the "
+            "fact table with streamed=True"
+        )
+    streamed_table = query.streamed_table
+    dimension_tables = {
+        name: table for name, table in tables.items()
+        if not streamed.get(name, False)
+    }
+
+    online_blocks: List[LineageBlock] = []
+    runtimes: Dict[str, BlockRuntime] = {}
+    static_specs: List[SubquerySpec] = []
+
+    for block in lineage_blocks(query):
+        spec = (
+            query.subqueries.get(block.produces)
+            if block.produces is not None else None
+        )
+        scan_name = parse_block(block.plan).scan.table_name
+        if scan_name != streamed_table:
+            if block.produces is None:
+                raise UnsupportedQueryError(
+                    "the main query must scan the streamed relation"
+                )
+            if spec.plan.subquery_slots():
+                raise UnsupportedQueryError(
+                    "static subqueries cannot reference streamed "
+                    "subqueries"
+                )
+            static_specs.append(spec)
+            continue
+        online_blocks.append(block)
+        runtimes[block.block_id] = BlockRuntime(
+            block, spec, config, dimension_tables, udafs
+        )
+
+    return MetaPlan(
+        query=query,
+        streamed_table=streamed_table,
+        online_blocks=online_blocks,
+        runtimes=runtimes,
+        static_specs=static_specs,
+    )

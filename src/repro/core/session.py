@@ -1,0 +1,205 @@
+"""The public entry point: sessions and online queries.
+
+Typical use::
+
+    from repro import GolaSession, GolaConfig
+
+    session = GolaSession(GolaConfig(num_batches=100, seed=7))
+    session.register_table("sessions", table)
+    query = session.sql(
+        "SELECT AVG(play_time) FROM sessions "
+        "WHERE buffer_time > (SELECT AVG(buffer_time) FROM sessions)"
+    )
+    for snapshot in query.run_online():
+        print(snapshot.describe())
+        if snapshot.relative_stdev < 0.02:
+            query.stop()          # satisfied — the OLA contract
+    truth = session.execute_batch(query)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional, Union
+
+from ..config import GolaConfig
+from ..engine.aggregates import UDAFRegistry, UDAFSpec
+from ..engine.executor import BatchExecutor
+from ..errors import QueryStopped
+from ..expr.functions import FunctionRegistry
+from ..plan.binder import Binder
+from ..plan.logical import Query
+from ..plan.rewrite import rewrite_query
+from ..sql.parser import parse_sql
+from ..storage.catalog import Catalog
+from ..storage.io import read_csv
+from ..storage.table import Table
+from .controller import QueryController
+from .result import OnlineSnapshot
+
+
+class OnlineQuery:
+    """A bound query ready for online (or exact) execution."""
+
+    def __init__(self, session: "GolaSession", query: Query, sql: str = ""):
+        self.session = session
+        self.query = query
+        self.sql = sql
+        self._controller: Optional[QueryController] = None
+
+    @property
+    def plan_description(self) -> str:
+        """Human-readable logical plan (main plan + subquery blocks)."""
+        return self.query.describe()
+
+    def explain(self) -> str:
+        """The full online execution strategy for this query.
+
+        Shows the logical plan, then the compiled meta plan: lineage
+        blocks in dependency order, what each consumes, how many
+        uncertain predicates each classifies, and which subqueries are
+        static (evaluated once over dimension tables).
+        """
+        from .meta_plan import compile_meta_plan
+
+        meta = compile_meta_plan(
+            self.query, self.session._tables(),
+            {name: self.session.catalog.is_streamed(name)
+             for name in self.session.catalog},
+            self.session.config, self.session.udafs,
+        )
+        return (
+            self.query.describe()
+            + "\n\nonline meta plan:\n"
+            + meta.describe()
+        )
+
+    def run_online(self, config: Optional[GolaConfig] = None
+                   ) -> Iterator[OnlineSnapshot]:
+        """Process mini-batches, yielding one snapshot per batch.
+
+        The iterator stops early after :meth:`stop` is called (the user's
+        accuracy is met) or runs to the final batch, whose snapshot equals
+        the exact answer up to bootstrap error bars collapsing.
+        """
+        self._controller = self.session._make_controller(
+            self.query, config or self.session.config
+        )
+        return self._controller.run()
+
+    def stop(self) -> None:
+        """Stop the online run after the batch currently in flight."""
+        if self._controller is None:
+            raise QueryStopped("query is not running")
+        self._controller.stop()
+
+    def run_until(self, relative_stdev: float,
+                  config: Optional[GolaConfig] = None) -> OnlineSnapshot:
+        """Run until the (scalar) answer reaches the target accuracy.
+
+        Returns the first snapshot whose relative standard deviation is at
+        or below the target, or the final snapshot if the target is never
+        met — the S-AQP "accuracy contract" G-OLA satisfies without
+        predicting a sample size (paper section 1).
+        """
+        last = None
+        for snapshot in self.run_online(config):
+            last = snapshot
+            try:
+                reached = snapshot.relative_stdev <= relative_stdev
+            except ValueError:
+                reached = False
+            if reached:
+                self.stop()
+        if last is None:
+            raise QueryStopped("no batches were processed")
+        return last
+
+    def run_to_completion(self, config: Optional[GolaConfig] = None
+                          ) -> OnlineSnapshot:
+        """Process every batch and return the final snapshot."""
+        last = None
+        for snapshot in self.run_online(config):
+            last = snapshot
+        if last is None:
+            raise QueryStopped("no batches were processed")
+        return last
+
+
+class GolaSession:
+    """A FluoDB-style session: catalog + registries + execution services."""
+
+    def __init__(self, config: Optional[GolaConfig] = None):
+        self.config = config or GolaConfig()
+        self.catalog = Catalog()
+        self.functions = FunctionRegistry()
+        self.udafs = UDAFRegistry()
+
+    # -- catalog ---------------------------------------------------------
+
+    def register_table(self, name: str, table: Table,
+                       streamed: bool = True, replace: bool = False) -> None:
+        """Register an in-memory table.
+
+        ``streamed=True`` marks the relation for online mini-batch
+        processing (the fact table); dimension tables should pass
+        ``streamed=False`` and are then read in entirety (paper
+        section 2's per-relation control).
+        """
+        self.catalog.register(name, table, streamed=streamed, replace=replace)
+
+    def load_csv(self, name: str, path, streamed: bool = True) -> Table:
+        """Load a CSV file and register it under ``name``."""
+        table = read_csv(path)
+        self.register_table(name, table, streamed=streamed)
+        return table
+
+    # -- extensibility ----------------------------------------------------
+
+    def register_udf(self, name: str, fn: Callable) -> None:
+        """Register a vectorized scalar UDF callable from SQL."""
+        self.functions.register(name, fn)
+
+    def register_udaf(self, name: str, init: Callable, update: Callable,
+                      merge: Callable, finalize: Callable) -> None:
+        """Register a mergeable user-defined aggregate.
+
+        ``finalize(state, scale)`` receives the multiplicity scale so
+        SUM-like UDAFs can honour the multiset semantics.
+        """
+        self.udafs.register(
+            UDAFSpec(name=name, init=init, update=update, merge=merge,
+                     finalize=finalize)
+        )
+
+    # -- queries -----------------------------------------------------------
+
+    def sql(self, text: str) -> OnlineQuery:
+        """Parse, bind and optimize a SQL query against the catalog."""
+        stmt = parse_sql(text)
+        query = Binder(self.catalog, self.udafs).bind(stmt)
+        query = rewrite_query(query)
+        return OnlineQuery(self, query, sql=text)
+
+    def execute_batch(self, query: Union[OnlineQuery, str]) -> Table:
+        """Run a query exactly (the traditional batch engine)."""
+        if isinstance(query, str):
+            query = self.sql(query)
+        executor = BatchExecutor(
+            self._tables(), self.udafs, self.functions
+        )
+        return executor.execute(query.query)
+
+    # -- internal ----------------------------------------------------------
+
+    def _tables(self) -> Dict[str, Table]:
+        return {name: self.catalog.get(name) for name in self.catalog}
+
+    def _make_controller(self, query: Query,
+                         config: GolaConfig) -> QueryController:
+        streamed = {
+            name: self.catalog.is_streamed(name) for name in self.catalog
+        }
+        return QueryController(
+            query, self._tables(), streamed, config,
+            udafs=self.udafs, functions=self.functions,
+        )

@@ -1,0 +1,128 @@
+"""Run-time state of uncertain values (nested aggregate subquery results).
+
+After every mini-batch, each producing lineage block publishes a *slot
+state*: the current point estimate(s), the bootstrap replicas, and the
+variation range(s) derived from them.  Consumers use the point values for
+snapshot answers, the ranges for uncertain/deterministic classification,
+and the replicas for their own failure checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+import numpy as np
+
+from ..engine.aggregates import GroupIndex
+from ..estimate.variation import VariationRange
+from ..expr.expressions import Environment
+
+# Three-valued logic encoding.  The ordering F < U < T makes Kleene AND a
+# min and Kleene OR a max.
+TRI_FALSE = np.int8(0)
+TRI_UNKNOWN = np.int8(1)
+TRI_TRUE = np.int8(2)
+
+
+@dataclass
+class ScalarSlotState:
+    """An uncorrelated scalar subquery's current state."""
+
+    slot: int
+    estimate: float
+    replicas: np.ndarray  # (B,)
+    vrange: VariationRange
+
+    def bind_point(self, env: Environment) -> None:
+        env.scalars[self.slot] = self.estimate
+
+
+@dataclass
+class KeyedSlotState:
+    """An equality-correlated subquery's per-group state.
+
+    ``index`` maps correlation-key values to dense rows of the arrays.
+    Groups that have not appeared yet are fully uncertain: consumers treat
+    their range as ``(-inf, +inf)``.
+    """
+
+    slot: int
+    index: GroupIndex
+    estimates: np.ndarray  # (G,)
+    replicas: np.ndarray  # (G, B)
+    lows: np.ndarray  # (G,)
+    highs: np.ndarray  # (G,)
+    #: Which groups have actual qualifying data.  A group can exist in the
+    #: index with zero presence (its rows are all cached as uncertain or
+    #: filtered out); its value is then undefined, not zero, and must stay
+    #: fully uncertain for consumers.  None means "all present" (static).
+    present: Optional[np.ndarray] = None
+
+    def _present(self) -> np.ndarray:
+        if self.present is None:
+            return np.ones(len(self.estimates), dtype=bool)
+        return self.present
+
+    def bind_point(self, env: Environment) -> None:
+        present = self._present()
+        env.keyed[self.slot] = {
+            key: value
+            for key, value, ok in zip(
+                self.index.keys(), self.estimates.tolist(), present
+            )
+            if ok
+        }
+
+    def interval_for_keys(self, keys: np.ndarray):
+        """Per-row (low, high) arrays for an array of correlation keys.
+
+        Unknown or zero-presence keys are fully uncertain: (-inf, +inf).
+        """
+        idx = self.index.encode(keys, add_new=False)
+        n = len(idx)
+        lows = np.full(n, -np.inf)
+        highs = np.full(n, np.inf)
+        present = self._present()
+        known = (idx >= 0) & np.where(idx >= 0, present[np.clip(idx, 0, None)],
+                                      False)
+        lows[known] = self.lows[idx[known]]
+        highs[known] = self.highs[idx[known]]
+        return lows, highs
+
+
+@dataclass
+class SetSlotState:
+    """An IN-subquery's current membership state.
+
+    ``point_members`` is membership under current point estimates;
+    ``tri_status`` maps each key the producer has seen to TRI_TRUE /
+    TRI_FALSE / TRI_UNKNOWN under the producer's variation ranges.
+    ``default_status`` applies to unseen keys: TRI_UNKNOWN for streamed
+    producers (new groups may still join the set) and TRI_FALSE for
+    static (dimension-table) producers, whose membership is closed.
+    """
+
+    slot: int
+    point_members: Set
+    tri_status: Dict
+    default_status: np.int8 = TRI_UNKNOWN
+
+    def bind_point(self, env: Environment) -> None:
+        env.key_sets[self.slot] = self.point_members
+
+    def tri_for_keys(self, keys: np.ndarray) -> np.ndarray:
+        get = self.tri_status.get
+        default = self.default_status
+        return np.array(
+            [get(k, default) for k in keys.tolist()], dtype=np.int8
+        )
+
+
+SlotState = object  # union of the three dataclasses above
+
+
+def bind_all(states: Dict[int, SlotState], env: Environment) -> None:
+    """Bind every slot's point values into an expression environment."""
+    for state in states.values():
+        state.bind_point(env)

@@ -1,0 +1,26 @@
+"""Vectorized relational execution engine (exact/batch path)."""
+
+from .aggregates import (
+    AggregateCall,
+    AggState,
+    GroupIndex,
+    UDAFRegistry,
+    UDAFSpec,
+    is_aggregate_name,
+    make_state,
+)
+from .executor import BatchExecutor
+from .operators import group_indices, hash_join
+
+__all__ = [
+    "AggState",
+    "AggregateCall",
+    "BatchExecutor",
+    "GroupIndex",
+    "UDAFRegistry",
+    "UDAFSpec",
+    "group_indices",
+    "hash_join",
+    "is_aggregate_name",
+    "make_state",
+]

@@ -1,0 +1,606 @@
+"""Mergeable aggregate states.
+
+Every aggregate the engine supports is expressed as a *mergeable state*
+with the interface ``update(group_idx, values, weights) / merge / finalize``.
+This single abstraction powers three things at once:
+
+* exact batch execution (weights = None, one state cell per group);
+* G-OLA's incremental delta maintenance — folding a mini-batch into a
+  running aggregate is just ``update``; combining the deterministic-set
+  partial with the live uncertain-set partial is just ``merge``;
+* bootstrap error estimation — a state created with ``trials=B`` keeps
+  ``B`` per-trial cells per group, updated in one vectorized call with an
+  ``(n, B)`` Poisson weight matrix (the BlinkDB-style poissonized
+  bootstrap the paper builds on).
+
+Finalize takes a ``scale`` implementing the paper's multiset semantics
+``Q(D_i, k/i)``: after batch ``i`` of ``k``, every seen tuple counts
+``k/i`` times, which scales SUM/COUNT estimates while leaving AVG, STDEV
+and quantiles invariant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ExecutionError, PlanError
+
+
+@dataclass
+class AggregateCall:
+    """A single aggregate in a query: ``func(arg) AS alias``.
+
+    ``arg`` is an expression (or None for ``COUNT(*)``); ``param`` carries
+    the quantile fraction for ``QUANTILE``.
+    """
+
+    func: str
+    arg: Optional[object]  # Expression; typed loosely to avoid an import cycle
+    alias: str
+    distinct: bool = False
+    param: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        self.func = self.func.lower()
+
+    def sql(self) -> str:
+        inner = self.arg.sql() if self.arg is not None else "*"
+        if self.distinct:
+            inner = f"DISTINCT {inner}"
+        if self.param is not None:
+            return f"{self.func}({inner}, {self.param}) AS {self.alias}"
+        return f"{self.func}({inner}) AS {self.alias}"
+
+
+class GroupIndex:
+    """Maps arbitrary (hashable) group-key values to dense indices.
+
+    The dense index is what aggregate states are addressed by; it grows
+    monotonically as new groups appear across mini-batches, so states
+    resize but never reshuffle.
+    """
+
+    def __init__(self) -> None:
+        self._lookup: Dict = {}
+        self._keys: List = []
+
+    @property
+    def num_groups(self) -> int:
+        return len(self._keys)
+
+    def keys(self) -> List:
+        return list(self._keys)
+
+    def key_at(self, idx: int):
+        return self._keys[idx]
+
+    def index_of(self, key) -> int:
+        """Dense index of ``key``; -1 when unseen."""
+        return self._lookup.get(key, -1)
+
+    def encode(self, keys: np.ndarray, add_new: bool = True) -> np.ndarray:
+        """Vector-encode ``keys`` to dense indices.
+
+        New keys are appended when ``add_new``; otherwise they encode to -1.
+        Uses ``np.unique`` so the python-dict work is proportional to the
+        number of *distinct* incoming keys, not the batch size.
+        """
+        keys = np.asarray(keys)
+        if keys.size == 0:
+            return np.empty(0, dtype=np.int64)
+        uniq, inverse = np.unique(keys, return_inverse=True)
+        mapped = np.empty(len(uniq), dtype=np.int64)
+        for i, key in enumerate(uniq.tolist()):
+            idx = self._lookup.get(key, -1)
+            if idx < 0 and add_new:
+                idx = len(self._keys)
+                self._lookup[key] = idx
+                self._keys.append(key)
+            mapped[i] = idx
+        return mapped[inverse]
+
+    def copy(self) -> "GroupIndex":
+        out = GroupIndex()
+        out._lookup = dict(self._lookup)
+        out._keys = list(self._keys)
+        return out
+
+
+GLOBAL_GROUP = None  # sentinel meaning "no GROUP BY": a single implicit group
+
+
+def _as_weight_matrix(weights, n: int, width: int) -> np.ndarray:
+    """Normalize ``weights`` to an ``(n, width)`` float64 matrix."""
+    if weights is None:
+        return np.ones((n, width), dtype=np.float64)
+    w = np.asarray(weights, dtype=np.float64)
+    if w.ndim == 1:
+        if len(w) != n:
+            raise ExecutionError(f"weights length {len(w)} != rows {n}")
+        return np.repeat(w[:, None], width, axis=1) if width > 1 else w[:, None]
+    if w.shape != (n, width):
+        raise ExecutionError(
+            f"weight matrix shape {w.shape} != ({n}, {width})"
+        )
+    return w
+
+
+class AggState:
+    """Base class for mergeable aggregate states.
+
+    Subclasses store per-group arrays of shape ``(G, W)`` where ``W`` is 1
+    for exact states and the number of bootstrap trials otherwise.
+    ``finalize`` returns ``(G,)`` for exact states and ``(G, W)`` for trial
+    states.
+    """
+
+    def __init__(self, trials: Optional[int] = None):
+        self.trials = trials
+        self.width = trials if trials is not None else 1
+        self.num_groups = 0
+
+    # -- subclass hooks -------------------------------------------------
+
+    def _alloc(self, groups: int) -> None:
+        raise NotImplementedError
+
+    def _update(self, group_idx: np.ndarray, values: Optional[np.ndarray],
+                weights: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def _merge(self, other: "AggState") -> None:
+        raise NotImplementedError
+
+    def _finalize(self, scale: float) -> np.ndarray:
+        raise NotImplementedError
+
+    # -- public API ------------------------------------------------------
+
+    def ensure_groups(self, groups: int) -> None:
+        """Grow state storage to cover ``groups`` dense group indices."""
+        if groups > self.num_groups:
+            self._alloc(groups)
+            self.num_groups = groups
+
+    def update(self, group_idx: np.ndarray, values, weights=None) -> None:
+        """Fold a vector of rows into the state.
+
+        Args:
+            group_idx: ``(n,)`` dense group indices (all >= 0).
+            values: ``(n,)`` argument values, or None for COUNT(*).
+            weights: None (weight 1), ``(n,)``, or ``(n, W)`` trial weights.
+        """
+        group_idx = np.asarray(group_idx, dtype=np.int64)
+        n = len(group_idx)
+        if n == 0:
+            return
+        self.ensure_groups(int(group_idx.max()) + 1)
+        if values is not None:
+            values = np.asarray(values, dtype=np.float64)
+            if len(values) != n:
+                raise ExecutionError(
+                    f"values length {len(values)} != group_idx length {n}"
+                )
+        w = _as_weight_matrix(weights, n, self.width)
+        self._update(group_idx, values, w)
+
+    def merge(self, other: "AggState") -> None:
+        """Fold ``other`` (same type/width) into this state, in place."""
+        if type(other) is not type(self) or other.width != self.width:
+            raise ExecutionError(
+                f"cannot merge {type(other).__name__}(W={other.width}) into "
+                f"{type(self).__name__}(W={self.width})"
+            )
+        self.ensure_groups(other.num_groups)
+        self._merge(other)
+
+    def finalize(self, scale: float = 1.0) -> np.ndarray:
+        """The aggregate value(s): ``(G,)`` exact or ``(G, W)`` per trial."""
+        out = self._finalize(float(scale))
+        if self.trials is None:
+            return out[:, 0]
+        return out
+
+    def copy(self) -> "AggState":
+        raise NotImplementedError
+
+
+class SumState(AggState):
+    """Weighted SUM.  Estimate of the population sum scales by ``k/i``."""
+
+    def __init__(self, trials=None):
+        super().__init__(trials)
+        self.wsum = np.zeros((0, self.width))
+
+    def _alloc(self, groups):
+        grown = np.zeros((groups, self.width))
+        grown[: self.num_groups] = self.wsum
+        self.wsum = grown
+
+    def _update(self, group_idx, values, weights):
+        np.add.at(self.wsum, group_idx, values[:, None] * weights)
+
+    def _merge(self, other):
+        self.wsum[: other.num_groups] += other.wsum
+
+    def _finalize(self, scale):
+        return self.wsum * scale
+
+    def copy(self):
+        out = SumState(self.trials)
+        out.num_groups = self.num_groups
+        out.wsum = self.wsum.copy()
+        return out
+
+
+class CountState(AggState):
+    """Weighted COUNT (argument, if any, is ignored: the engine has no NULLs)."""
+
+    def __init__(self, trials=None):
+        super().__init__(trials)
+        self.wcount = np.zeros((0, self.width))
+
+    def _alloc(self, groups):
+        grown = np.zeros((groups, self.width))
+        grown[: self.num_groups] = self.wcount
+        self.wcount = grown
+
+    def _update(self, group_idx, values, weights):
+        np.add.at(self.wcount, group_idx, weights)
+
+    def _merge(self, other):
+        self.wcount[: other.num_groups] += other.wcount
+
+    def _finalize(self, scale):
+        return self.wcount * scale
+
+    def copy(self):
+        out = CountState(self.trials)
+        out.num_groups = self.num_groups
+        out.wcount = self.wcount.copy()
+        return out
+
+
+class AvgState(AggState):
+    """Weighted AVG = weighted sum / weighted count.  Scale-invariant."""
+
+    def __init__(self, trials=None):
+        super().__init__(trials)
+        self.wsum = np.zeros((0, self.width))
+        self.wcount = np.zeros((0, self.width))
+
+    def _alloc(self, groups):
+        for name in ("wsum", "wcount"):
+            arr = getattr(self, name)
+            grown = np.zeros((groups, self.width))
+            grown[: self.num_groups] = arr
+            setattr(self, name, grown)
+
+    def _update(self, group_idx, values, weights):
+        np.add.at(self.wsum, group_idx, values[:, None] * weights)
+        np.add.at(self.wcount, group_idx, weights)
+
+    def _merge(self, other):
+        self.wsum[: other.num_groups] += other.wsum
+        self.wcount[: other.num_groups] += other.wcount
+
+    def _finalize(self, scale):
+        out = np.zeros_like(self.wsum)
+        np.divide(self.wsum, self.wcount, out=out, where=self.wcount > 0)
+        return out
+
+    def copy(self):
+        out = AvgState(self.trials)
+        out.num_groups = self.num_groups
+        out.wsum = self.wsum.copy()
+        out.wcount = self.wcount.copy()
+        return out
+
+
+class VarState(AggState):
+    """Weighted sample variance via Chan's parallel (count, mean, M2).
+
+    Numerically stable under incremental updates and merges (no
+    sum-of-squares cancellation): constant inputs give exactly zero
+    variance regardless of how the data was split across batches.
+    """
+
+    def __init__(self, trials=None):
+        super().__init__(trials)
+        self.wcount = np.zeros((0, self.width))
+        self.mean = np.zeros((0, self.width))
+        self.m2 = np.zeros((0, self.width))
+
+    def _alloc(self, groups):
+        for name in ("wcount", "mean", "m2"):
+            arr = getattr(self, name)
+            grown = np.zeros((groups, self.width))
+            grown[: self.num_groups] = arr
+            setattr(self, name, grown)
+
+    def _update(self, group_idx, values, weights):
+        shape = (self.num_groups, self.width)
+        bw = np.zeros(shape)
+        np.add.at(bw, group_idx, weights)
+        bwv = np.zeros(shape)
+        np.add.at(bwv, group_idx, values[:, None] * weights)
+        bmean = np.zeros(shape)
+        np.divide(bwv, bw, out=bmean, where=bw > 0)
+        deviation = values[:, None] - bmean[group_idx]
+        bm2 = np.zeros(shape)
+        np.add.at(bm2, group_idx, weights * deviation ** 2)
+        self._combine(bw, bmean, bm2)
+
+    def _combine(self, bw, bmean, bm2):
+        g = len(bw)
+        total = self.wcount[:g] + bw
+        delta = bmean - self.mean[:g]
+        ratio = np.zeros_like(total)
+        np.divide(bw, total, out=ratio, where=total > 0)
+        self.mean[:g] += delta * ratio
+        self.m2[:g] += bm2 + delta ** 2 * self.wcount[:g] * ratio
+        self.wcount[:g] = total
+
+    def _merge(self, other):
+        self._combine(other.wcount, other.mean, other.m2)
+
+    def _finalize(self, scale):
+        var = np.zeros_like(self.m2)
+        denom = self.wcount - 1.0
+        np.divide(self.m2, denom, out=var, where=denom > 0)
+        return np.clip(var, 0.0, None)
+
+    def copy(self):
+        out = type(self)(self.trials)
+        out.num_groups = self.num_groups
+        out.wcount = self.wcount.copy()
+        out.mean = self.mean.copy()
+        out.m2 = self.m2.copy()
+        return out
+
+
+class StdevState(VarState):
+    """Weighted sample standard deviation."""
+
+    def _finalize(self, scale):
+        return np.sqrt(super()._finalize(scale))
+
+
+class MinState(AggState):
+    """MIN.  Weights only matter as presence (weight 0 = absent)."""
+
+    _fill = np.inf
+    _ufunc = np.minimum
+
+    def __init__(self, trials=None):
+        super().__init__(trials)
+        self.extreme = np.full((0, self.width), self._fill)
+
+    def _alloc(self, groups):
+        grown = np.full((groups, self.width), self._fill)
+        grown[: self.num_groups] = self.extreme
+        self.extreme = grown
+
+    def _update(self, group_idx, values, weights):
+        if self.width == 1:
+            present = weights[:, 0] > 0
+            self._ufunc.at(
+                self.extreme[:, 0], group_idx[present], values[present]
+            )
+            return
+        # Per-trial masked extreme; W is small (bootstrap trials) so the
+        # python loop is over trials, not rows.
+        for t in range(self.width):
+            present = weights[:, t] > 0
+            self._ufunc.at(
+                self.extreme[:, t], group_idx[present], values[present]
+            )
+
+    def _merge(self, other):
+        g = other.num_groups
+        self.extreme[:g] = self._ufunc(self.extreme[:g], other.extreme)
+
+    def _finalize(self, scale):
+        return self.extreme
+
+    def copy(self):
+        out = type(self)(self.trials)
+        out.num_groups = self.num_groups
+        out.extreme = self.extreme.copy()
+        return out
+
+
+class MaxState(MinState):
+    """MAX (see MinState)."""
+
+    _fill = -np.inf
+    _ufunc = np.maximum
+
+
+class QuantileState(AggState):
+    """Approximate QUANTILE via a bounded uniform reservoir.
+
+    Global (non-grouped) aggregates only; the reservoir keeps up to
+    ``capacity`` values together with their per-trial weight rows so
+    bootstrap replicas are weighted quantiles over the same reservoir.
+    The reservoir is a uniform sample of everything seen, so the estimate
+    converges like any other running aggregate.
+    """
+
+    def __init__(self, trials=None, q: float = 0.5, capacity: int = 4096,
+                 seed: int = 0):
+        super().__init__(trials)
+        if not 0.0 <= q <= 1.0:
+            raise ExecutionError(f"quantile fraction {q} outside [0, 1]")
+        self.q = q
+        self.capacity = capacity
+        self.seen = 0
+        self.values = np.empty(0)
+        self.weights = np.empty((0, self.width))
+        self._rng = np.random.default_rng(seed)
+
+    def _alloc(self, groups):
+        if groups > 1:
+            raise ExecutionError("QUANTILE supports global aggregation only")
+
+    def _update(self, group_idx, values, weights):
+        if group_idx.size and group_idx.max() > 0:
+            raise ExecutionError("QUANTILE supports global aggregation only")
+        self.values = np.concatenate([self.values, values])
+        self.weights = np.concatenate([self.weights, weights])
+        self.seen += len(values)
+        self._shrink()
+
+    def _shrink(self):
+        if len(self.values) <= self.capacity:
+            return
+        keep = self._rng.choice(
+            len(self.values), size=self.capacity, replace=False
+        )
+        keep.sort()
+        self.values = self.values[keep]
+        self.weights = self.weights[keep]
+
+    def _merge(self, other):
+        self.values = np.concatenate([self.values, other.values])
+        self.weights = np.concatenate([self.weights, other.weights])
+        self.seen += other.seen
+        self._shrink()
+
+    def _finalize(self, scale):
+        out = np.zeros((max(self.num_groups, 1), self.width))
+        if len(self.values) == 0:
+            return out
+        order = np.argsort(self.values, kind="stable")
+        vals = self.values[order]
+        w = self.weights[order]
+        cum = np.cumsum(w, axis=0)
+        total = cum[-1]
+        for t in range(self.width):
+            if total[t] <= 0:
+                continue
+            target = self.q * total[t]
+            pos = int(np.searchsorted(cum[:, t], target, side="left"))
+            out[0, t] = vals[min(pos, len(vals) - 1)]
+        return out
+
+    def copy(self):
+        out = QuantileState(self.trials, q=self.q, capacity=self.capacity)
+        out.num_groups = self.num_groups
+        out.seen = self.seen
+        out.values = self.values.copy()
+        out.weights = self.weights.copy()
+        out._rng = np.random.default_rng(self._rng.integers(2 ** 63))
+        return out
+
+
+class UDAFState(AggState):
+    """Adapter turning user-supplied callables into a mergeable state.
+
+    The user provides ``init() -> state``, ``update(state, values, weights)
+    -> state``, ``merge(a, b) -> state`` and ``finalize(state) -> float``.
+    Global aggregation and exact (non-bootstrap) execution only: the
+    general bootstrap contract requires per-trial states, which arbitrary
+    user code cannot promise.  This mirrors the paper's UDAF support.
+    """
+
+    def __init__(self, spec: "UDAFSpec", trials=None):
+        if trials is not None:
+            raise ExecutionError(
+                f"UDAF {spec.name!r} does not support bootstrap trials"
+            )
+        super().__init__(None)
+        self.spec = spec
+        self.state = spec.init()
+
+    def _alloc(self, groups):
+        if groups > 1:
+            raise ExecutionError("UDAFs support global aggregation only")
+
+    def _update(self, group_idx, values, weights):
+        self.state = self.spec.update(self.state, values, weights[:, 0])
+
+    def _merge(self, other):
+        self.state = self.spec.merge(self.state, other.state)
+
+    def _finalize(self, scale):
+        return np.array([[self.spec.finalize(self.state, scale)]])
+
+    def copy(self):
+        out = UDAFState(self.spec)
+        out.num_groups = self.num_groups
+        out.state = self.spec.merge(self.spec.init(), self.state)
+        return out
+
+
+@dataclass(frozen=True)
+class UDAFSpec:
+    """Registration record for a user-defined aggregate."""
+
+    name: str
+    init: Callable
+    update: Callable
+    merge: Callable
+    finalize: Callable
+
+
+class UDAFRegistry:
+    """Name -> UDAFSpec registry attached to a session."""
+
+    def __init__(self) -> None:
+        self._specs: Dict[str, UDAFSpec] = {}
+
+    def register(self, spec: UDAFSpec, replace: bool = False) -> None:
+        key = spec.name.lower()
+        if key in self._specs and not replace:
+            raise PlanError(f"UDAF {spec.name!r} already registered")
+        self._specs[key] = spec
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._specs
+
+    def get(self, name: str) -> UDAFSpec:
+        return self._specs[name.lower()]
+
+
+_BUILTIN_AGGREGATES = {
+    "sum": SumState,
+    "count": CountState,
+    "avg": AvgState,
+    "mean": AvgState,
+    "min": MinState,
+    "max": MaxState,
+    "var": VarState,
+    "variance": VarState,
+    "stdev": StdevState,
+    "stddev": StdevState,
+}
+
+AGGREGATE_NAMES = frozenset(_BUILTIN_AGGREGATES) | {"quantile", "median"}
+
+
+def is_aggregate_name(name: str, udafs: Optional[UDAFRegistry] = None) -> bool:
+    """Whether ``name`` names a built-in aggregate or a registered UDAF."""
+    key = name.lower()
+    return key in AGGREGATE_NAMES or (udafs is not None and key in udafs)
+
+
+def make_state(call: AggregateCall, trials: Optional[int] = None,
+               udafs: Optional[UDAFRegistry] = None,
+               quantile_capacity: int = 4096,
+               seed: int = 0) -> AggState:
+    """Create a fresh mergeable state for ``call``."""
+    key = call.func
+    if key in _BUILTIN_AGGREGATES:
+        return _BUILTIN_AGGREGATES[key](trials)
+    if key == "quantile":
+        q = call.param if call.param is not None else 0.5
+        return QuantileState(trials, q=q, capacity=quantile_capacity, seed=seed)
+    if key == "median":
+        return QuantileState(trials, q=0.5, capacity=quantile_capacity, seed=seed)
+    if udafs is not None and key in udafs:
+        return UDAFState(udafs.get(key), trials)
+    raise PlanError(f"unknown aggregate function {call.func!r}")

@@ -1,0 +1,217 @@
+"""Physical (vectorized) relational operators.
+
+Each function evaluates one logical plan node over concrete
+:class:`~repro.storage.table.Table` inputs.  They are shared by the exact
+batch executor, the CDM baseline, and — for everything except Aggregate —
+the online engine (which replaces aggregation with incremental state and
+filters with uncertain/deterministic classification).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ExecutionError
+from ..expr.expressions import Environment, Expression, evaluate_mask
+from ..plan.logical import Aggregate, Filter, Join, Limit, Project, Sort
+from ..storage.table import Column, ColumnType, Schema, Table
+from .aggregates import (
+    AggregateCall,
+    GroupIndex,
+    UDAFRegistry,
+    make_state,
+)
+
+
+def run_filter(node: Filter, table: Table, env: Environment) -> Table:
+    """Apply a Filter node's predicate as a boolean mask."""
+    if table.num_rows == 0:
+        return table
+    return table.take(evaluate_mask(node.predicate, table, env))
+
+
+def run_project(node: Project, table: Table, env: Environment) -> Table:
+    """Evaluate a Project node's expressions into output columns."""
+    n = table.num_rows
+    columns = {}
+    for expr, name in node.exprs:
+        raw = expr.evaluate(table, env)
+        arr = np.asarray(raw)
+        if arr.ndim == 0:
+            arr = np.full(n, arr[()])
+        if arr.dtype.kind in ("U", "S"):
+            arr = arr.astype(object)
+        columns[name] = arr
+    return Table.from_columns(columns) if n or columns else Table.empty(
+        node.schema
+    )
+
+
+def hash_join(left: Table, right: Table, keys: Sequence[Tuple[str, str]],
+              how: str = "inner") -> Table:
+    """Hash equi-join; right side is the build side (dimension table).
+
+    Right-side rows must be unique per key combination (dimension
+    semantics); duplicate build keys raise because fan-out joins would
+    break the online multiplicity accounting.
+    """
+    if how not in ("inner", "left"):
+        raise ExecutionError(f"unsupported join type {how!r}")
+    build_keys = _key_rows(right, [r for _, r in keys])
+    index: Dict = {}
+    for i, key in enumerate(build_keys):
+        if key in index:
+            raise ExecutionError(
+                f"duplicate key {key!r} on join build side; dimension "
+                "tables must be unique per key"
+            )
+        index[key] = i
+    probe_keys = _key_rows(left, [l for l, _ in keys])
+    match = np.fromiter(
+        (index.get(k, -1) for k in probe_keys), dtype=np.int64,
+        count=left.num_rows,
+    )
+    if how == "inner":
+        keep = match >= 0
+        left_out = left.take(keep)
+        right_idx = match[keep]
+    else:
+        left_out = left
+        right_idx = match  # -1 rows get fill values below
+
+    columns = {n: left_out.column(n) for n in left_out.schema.names}
+    cols = list(left_out.schema.columns)
+    right_key_names = {r for _, r in keys}
+    for col in right.schema:
+        if col.name in right_key_names:
+            continue
+        arr = right.column(col.name)
+        if how == "left":
+            fill = _fill_value(col.ctype)
+            gathered = np.where(
+                right_idx >= 0, arr[np.clip(right_idx, 0, None)], fill
+            )
+            if col.ctype is ColumnType.STRING:
+                gathered = gathered.astype(object)
+        else:
+            gathered = arr[right_idx]
+        columns[col.name] = gathered
+        cols.append(col)
+    return Table(Schema(cols), columns)
+
+
+def _key_rows(table: Table, names: Sequence[str]) -> List:
+    if len(names) == 1:
+        return table.column(names[0]).tolist()
+    arrays = [table.column(n) for n in names]
+    return list(zip(*[a.tolist() for a in arrays]))
+
+
+def _fill_value(ctype: ColumnType):
+    if ctype is ColumnType.FLOAT64:
+        return np.nan
+    if ctype is ColumnType.INT64:
+        return 0
+    if ctype is ColumnType.BOOL:
+        return False
+    return None
+
+
+def group_indices(table: Table, group_by: Sequence[Tuple[Expression, str]],
+                  env: Environment,
+                  index: Optional[GroupIndex] = None) -> Tuple[np.ndarray, GroupIndex]:
+    """Dense group indices for a table under the given grouping exprs.
+
+    With no grouping every row maps to group 0 (a single global group).
+    Passing an existing :class:`GroupIndex` extends it — the online engine
+    uses this to keep group identities stable across mini-batches.
+    """
+    if index is None:
+        index = GroupIndex()
+    n = table.num_rows
+    if not group_by:
+        index.encode(np.zeros(1, dtype=np.int64))  # ensure group 0 exists
+        return np.zeros(n, dtype=np.int64), index
+    if len(group_by) == 1:
+        raw = np.asarray(group_by[0][0].evaluate(table, env))
+        keys = np.broadcast_to(raw, (n,)) if raw.ndim == 0 else raw
+        return index.encode(keys), index
+    parts = []
+    for expr, _ in group_by:
+        raw = np.asarray(expr.evaluate(table, env))
+        parts.append(
+            np.broadcast_to(raw, (n,)) if raw.ndim == 0 else raw
+        )
+    combined = np.empty(n, dtype=object)
+    combined[:] = list(zip(*[p.tolist() for p in parts]))
+    return index.encode(combined), index
+
+
+def run_aggregate(node: Aggregate, table: Table, env: Environment,
+                  scale: float = 1.0,
+                  udafs: Optional[UDAFRegistry] = None,
+                  quantile_capacity: int = 4096,
+                  seed: int = 0) -> Table:
+    """Exact one-shot aggregation (the batch path).
+
+    ``scale`` implements the ``Q(D_i, k/i)`` multiset semantics when the
+    input is a prefix of the mini-batch stream.
+    """
+    group_idx, index = group_indices(table, node.group_by, env)
+    num_groups = max(index.num_groups, 1)
+
+    agg_columns: Dict[str, np.ndarray] = {}
+    for call in node.aggregates:
+        state = make_state(call, trials=None, udafs=udafs,
+                           quantile_capacity=quantile_capacity, seed=seed)
+        state.ensure_groups(num_groups)
+        if table.num_rows:
+            values = None
+            if call.arg is not None:
+                raw = np.asarray(call.arg.evaluate(table, env))
+                values = (
+                    np.broadcast_to(raw, (table.num_rows,)).astype(np.float64)
+                    if raw.ndim == 0 else raw.astype(np.float64)
+                )
+            state.update(group_idx, values)
+        finalized = state.finalize(scale)
+        if len(finalized) < num_groups:
+            finalized = np.concatenate(
+                [finalized, np.zeros(num_groups - len(finalized))]
+            )
+        agg_columns[call.alias] = finalized
+
+    columns: Dict[str, np.ndarray] = {}
+    if node.group_by:
+        keys = index.keys()
+        if len(node.group_by) == 1:
+            name = node.group_by[0][1]
+            ctype = node.schema.type_of(name)
+            columns[name] = np.array(keys, dtype=ctype.numpy_dtype)
+        else:
+            for pos, (_, name) in enumerate(node.group_by):
+                ctype = node.schema.type_of(name)
+                columns[name] = np.array(
+                    [k[pos] for k in keys], dtype=ctype.numpy_dtype
+                )
+    else:
+        # Global aggregate: exactly one output row, even over empty input.
+        pass
+    columns.update(agg_columns)
+    out = Table(node.schema, columns)
+
+    if node.having is not None and out.num_rows:
+        out = out.take(evaluate_mask(node.having, out, env))
+    return out
+
+
+def run_sort(node: Sort, table: Table) -> Table:
+    return table.sort_by(
+        [n for n, _ in node.keys], [d for _, d in node.keys]
+    )
+
+
+def run_limit(node: Limit, table: Table) -> Table:
+    return table.slice(0, min(node.n, table.num_rows))

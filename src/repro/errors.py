@@ -1,0 +1,80 @@
+"""Exception hierarchy for the repro (G-OLA) library.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch the whole family with a single ``except`` clause while
+still being able to distinguish front-end errors (parsing, binding) from
+planning and runtime errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class ParseError(ReproError):
+    """The SQL text could not be tokenized or parsed.
+
+    Carries the offending position so front ends can point at it.
+    """
+
+    def __init__(self, message: str, position: int = -1, text: str = ""):
+        self.position = position
+        self.text = text
+        if position >= 0 and text:
+            line = text.count("\n", 0, position) + 1
+            col = position - (text.rfind("\n", 0, position) + 1) + 1
+            message = f"{message} (line {line}, column {col})"
+        super().__init__(message)
+
+
+class BindError(ReproError):
+    """A name in the query could not be resolved against the catalog."""
+
+
+class PlanError(ReproError):
+    """The bound query cannot be turned into an executable plan."""
+
+
+class UnsupportedQueryError(PlanError):
+    """The query is valid SQL but outside the engine's supported class.
+
+    Classical OLA raises this for non-monotonic (nested-aggregate) queries;
+    this is exactly the gap the G-OLA execution model fills.
+    """
+
+
+class ExecutionError(ReproError):
+    """A runtime failure while evaluating a plan."""
+
+
+class SchemaError(ReproError):
+    """Inconsistent schema: unknown column, duplicate name, type mismatch."""
+
+
+class CatalogError(ReproError):
+    """Unknown or duplicate table in the catalog."""
+
+
+class RangeViolation(ReproError):
+    """A running value or bootstrap replica escaped its variation range.
+
+    The query controller catches this internally and schedules a
+    recomputation of the affected delta state (paper section 3.2); it only
+    propagates to callers if recovery itself fails.
+    """
+
+    def __init__(self, slot: str, value: float, low: float, high: float):
+        self.slot = slot
+        self.value = value
+        self.low = low
+        self.high = high
+        super().__init__(
+            f"uncertain value {slot!r} = {value:.6g} escaped its variation "
+            f"range [{low:.6g}, {high:.6g}]"
+        )
+
+
+class QueryStopped(ReproError):
+    """The user stopped an online query before all batches were processed."""

@@ -1,0 +1,48 @@
+"""Error estimation: bootstrap, closed forms, intervals, variation ranges."""
+
+from .bootstrap import (
+    PoissonWeightSource,
+    multinomial_bootstrap,
+    poissonized_bootstrap,
+)
+from .closed_form import (
+    count_interval,
+    mean_interval,
+    normal_quantile,
+    sum_interval,
+    z_value,
+)
+from .intervals import (
+    ConfidenceInterval,
+    percentile_interval,
+    percentile_intervals,
+    relative_stdev,
+    relative_stdevs,
+)
+from .random_source import derive_rng, derive_seed
+from .variation import (
+    VariationRange,
+    range_from_replicas,
+    ranges_from_replica_matrix,
+)
+
+__all__ = [
+    "ConfidenceInterval",
+    "PoissonWeightSource",
+    "VariationRange",
+    "count_interval",
+    "derive_rng",
+    "derive_seed",
+    "mean_interval",
+    "multinomial_bootstrap",
+    "normal_quantile",
+    "percentile_interval",
+    "percentile_intervals",
+    "poissonized_bootstrap",
+    "range_from_replicas",
+    "ranges_from_replica_matrix",
+    "relative_stdev",
+    "relative_stdevs",
+    "sum_interval",
+    "z_value",
+]

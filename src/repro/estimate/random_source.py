@@ -1,0 +1,25 @@
+"""Deterministic RNG plumbing.
+
+Every stochastic component (shuffling, Poisson bootstrap weights, quantile
+reservoirs) derives its generator from the master seed through a stable
+string label, so a run is bit-for-bit reproducible from its
+:class:`~repro.config.GolaConfig` alone and components cannot perturb each
+other's streams.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+
+def derive_seed(master_seed: int, label: str) -> int:
+    """A child seed from ``master_seed`` and a stable component label."""
+    digest = hashlib.sha256(f"{master_seed}:{label}".encode()).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+def derive_rng(master_seed: int, label: str) -> np.random.Generator:
+    """A fresh numpy Generator for the given component label."""
+    return np.random.default_rng(derive_seed(master_seed, label))

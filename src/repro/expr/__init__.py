@@ -1,0 +1,44 @@
+"""Expression trees, vectorized evaluation and the function registry."""
+
+from .expressions import (
+    Between,
+    BinaryOp,
+    BooleanOp,
+    CaseWhen,
+    ColumnRef,
+    Comparison,
+    Environment,
+    Expression,
+    FunctionCall,
+    InList,
+    InSubquery,
+    Literal,
+    Negate,
+    SubqueryRef,
+    conjoin,
+    conjuncts,
+    evaluate_mask,
+)
+from .functions import DEFAULT_FUNCTIONS, FunctionRegistry
+
+__all__ = [
+    "Between",
+    "BinaryOp",
+    "BooleanOp",
+    "CaseWhen",
+    "ColumnRef",
+    "Comparison",
+    "DEFAULT_FUNCTIONS",
+    "Environment",
+    "Expression",
+    "FunctionCall",
+    "FunctionRegistry",
+    "InList",
+    "InSubquery",
+    "Literal",
+    "Negate",
+    "SubqueryRef",
+    "conjoin",
+    "conjuncts",
+    "evaluate_mask",
+]

@@ -1,0 +1,142 @@
+"""Scalar function registry (built-ins and UDFs).
+
+G-OLA explicitly supports user-defined functions inside online queries
+(paper section 2): a UDF is just a vectorized callable registered here and
+referenced by name from SQL or from hand-built expression trees.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence
+
+import numpy as np
+
+from ..errors import BindError
+
+
+class FunctionRegistry:
+    """Name -> vectorized implementation mapping for scalar functions.
+
+    Implementations receive numpy arrays (or python scalars) — one
+    positional argument per SQL argument — and must return an array
+    broadcastable against the inputs.
+    """
+
+    def __init__(self) -> None:
+        self._functions: Dict[str, Callable] = {}
+        self._register_builtins()
+
+    def register(self, name: str, fn: Callable, replace: bool = False) -> None:
+        """Register a UDF under ``name`` (case-insensitive)."""
+        key = name.lower()
+        if key in self._functions and not replace:
+            raise BindError(f"function {name!r} already registered")
+        self._functions[key] = fn
+
+    def lookup(self, name: str) -> Callable:
+        key = name.lower()
+        if key not in self._functions:
+            raise BindError(
+                f"unknown function {name!r}; known: {sorted(self._functions)}"
+            )
+        return self._functions[key]
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._functions
+
+    def _register_builtins(self) -> None:
+        self._functions.update(
+            {
+                "abs": np.abs,
+                "sqrt": np.sqrt,
+                "exp": np.exp,
+                "ln": np.log,
+                "log": np.log,
+                "log2": np.log2,
+                "log10": np.log10,
+                "floor": np.floor,
+                "ceil": np.ceil,
+                "round": _sql_round,
+                "sign": np.sign,
+                "power": np.power,
+                "pow": np.power,
+                "mod": np.mod,
+                "greatest": _greatest,
+                "least": _least,
+                "coalesce": _coalesce,
+                "lower": _string_op(str.lower),
+                "upper": _string_op(str.upper),
+                "length": _string_op(len, out_dtype=np.int64),
+                "substr": _substr,
+                "concat": _concat,
+                "if": _sql_if,
+                "nullif": _nullif,
+            }
+        )
+
+
+def _sql_round(values, digits=0):
+    return np.round(values, int(np.asarray(digits).reshape(-1)[0]) if np.ndim(digits) else int(digits))
+
+
+def _greatest(*args):
+    out = args[0]
+    for a in args[1:]:
+        out = np.maximum(out, a)
+    return out
+
+
+def _least(*args):
+    out = args[0]
+    for a in args[1:]:
+        out = np.minimum(out, a)
+    return out
+
+
+def _coalesce(*args):
+    out = np.asarray(args[0], dtype=object).copy()
+    for a in args[1:]:
+        missing = np.array([v is None for v in out.ravel()]).reshape(out.shape)
+        if not missing.any():
+            break
+        out[missing] = np.broadcast_to(np.asarray(a, dtype=object), out.shape)[missing]
+    return out
+
+
+def _string_op(fn, out_dtype=object):
+    def wrapped(values):
+        arr = np.asarray(values, dtype=object)
+        return np.array([fn(v) for v in arr], dtype=out_dtype)
+
+    return wrapped
+
+
+def _substr(values, start, length=None):
+    arr = np.asarray(values, dtype=object)
+    s = int(np.asarray(start).reshape(-1)[0]) - 1  # SQL is 1-based
+    if length is None:
+        return np.array([v[s:] for v in arr], dtype=object)
+    n = int(np.asarray(length).reshape(-1)[0])
+    return np.array([v[s:s + n] for v in arr], dtype=object)
+
+
+def _concat(*args):
+    arrays = [np.asarray(a, dtype=object) for a in args]
+    n = max(a.shape[0] if a.ndim else 1 for a in arrays)
+    arrays = [np.broadcast_to(a, (n,)) for a in arrays]
+    return np.array(
+        ["".join(str(a[i]) for a in arrays) for i in range(n)], dtype=object
+    )
+
+
+def _sql_if(cond, then, otherwise):
+    return np.where(np.asarray(cond, dtype=bool), then, otherwise)
+
+
+def _nullif(values, sentinel):
+    arr = np.asarray(values, dtype=object).copy()
+    arr[np.asarray(values) == sentinel] = None
+    return arr
+
+
+DEFAULT_FUNCTIONS = FunctionRegistry()

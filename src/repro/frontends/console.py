@@ -1,0 +1,146 @@
+"""Text console / dashboard rendering for online queries.
+
+The demo paper drives web dashboards; this module provides the terminal
+equivalent: progress bars, error-bar sparklines and result tables that
+refresh per mini-batch.  Everything returns strings so tests can assert
+on output and notebooks can display it.
+"""
+
+from __future__ import annotations
+
+import shutil
+import sys
+from typing import Iterable, Optional, TextIO
+
+import numpy as np
+
+from ..core.result import OnlineSnapshot
+from ..storage.table import Table
+
+
+def progress_bar(fraction: float, width: int = 30) -> str:
+    """A ``[#####.....]`` bar for the processed fraction."""
+    fraction = min(max(fraction, 0.0), 1.0)
+    filled = int(round(fraction * width))
+    return "[" + "#" * filled + "." * (width - filled) + "]"
+
+
+def error_bar(low: float, value: float, high: float, width: int = 24) -> str:
+    """An ASCII error bar ``|---*---|`` positioned within [low, high]."""
+    if high <= low:
+        return "*".center(width)
+    pos = int(round((value - low) / (high - low) * (width - 1)))
+    pos = min(max(pos, 0), width - 1)
+    chars = ["-"] * width
+    chars[0] = "|"
+    chars[-1] = "|"
+    chars[pos] = "*"
+    return "".join(chars)
+
+
+def render_table(table: Table, max_rows: int = 15) -> str:
+    """An aligned textual result table."""
+    return table.head_str(max_rows)
+
+
+def render_snapshot(snapshot: OnlineSnapshot, max_rows: int = 10) -> str:
+    """A multi-line dashboard panel for one snapshot."""
+    lines = [
+        f"batch {snapshot.batch_index}/{snapshot.num_batches} "
+        f"{progress_bar(snapshot.fraction)} "
+        f"{100 * snapshot.fraction:.0f}% of data",
+    ]
+    try:
+        est = snapshot.estimate
+        ci = snapshot.interval
+        lines.append(
+            f"  estimate {est:,.4f}   {ci}   "
+            f"rel.stdev {snapshot.relative_stdev:.3%}"
+        )
+        lines.append(
+            f"  {error_bar(ci.low, est, ci.high)}"
+        )
+    except ValueError:
+        lines.append(render_table(snapshot.table, max_rows))
+        for name, err in snapshot.errors.items():
+            if len(err.rel_stdev):
+                worst = float(np.nanmax(err.rel_stdev))
+                lines.append(f"  {name}: worst rel.stdev {worst:.3%}")
+    lines.append(
+        f"  uncertain set: {snapshot.total_uncertain:,} tuples   "
+        f"rows touched: {snapshot.total_rows_processed:,}"
+        + (f"   RECOMPUTED: {', '.join(snapshot.rebuilds)}"
+           if snapshot.rebuilds else "")
+    )
+    return "\n".join(lines)
+
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values, width: int = 40) -> str:
+    """A unicode sparkline of a numeric series (empty-safe)."""
+    values = [float(v) for v in values][-width:]
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    if hi <= lo:
+        return _SPARK_LEVELS[0] * len(values)
+    span = hi - lo
+    out = []
+    for v in values:
+        idx = int((v - lo) / span * (len(_SPARK_LEVELS) - 1))
+        out.append(_SPARK_LEVELS[idx])
+    return "".join(out)
+
+
+def render_history(snapshots, max_width: int = 40) -> str:
+    """Estimate and error trajectories across an online run.
+
+    Works for single-value queries; returns the estimate sparkline, the
+    relative-stdev sparkline and the endpoints.
+    """
+    estimates = []
+    stdevs = []
+    for snapshot in snapshots:
+        try:
+            estimates.append(snapshot.estimate)
+            stdevs.append(snapshot.relative_stdev)
+        except ValueError:
+            continue
+    if not estimates:
+        return "(no scalar history)"
+    lines = [
+        f"estimate  {sparkline(estimates, max_width)}  "
+        f"{estimates[0]:.4g} -> {estimates[-1]:.4g}",
+        f"rel.stdev {sparkline(stdevs, max_width)}  "
+        f"{stdevs[0]:.2%} -> {stdevs[-1]:.2%}",
+    ]
+    return "\n".join(lines)
+
+
+class ProgressConsole:
+    """Streams snapshot panels to a file-like sink (stdout by default).
+
+    Example::
+
+        console = ProgressConsole()
+        for snapshot in query.run_online():
+            console.update(snapshot)
+        console.finish()
+    """
+
+    def __init__(self, sink: Optional[TextIO] = None, max_rows: int = 10):
+        self.sink = sink or sys.stdout
+        self.max_rows = max_rows
+        self._count = 0
+
+    def update(self, snapshot: OnlineSnapshot) -> None:
+        self._count += 1
+        panel = render_snapshot(snapshot, self.max_rows)
+        self.sink.write(panel + "\n\n")
+        self.sink.flush()
+
+    def finish(self) -> None:
+        self.sink.write(f"done after {self._count} snapshot(s)\n")
+        self.sink.flush()

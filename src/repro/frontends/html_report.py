@@ -1,0 +1,175 @@
+"""Static HTML reports of online query runs.
+
+The paper demos a web dashboard with progressively refined answers and
+error bars (section 6).  This module renders a completed (or stopped)
+online run — the sequence of :class:`OnlineSnapshot` — into a single
+self-contained HTML file: the estimate trajectory with its confidence
+band as an inline SVG, the per-batch accounting table, and the final
+result table.  No external assets or scripts, so the file is portable
+and diff-able in tests.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.result import OnlineSnapshot
+from ..storage.table import Table
+
+_STYLE = """
+body { font-family: -apple-system, 'Segoe UI', sans-serif; margin: 2rem;
+       color: #1a1a2e; max-width: 60rem; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2rem; }
+table { border-collapse: collapse; font-size: 0.85rem; margin-top: .5rem; }
+th, td { border: 1px solid #cbd5e1; padding: .25rem .6rem;
+         text-align: right; }
+th { background: #eef2f7; }
+.rebuild { background: #fff3cd; }
+.meta { color: #64748b; font-size: .8rem; }
+svg { background: #fafbfc; border: 1px solid #e2e8f0; }
+"""
+
+
+def _svg_chart(points: Sequence[Tuple[float, float, float]],
+               width: int = 640, height: int = 220) -> str:
+    """Inline SVG: estimate line + confidence band over batch index."""
+    if not points:
+        return "<p>(no scalar trajectory)</p>"
+    pad = 34
+    lows = [p[1] for p in points]
+    highs = [p[2] for p in points]
+    y_min, y_max = min(lows), max(highs)
+    if y_max <= y_min:
+        y_max = y_min + 1.0
+    span = y_max - y_min
+
+    def sx(i: int) -> float:
+        if len(points) == 1:
+            return width / 2
+        return pad + i * (width - 2 * pad) / (len(points) - 1)
+
+    def sy(v: float) -> float:
+        return height - pad - (v - y_min) / span * (height - 2 * pad)
+
+    band_top = " ".join(
+        f"{sx(i):.1f},{sy(hi):.1f}" for i, (_, _, hi) in enumerate(points)
+    )
+    band_bottom = " ".join(
+        f"{sx(i):.1f},{sy(lo):.1f}"
+        for i, (_, lo, _) in reversed(list(enumerate(points)))
+    )
+    line = " ".join(
+        f"{sx(i):.1f},{sy(est):.1f}"
+        for i, (est, _, _) in enumerate(points)
+    )
+    labels = (
+        f'<text x="4" y="{sy(y_max):.1f}" font-size="10">{y_max:.4g}</text>'
+        f'<text x="4" y="{sy(y_min):.1f}" font-size="10">{y_min:.4g}</text>'
+        f'<text x="{sx(0):.1f}" y="{height - 8}" font-size="10">1</text>'
+        f'<text x="{sx(len(points) - 1) - 14:.1f}" y="{height - 8}" '
+        f'font-size="10">{len(points)}</text>'
+    )
+    return (
+        f'<svg width="{width}" height="{height}" '
+        'xmlns="http://www.w3.org/2000/svg">'
+        f'<polygon points="{band_top} {band_bottom}" fill="#93c5fd" '
+        'fill-opacity="0.35" stroke="none"/>'
+        f'<polyline points="{line}" fill="none" stroke="#1d4ed8" '
+        'stroke-width="2"/>'
+        f"{labels}</svg>"
+    )
+
+
+def _result_table(table: Table, max_rows: int = 25) -> str:
+    names = table.schema.names
+    head = "".join(f"<th>{html.escape(str(n))}</th>" for n in names)
+    body_rows = []
+    for i in range(min(table.num_rows, max_rows)):
+        cells = "".join(
+            f"<td>{html.escape(_fmt(v))}</td>" for v in table.row(i)
+        )
+        body_rows.append(f"<tr>{cells}</tr>")
+    more = (
+        f'<p class="meta">… {table.num_rows - max_rows} more rows</p>'
+        if table.num_rows > max_rows else ""
+    )
+    return (
+        f"<table><thead><tr>{head}</tr></thead>"
+        f"<tbody>{''.join(body_rows)}</tbody></table>{more}"
+    )
+
+
+def render_html_report(snapshots: Sequence[OnlineSnapshot],
+                       title: str = "G-OLA online run",
+                       sql: str = "") -> str:
+    """Render a full online run to a self-contained HTML document."""
+    if not snapshots:
+        raise ValueError("no snapshots to report")
+    final = snapshots[-1]
+
+    points: List[Tuple[float, float, float]] = []
+    for snapshot in snapshots:
+        try:
+            ci = snapshot.interval
+            points.append((snapshot.estimate, ci.low, ci.high))
+        except ValueError:
+            break
+
+    progress_rows = []
+    for snapshot in snapshots:
+        css = ' class="rebuild"' if snapshot.rebuilds else ""
+        try:
+            value = f"{snapshot.estimate:,.4f}"
+            rsd = f"{snapshot.relative_stdev:.2%}"
+        except ValueError:
+            value = f"{snapshot.table.num_rows} rows"
+            rsd = "—"
+        progress_rows.append(
+            f"<tr{css}><td>{snapshot.batch_index}</td>"
+            f"<td>{snapshot.fraction:.0%}</td><td>{value}</td>"
+            f"<td>{rsd}</td><td>{snapshot.total_uncertain:,}</td>"
+            f"<td>{snapshot.total_rows_processed:,}</td>"
+            f"<td>{', '.join(snapshot.rebuilds) or ''}</td></tr>"
+        )
+
+    sql_block = (
+        f"<pre>{html.escape(sql.strip())}</pre>" if sql else ""
+    )
+    chart = _svg_chart(points) if points else ""
+    processed = f"{final.fraction:.0%}"
+
+    return f"""<!DOCTYPE html>
+<html lang="en"><head><meta charset="utf-8">
+<title>{html.escape(title)}</title><style>{_STYLE}</style></head>
+<body>
+<h1>{html.escape(title)}</h1>
+<p class="meta">{final.batch_index} of {final.num_batches} mini-batches
+processed ({processed} of the data); confidence
+{final.confidence:.0%}.</p>
+{sql_block}
+<h2>Estimate trajectory</h2>
+{chart}
+<h2>Per-batch progress</h2>
+<table><thead><tr><th>batch</th><th>data</th><th>estimate</th>
+<th>rel stdev</th><th>uncertain</th><th>rows touched</th>
+<th>recomputed</th></tr></thead>
+<tbody>{''.join(progress_rows)}</tbody></table>
+<h2>Current result</h2>
+{_result_table(final.table)}
+</body></html>
+"""
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:,.4f}"
+    return str(value)
+
+
+def write_html_report(snapshots: Sequence[OnlineSnapshot], path,
+                      title: str = "G-OLA online run",
+                      sql: str = "") -> None:
+    """Render and write the report to ``path``."""
+    with open(path, "w") as f:
+        f.write(render_html_report(snapshots, title=title, sql=sql))

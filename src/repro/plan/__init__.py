@@ -1,0 +1,38 @@
+"""Logical plans, binding and lineage-block analysis."""
+
+from .binder import Binder, bind_statement
+from .lineage_blocks import LineageBlock, broadcast_edges, lineage_blocks
+from .rewrite import fold_constants, normalize_predicate, rewrite_query
+from .logical import (
+    Aggregate,
+    Filter,
+    Join,
+    Limit,
+    LogicalPlan,
+    Project,
+    Query,
+    Scan,
+    Sort,
+    SubquerySpec,
+)
+
+__all__ = [
+    "Aggregate",
+    "Binder",
+    "Filter",
+    "Join",
+    "Limit",
+    "LineageBlock",
+    "LogicalPlan",
+    "Project",
+    "Query",
+    "Scan",
+    "Sort",
+    "SubquerySpec",
+    "bind_statement",
+    "broadcast_edges",
+    "fold_constants",
+    "lineage_blocks",
+    "normalize_predicate",
+    "rewrite_query",
+]

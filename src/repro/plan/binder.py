@@ -1,0 +1,678 @@
+"""Binding: SQL AST -> logical plan.
+
+The binder resolves identifiers against the catalog, converts SQL
+expressions into executable expression trees, and — the G-OLA-specific
+part — *lifts nested aggregate subqueries out of line*:
+
+* an uncorrelated scalar subquery becomes a ``scalar`` SubquerySpec and a
+  ``SubqueryRef(slot)`` placeholder at its use site;
+* a scalar subquery correlated via an equality (``inner.key = outer.key``)
+  becomes a ``keyed`` spec — the inner plan is rewritten to GROUP BY the
+  correlation key, and the placeholder carries the outer key expression;
+* an ``IN (SELECT ...)`` subquery becomes a ``set`` spec and an
+  ``InSubquery`` placeholder.
+
+Nesting is arbitrary: subqueries are bound recursively with a shared slot
+counter, so a subquery's own subqueries land in the same query-level map
+(the delta-maintenance controller later processes slots in dependency
+order).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..engine.aggregates import AggregateCall, UDAFRegistry, is_aggregate_name
+from ..errors import BindError, UnsupportedQueryError
+from ..expr.expressions import (
+    Between,
+    BinaryOp,
+    BooleanOp,
+    CaseWhen,
+    ColumnRef,
+    Comparison,
+    Expression,
+    FunctionCall,
+    InList,
+    InSubquery,
+    Literal,
+    Negate,
+    SubqueryRef,
+    conjoin,
+    conjuncts,
+)
+from ..sql import ast_nodes as ast
+from ..storage.catalog import Catalog
+from ..storage.table import Schema
+from .logical import (
+    Aggregate,
+    Filter,
+    Join,
+    Limit,
+    LogicalPlan,
+    Project,
+    Query,
+    Scan,
+    Sort,
+    SubquerySpec,
+)
+
+
+class Scope:
+    """Name-resolution scope: an ordered list of (binding, schema) pairs.
+
+    Column names stay flat in plans (the engine rejects duplicate names at
+    join time), so resolution returns plain column names.
+    """
+
+    def __init__(self, entries: Sequence[Tuple[str, Schema]]):
+        self.entries = list(entries)
+
+    def add(self, binding: str, schema: Schema) -> None:
+        self.entries.append((binding.lower(), schema))
+
+    def try_resolve(self, ident: ast.Ident) -> Optional[str]:
+        name = ident.name
+        qualifier = ident.qualifier
+        if qualifier is not None:
+            for binding, schema in self.entries:
+                if binding == qualifier.lower():
+                    for col in schema.names:
+                        if col.lower() == name.lower():
+                            return col
+                    return None
+            return None
+        for _, schema in self.entries:
+            for col in schema.names:
+                if col.lower() == name.lower():
+                    return col
+        return None
+
+    def resolve(self, ident: ast.Ident) -> str:
+        col = self.try_resolve(ident)
+        if col is None:
+            known = sorted({c for _, s in self.entries for c in s.names})
+            raise BindError(
+                f"cannot resolve column {'.'.join(ident.parts)!r}; "
+                f"in scope: {known}"
+            )
+        return col
+
+
+class Binder:
+    """Stateful binder for one top-level statement."""
+
+    def __init__(self, catalog: Catalog, udafs: Optional[UDAFRegistry] = None):
+        self.catalog = catalog
+        self.udafs = udafs
+        self._next_slot = 0
+        self._subqueries: Dict[int, SubquerySpec] = {}
+        self._streamed_table: Optional[str] = None
+
+    def bind(self, stmt: ast.SelectStmt) -> Query:
+        """Bind a parsed statement into a :class:`Query`."""
+        plan = self._bind_select(stmt, outer_scope=None)
+        return Query(
+            plan=plan,
+            subqueries=self._subqueries,
+            streamed_table=self._streamed_table,
+        )
+
+    # ------------------------------------------------------------------
+    # SELECT binding
+    # ------------------------------------------------------------------
+
+    def _bind_select(self, stmt: ast.SelectStmt,
+                     outer_scope: Optional[Scope]) -> LogicalPlan:
+        if stmt.distinct:
+            raise UnsupportedQueryError("SELECT DISTINCT is not supported")
+
+        plan, scope = self._bind_from(stmt)
+
+        where_expr, correlation = self._bind_where(
+            stmt.where, scope, outer_scope
+        )
+        if correlation is not None and not self._is_aggregate_query(stmt):
+            raise UnsupportedQueryError(
+                "correlated subqueries must be aggregate queries"
+            )
+        if where_expr is not None:
+            plan = Filter(plan, where_expr)
+
+        if self._is_aggregate_query(stmt):
+            plan = self._bind_aggregate(stmt, plan, scope, correlation)
+        else:
+            if stmt.having is not None:
+                raise BindError("HAVING requires GROUP BY or aggregates")
+            exprs = []
+            for i, item in enumerate(stmt.items):
+                bound = self._bind_expr(item.expr, scope, outer_scope=None)
+                exprs.append((bound, self._item_name(item, scope, i)))
+            plan = Project(plan, exprs)
+
+        if stmt.order_by:
+            keys = []
+            for expr, desc in stmt.order_by:
+                if not isinstance(expr, ast.Ident):
+                    raise UnsupportedQueryError(
+                        "ORDER BY supports output column names only"
+                    )
+                target = None
+                for col in plan.schema.names:
+                    if col.lower() == expr.name.lower():
+                        target = col
+                        break
+                if target is None:
+                    raise BindError(
+                        f"ORDER BY column {expr.name!r} is not in the output"
+                    )
+                keys.append((target, desc))
+            plan = Sort(plan, keys)
+
+        if stmt.limit is not None:
+            plan = Limit(plan, stmt.limit)
+        return plan
+
+    def _bind_from(self, stmt: ast.SelectStmt) -> Tuple[LogicalPlan, Scope]:
+        base = stmt.from_table
+        schema = self.catalog.schema(base.name)
+        plan: LogicalPlan = Scan(base.name.lower(), schema)
+        scope = Scope([(base.binding, schema)])
+        if self._streamed_table is None and self.catalog.is_streamed(base.name):
+            self._streamed_table = base.name.lower()
+
+        for join in stmt.joins:
+            right_schema = self.catalog.schema(join.table.name)
+            if self.catalog.is_streamed(join.table.name):
+                raise UnsupportedQueryError(
+                    f"joined table {join.table.name!r} is marked streamed; "
+                    "only the FROM relation may be streamed (mark dimension "
+                    "tables with streamed=False)"
+                )
+            right_scope = Scope([(join.table.binding, right_schema)])
+            pairs = []
+            for conj in _sql_conjuncts(join.condition):
+                if not (isinstance(conj, ast.Binary) and conj.op == "="
+                        and isinstance(conj.left, ast.Ident)
+                        and isinstance(conj.right, ast.Ident)):
+                    raise UnsupportedQueryError(
+                        "JOIN ... ON supports conjunctions of column "
+                        "equalities only"
+                    )
+                left_col = scope.try_resolve(conj.left)
+                right_col = right_scope.try_resolve(conj.right)
+                if left_col is None or right_col is None:
+                    left_col = scope.try_resolve(conj.right)
+                    right_col = right_scope.try_resolve(conj.left)
+                if left_col is None or right_col is None:
+                    raise BindError(
+                        "cannot resolve join condition "
+                        f"{'.'.join(conj.left.parts)} = "
+                        f"{'.'.join(conj.right.parts)}"
+                    )
+                pairs.append((left_col, right_col))
+            plan = Join(plan, Scan(join.table.name.lower(), right_schema),
+                        pairs, how=join.how)
+            scope.add(join.table.binding, right_schema)
+        # Unqualified resolution walks all entries; qualified resolution
+        # uses the per-binding schemas added above.
+        return plan, scope
+
+    def _bind_where(self, where: Optional[ast.SqlExpr], scope: Scope,
+                    outer_scope: Optional[Scope]):
+        """Bind WHERE, extracting correlation equalities when in a subquery.
+
+        Returns ``(bound_predicate_or_None, correlation_or_None)`` where
+        correlation is ``(inner_column, outer_column)``.
+        """
+        if where is None:
+            return None, None
+        correlation = None
+        kept: List[ast.SqlExpr] = []
+        for conj in _sql_conjuncts(where):
+            corr = self._match_correlation(conj, scope, outer_scope)
+            if corr is not None:
+                if correlation is not None:
+                    raise UnsupportedQueryError(
+                        "at most one correlation equality per subquery"
+                    )
+                correlation = corr
+                continue
+            kept.append(conj)
+        bound = None
+        if kept:
+            bound_parts = [
+                self._bind_expr(c, scope, outer_scope=None) for c in kept
+            ]
+            bound = conjoin(bound_parts)
+        return bound, correlation
+
+    def _match_correlation(self, conj: ast.SqlExpr, scope: Scope,
+                           outer_scope: Optional[Scope]):
+        """Detect ``inner.col = outer.col`` conjuncts (either orientation)."""
+        if outer_scope is None:
+            return None
+        if not (isinstance(conj, ast.Binary) and conj.op == "="
+                and isinstance(conj.left, ast.Ident)
+                and isinstance(conj.right, ast.Ident)):
+            return None
+
+        def side(ident: ast.Ident):
+            inner = scope.try_resolve(ident)
+            outer = outer_scope.try_resolve(ident)
+            return inner, outer
+
+        l_inner, l_outer = side(conj.left)
+        r_inner, r_outer = side(conj.right)
+        # A correlation pairs a column resolvable ONLY inside with one
+        # resolvable ONLY outside; ambiguous cases (same column name in
+        # both relations, unqualified) resolve inner-first per SQL scoping.
+        if l_inner is not None and r_inner is None and r_outer is not None:
+            return (l_inner, r_outer)
+        if r_inner is not None and l_inner is None and l_outer is not None:
+            return (r_inner, l_outer)
+        return None
+
+    # ------------------------------------------------------------------
+    # Aggregate binding
+    # ------------------------------------------------------------------
+
+    def _is_aggregate_query(self, stmt: ast.SelectStmt) -> bool:
+        if stmt.group_by or stmt.having is not None:
+            return True
+        return any(
+            self._contains_aggregate(item.expr) for item in stmt.items
+        )
+
+    def _contains_aggregate(self, expr: ast.SqlExpr) -> bool:
+        if isinstance(expr, ast.Call) and is_aggregate_name(expr.name, self.udafs):
+            return True
+        for child in _sql_children(expr):
+            if self._contains_aggregate(child):
+                return True
+        return False
+
+    def _bind_aggregate(self, stmt: ast.SelectStmt, plan: LogicalPlan,
+                        scope: Scope,
+                        correlation: Optional[Tuple[str, str]]) -> LogicalPlan:
+        group_by: List[Tuple[Expression, str]] = []
+        group_names: Dict[ast.SqlExpr, str] = {}
+        if correlation is not None:
+            inner_col, _outer = correlation
+            group_by.append((ColumnRef(inner_col), inner_col))
+        for i, gexpr in enumerate(stmt.group_by):
+            bound = self._bind_expr(gexpr, scope, outer_scope=None)
+            if isinstance(gexpr, ast.Ident):
+                name = scope.resolve(gexpr)
+            else:
+                name = f"key_{i}"
+            group_by.append((bound, name))
+            group_names[gexpr] = name
+
+        agg_calls, agg_aliases = self._collect_aggregates(stmt, scope)
+        if not agg_calls:
+            raise BindError("GROUP BY query must compute at least one aggregate")
+
+        post_scope = _PostAggregateContext(
+            group_names=group_names,
+            group_columns=[name for _, name in group_by],
+            agg_aliases=agg_aliases,
+            scope=scope,
+        )
+
+        having_expr = None
+        if stmt.having is not None:
+            having_expr = self._bind_post_aggregate(
+                stmt.having, post_scope
+            )
+
+        plan = Aggregate(plan, group_by, agg_calls, having_expr)
+
+        # Final projection over the aggregate output, in SELECT order.
+        exprs: List[Tuple[Expression, str]] = []
+        for i, item in enumerate(stmt.items):
+            bound = self._bind_post_aggregate(item.expr, post_scope)
+            exprs.append((bound, self._item_name(item, scope, i)))
+        return Project(plan, exprs)
+
+    def _collect_aggregates(self, stmt: ast.SelectStmt, scope: Scope):
+        """Find every aggregate call in SELECT items and HAVING.
+
+        Duplicate calls (same function, argument, flags) share one alias so
+        they share one state during execution.
+        """
+        agg_aliases: Dict[Tuple, str] = {}
+        agg_calls: List[AggregateCall] = []
+
+        def register(call: ast.Call, preferred: Optional[str]) -> str:
+            key = _canonical_call(call)
+            if key in agg_aliases:
+                return agg_aliases[key]
+            if call.distinct:
+                raise UnsupportedQueryError(
+                    "DISTINCT aggregates are not supported online"
+                )
+            param = None
+            if call.star:
+                arg = None
+            else:
+                if not call.args:
+                    raise BindError(f"{call.name} requires an argument")
+                arg_ast = call.args[0]
+                if call.name.lower() == "quantile":
+                    if len(call.args) != 2 or not isinstance(
+                        call.args[1], ast.NumberLit
+                    ):
+                        raise BindError(
+                            "QUANTILE(expr, fraction) needs a literal fraction"
+                        )
+                    param = call.args[1].value
+                if self._contains_aggregate(arg_ast):
+                    raise BindError("aggregates cannot nest directly")
+                arg = self._bind_expr(arg_ast, scope, outer_scope=None)
+            alias = preferred or f"{call.name.lower()}_{len(agg_calls)}"
+            if any(a.alias == alias for a in agg_calls):
+                alias = f"{alias}_{len(agg_calls)}"
+            agg_aliases[key] = alias
+            agg_calls.append(
+                AggregateCall(call.name, arg, alias, call.distinct, param)
+            )
+            return alias
+
+        def collect(expr: ast.SqlExpr, preferred: Optional[str] = None):
+            if isinstance(expr, ast.Call) and is_aggregate_name(
+                expr.name, self.udafs
+            ):
+                register(expr, preferred)
+                return
+            for child in _sql_children(expr):
+                collect(child)
+
+        for item in stmt.items:
+            preferred = item.alias if isinstance(item.expr, ast.Call) else None
+            collect(item.expr, preferred)
+        if stmt.having is not None:
+            collect(stmt.having)
+        return agg_calls, agg_aliases
+
+    def _bind_post_aggregate(self, expr: ast.SqlExpr,
+                             ctx: "_PostAggregateContext") -> Expression:
+        """Bind an expression over an Aggregate node's output."""
+        # A select item that is exactly a GROUP BY expression references
+        # the corresponding key column (SQL's functional-dependency rule).
+        for gexpr, name in ctx.group_names.items():
+            if gexpr == expr:
+                return ColumnRef(name)
+        if isinstance(expr, ast.Call) and is_aggregate_name(
+            expr.name, self.udafs
+        ):
+            key = _canonical_call(expr)
+            if key not in ctx.agg_aliases:
+                raise BindError(
+                    f"aggregate {expr.name} not collected "
+                    "(internal binder error)"
+                )
+            return ColumnRef(ctx.agg_aliases[key])
+        if isinstance(expr, ast.Call):
+            args = [self._bind_post_aggregate(a, ctx) for a in expr.args]
+            return FunctionCall(expr.name, args)
+        if isinstance(expr, ast.Ident):
+            # Must be a group-by column.
+            for gexpr, name in ctx.group_names.items():
+                if gexpr == expr:
+                    return ColumnRef(name)
+            resolved = ctx.scope.try_resolve(expr)
+            if resolved is not None and resolved in ctx.group_columns:
+                return ColumnRef(resolved)
+            raise BindError(
+                f"column {'.'.join(expr.parts)!r} must appear in GROUP BY "
+                "or inside an aggregate"
+            )
+        if isinstance(expr, ast.ScalarSelect):
+            return self._bind_scalar_subquery(expr.select, ctx.scope)
+        if isinstance(expr, ast.InSelectExpr):
+            value = self._bind_post_aggregate(expr.value, ctx)
+            return self._bind_in_subquery(expr, ctx.scope, value)
+        return self._rebuild(expr, lambda e: self._bind_post_aggregate(e, ctx))
+
+    # ------------------------------------------------------------------
+    # Expression binding (pre-aggregate scope)
+    # ------------------------------------------------------------------
+
+    def _bind_expr(self, expr: ast.SqlExpr, scope: Scope,
+                   outer_scope: Optional[Scope]) -> Expression:
+        if isinstance(expr, ast.Ident):
+            return ColumnRef(scope.resolve(expr))
+        if isinstance(expr, ast.Call):
+            if is_aggregate_name(expr.name, self.udafs):
+                raise BindError(
+                    f"aggregate {expr.name}() is not allowed here; "
+                    "use a subquery"
+                )
+            args = [self._bind_expr(a, scope, outer_scope) for a in expr.args]
+            return FunctionCall(expr.name, args)
+        if isinstance(expr, ast.ScalarSelect):
+            return self._bind_scalar_subquery(expr.select, scope)
+        if isinstance(expr, ast.InSelectExpr):
+            value = self._bind_expr(expr.value, scope, outer_scope)
+            return self._bind_in_subquery(expr, scope, value)
+        return self._rebuild(
+            expr, lambda e: self._bind_expr(e, scope, outer_scope)
+        )
+
+    def _rebuild(self, expr: ast.SqlExpr, bind) -> Expression:
+        """Shared structural conversion for nodes without scope decisions."""
+        if isinstance(expr, ast.NumberLit):
+            return Literal(int(expr.value) if expr.is_integer else expr.value)
+        if isinstance(expr, ast.StringLit):
+            return Literal(expr.value)
+        if isinstance(expr, ast.BoolLit):
+            return Literal(expr.value)
+        if isinstance(expr, ast.Unary):
+            operand = bind(expr.operand)
+            if expr.op == "-":
+                return Negate(operand)
+            return BooleanOp("NOT", [operand])
+        if isinstance(expr, ast.Binary):
+            if expr.op in ("and", "or"):
+                return BooleanOp(expr.op.upper(),
+                                 [bind(expr.left), bind(expr.right)])
+            if expr.op in ("=", "!=", "<>", "<", "<=", ">", ">="):
+                return Comparison(expr.op, bind(expr.left), bind(expr.right))
+            return BinaryOp(expr.op, bind(expr.left), bind(expr.right))
+        if isinstance(expr, ast.BetweenExpr):
+            between = Between(bind(expr.value), bind(expr.low), bind(expr.high))
+            return BooleanOp("NOT", [between]) if expr.negated else between
+        if isinstance(expr, ast.InListExpr):
+            options = []
+            for option in expr.options:
+                if isinstance(option, ast.NumberLit):
+                    options.append(
+                        int(option.value) if option.is_integer else option.value
+                    )
+                elif isinstance(option, ast.StringLit):
+                    options.append(option.value)
+                elif isinstance(option, ast.BoolLit):
+                    options.append(option.value)
+                else:
+                    raise UnsupportedQueryError(
+                        "IN lists support literal options only"
+                    )
+            in_list = InList(bind(expr.value), options)
+            return BooleanOp("NOT", [in_list]) if expr.negated else in_list
+        if isinstance(expr, ast.CaseExpr):
+            whens = [(bind(c), bind(v)) for c, v in expr.whens]
+            otherwise = (
+                bind(expr.otherwise) if expr.otherwise is not None else None
+            )
+            return CaseWhen(whens, otherwise)
+        raise BindError(f"cannot bind expression node {type(expr).__name__}")
+
+    # ------------------------------------------------------------------
+    # Subqueries
+    # ------------------------------------------------------------------
+
+    def _bind_scalar_subquery(self, stmt: ast.SelectStmt,
+                              outer_scope: Scope) -> Expression:
+        if len(stmt.items) != 1:
+            raise UnsupportedQueryError(
+                "scalar subqueries must select exactly one expression"
+            )
+        if stmt.group_by or stmt.having is not None:
+            raise UnsupportedQueryError(
+                "scalar subqueries cannot use GROUP BY/HAVING; correlate "
+                "via an equality predicate instead"
+            )
+        if stmt.joins:
+            raise UnsupportedQueryError("joins inside subqueries")
+        item = stmt.items[0]
+        if not self._contains_aggregate(item.expr):
+            raise UnsupportedQueryError(
+                "scalar subqueries must compute an aggregate"
+            )
+
+        schema = self.catalog.schema(stmt.from_table.name)
+        scope = Scope([(stmt.from_table.binding, schema)])
+        plan: LogicalPlan = Scan(stmt.from_table.name.lower(), schema)
+        where_expr, correlation = self._bind_where(
+            stmt.where, scope, outer_scope
+        )
+        if where_expr is not None:
+            plan = Filter(plan, where_expr)
+
+        agg_calls, agg_aliases = self._collect_aggregates(
+            ast.SelectStmt(items=(item,), from_table=stmt.from_table), scope
+        )
+        group_by: List[Tuple[Expression, str]] = []
+        if correlation is not None:
+            inner_key, _outer_col = correlation
+            group_by.append((ColumnRef(inner_key), inner_key))
+        agg_node = Aggregate(plan, group_by, agg_calls, having=None)
+
+        post = _PostAggregateContext(
+            group_names={}, group_columns=[n for _, n in group_by],
+            agg_aliases=agg_aliases, scope=scope,
+        )
+        value_expr = self._bind_post_aggregate(item.expr, post)
+        projections: List[Tuple[Expression, str]] = []
+        if correlation is not None:
+            inner_key = correlation[0]
+            projections.append((ColumnRef(inner_key), inner_key))
+        projections.append((value_expr, "value"))
+        sub_plan = Project(agg_node, projections)
+
+        slot = self._next_slot
+        self._next_slot += 1
+        if correlation is None:
+            self._subqueries[slot] = SubquerySpec(
+                slot=slot, plan=sub_plan, kind="scalar",
+                value_column="value",
+            )
+            return SubqueryRef(slot)
+        inner_key, outer_col = correlation
+        self._subqueries[slot] = SubquerySpec(
+            slot=slot, plan=sub_plan, kind="keyed",
+            value_column="value", key_column=inner_key,
+        )
+        return SubqueryRef(slot, correlation=ColumnRef(outer_col))
+
+    def _bind_in_subquery(self, expr: ast.InSelectExpr, outer_scope: Scope,
+                          value: Expression) -> Expression:
+        stmt = expr.select
+        if len(stmt.items) != 1:
+            raise UnsupportedQueryError(
+                "IN subqueries must select exactly one column"
+            )
+        if stmt.joins:
+            raise UnsupportedQueryError("joins inside subqueries")
+        schema = self.catalog.schema(stmt.from_table.name)
+        scope = Scope([(stmt.from_table.binding, schema)])
+        plan: LogicalPlan = Scan(stmt.from_table.name.lower(), schema)
+        where_expr, correlation = self._bind_where(
+            stmt.where, scope, outer_scope
+        )
+        if correlation is not None:
+            raise UnsupportedQueryError(
+                "correlated IN subqueries are not supported"
+            )
+        if where_expr is not None:
+            plan = Filter(plan, where_expr)
+
+        if self._is_aggregate_query(stmt):
+            plan = self._bind_aggregate(stmt, plan, scope, None)
+            key_col = plan.schema.names[0]
+        else:
+            item = stmt.items[0]
+            bound = self._bind_expr(item.expr, scope, outer_scope=None)
+            key_col = self._item_name(item, scope, 0)
+            plan = Project(plan, [(bound, key_col)])
+
+        slot = self._next_slot
+        self._next_slot += 1
+        self._subqueries[slot] = SubquerySpec(
+            slot=slot, plan=plan, kind="set", value_column=key_col,
+        )
+        return InSubquery(value, slot, negated=expr.negated)
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def _item_name(self, item: ast.SelectItem, scope: Scope, index: int) -> str:
+        if item.alias:
+            return item.alias
+        if isinstance(item.expr, ast.Ident):
+            return scope.resolve(item.expr)
+        if isinstance(item.expr, ast.Call):
+            return f"{item.expr.name.lower()}_{index}"
+        return f"col_{index}"
+
+
+class _PostAggregateContext:
+    """Bundles what post-aggregate expression binding needs."""
+
+    def __init__(self, group_names, group_columns, agg_aliases, scope):
+        self.group_names = group_names
+        self.group_columns = group_columns
+        self.agg_aliases = agg_aliases
+        self.scope = scope
+
+
+def _sql_conjuncts(expr: ast.SqlExpr) -> List[ast.SqlExpr]:
+    if isinstance(expr, ast.Binary) and expr.op == "and":
+        return _sql_conjuncts(expr.left) + _sql_conjuncts(expr.right)
+    return [expr]
+
+
+def _sql_children(expr: ast.SqlExpr) -> List[ast.SqlExpr]:
+    if isinstance(expr, ast.Call):
+        return list(expr.args)
+    if isinstance(expr, ast.Unary):
+        return [expr.operand]
+    if isinstance(expr, ast.Binary):
+        return [expr.left, expr.right]
+    if isinstance(expr, ast.BetweenExpr):
+        return [expr.value, expr.low, expr.high]
+    if isinstance(expr, ast.InListExpr):
+        return [expr.value, *expr.options]
+    if isinstance(expr, ast.InSelectExpr):
+        return [expr.value]  # the nested select is bound separately
+    if isinstance(expr, ast.CaseExpr):
+        out = []
+        for cond, value in expr.whens:
+            out.extend((cond, value))
+        if expr.otherwise is not None:
+            out.append(expr.otherwise)
+        return out
+    return []
+
+
+def _canonical_call(call: ast.Call) -> Tuple:
+    """A hashable identity for an aggregate call so duplicates share state."""
+    return (call.name.lower(), call.args, call.distinct, call.star)
+
+
+def bind_statement(stmt: ast.SelectStmt, catalog: Catalog,
+                   udafs: Optional[UDAFRegistry] = None) -> Query:
+    """Convenience wrapper: bind one statement with a fresh binder."""
+    return Binder(catalog, udafs).bind(stmt)

@@ -1,0 +1,94 @@
+"""Lineage-block partitioning of a query plan.
+
+Paper section 3.3: a *lineage block* is a maximal SPJA subtree of the
+query plan — any combination of select/project/join operators capped by
+one aggregation.  Lineage is propagated *within* a block so cached
+uncertain tuples can be lazily re-evaluated; only the (small) aggregate
+results are broadcast *between* blocks, bounding the lineage cost.
+
+Because the binder lifts every nested aggregate subquery out of line
+(each one is an SPJA chain capped by its Aggregate), the lineage blocks of
+a bound :class:`~repro.plan.logical.Query` are exactly: one block per
+subquery slot, plus one block for the main plan.  This module formalizes
+that correspondence, computes the broadcast edges between blocks, and
+verifies the maximality invariant (no block nests another aggregation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional
+
+from ..errors import PlanError
+from .logical import Aggregate, LogicalPlan, Query
+
+
+@dataclass(frozen=True)
+class LineageBlock:
+    """One maximal SPJA subtree of the meta plan.
+
+    Attributes:
+        block_id: ``"main"`` or ``"sub#<slot>"``.
+        plan: The block's plan subtree.
+        produces: The subquery slot this block's aggregate feeds, or None
+            for the main block (whose output goes to the user).
+        consumes: Slots whose aggregate values are broadcast into this
+            block (i.e. the uncertain values appearing in its predicates).
+    """
+
+    block_id: str
+    plan: LogicalPlan
+    produces: Optional[int]
+    consumes: FrozenSet[int]
+
+
+def _count_aggregates(plan: LogicalPlan) -> int:
+    count = 1 if isinstance(plan, Aggregate) else 0
+    for child in plan.children():
+        count += _count_aggregates(child)
+    return count
+
+
+def lineage_blocks(query: Query) -> List[LineageBlock]:
+    """Partition ``query`` into lineage blocks, innermost first.
+
+    The returned order is a topological order of the broadcast DAG:
+    every block appears after all blocks it consumes from.
+    """
+    blocks: List[LineageBlock] = []
+    for slot in query.subquery_order():
+        spec = query.subqueries[slot]
+        if _count_aggregates(spec.plan) > 1:
+            raise PlanError(
+                f"subquery slot {slot} is not a single SPJA block"
+            )
+        blocks.append(
+            LineageBlock(
+                block_id=f"sub#{slot}",
+                plan=spec.plan,
+                produces=slot,
+                consumes=frozenset(spec.plan.subquery_slots()),
+            )
+        )
+    if _count_aggregates(query.plan) > 1:
+        raise PlanError("main plan is not a single SPJA block")
+    blocks.append(
+        LineageBlock(
+            block_id="main",
+            plan=query.plan,
+            produces=None,
+            consumes=frozenset(query.plan.subquery_slots()),
+        )
+    )
+    return blocks
+
+
+def broadcast_edges(blocks: List[LineageBlock]) -> Dict[str, FrozenSet[str]]:
+    """Map each block id to the ids of blocks it receives broadcasts from."""
+    producer = {
+        b.produces: b.block_id for b in blocks if b.produces is not None
+    }
+    return {
+        b.block_id: frozenset(producer[s] for s in b.consumes)
+        for b in blocks
+    }

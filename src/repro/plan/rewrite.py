@@ -1,0 +1,236 @@
+"""Logical plan rewrites (a small optimizer pass).
+
+Run after binding, before execution (both batch and online paths):
+
+* **constant folding** — pure-literal subtrees collapse to literals, so
+  e.g. ``0.2 * 5`` in a threshold costs nothing per batch;
+* **predicate normalization** — `NOT` is pushed through comparisons and
+  De-Morganed through AND/OR, double negations cancel; this maximizes
+  the conjuncts the online engine can classify independently;
+* **filter pushdown below joins** — WHERE conjuncts that reference only
+  the streamed (left/probe) side move below the dimension join, so the
+  online pipeline filters before the join gather.
+
+All rewrites are semantics-preserving; tests check rewritten plans
+against the originals on random data.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from ..expr.expressions import (
+    Between,
+    BinaryOp,
+    BooleanOp,
+    CaseWhen,
+    ColumnRef,
+    Comparison,
+    Expression,
+    FunctionCall,
+    InList,
+    InSubquery,
+    Literal,
+    Negate,
+    SubqueryRef,
+    conjoin,
+    conjuncts,
+)
+from ..plan.logical import (
+    Aggregate,
+    Filter,
+    Join,
+    Limit,
+    LogicalPlan,
+    Project,
+    Query,
+    Scan,
+    Sort,
+    SubquerySpec,
+)
+
+_NEGATED_COMPARISON = {
+    "=": "!=", "!=": "=", "<": ">=", "<=": ">", ">": "<=", ">=": "<",
+}
+
+_FOLDABLE_ARITH = {"+", "-", "*", "/", "%"}
+
+
+def rewrite_query(query: Query) -> Query:
+    """Apply every rewrite to the main plan and all subquery plans."""
+    return Query(
+        plan=_rewrite_plan(query.plan),
+        subqueries={
+            slot: SubquerySpec(
+                slot=spec.slot,
+                plan=_rewrite_plan(spec.plan),
+                kind=spec.kind,
+                value_column=spec.value_column,
+                key_column=spec.key_column,
+            )
+            for slot, spec in query.subqueries.items()
+        },
+        streamed_table=query.streamed_table,
+    )
+
+
+# ----------------------------------------------------------------------
+# Expression rewrites
+# ----------------------------------------------------------------------
+
+def fold_constants(expr: Expression) -> Expression:
+    """Collapse literal-only subtrees into single literals."""
+    if isinstance(expr, Literal) or isinstance(expr, ColumnRef) \
+            or isinstance(expr, SubqueryRef):
+        return expr
+    if isinstance(expr, Negate):
+        operand = fold_constants(expr.operand)
+        if isinstance(operand, Literal) and isinstance(
+            operand.value, (int, float)
+        ) and not isinstance(operand.value, bool):
+            return Literal(-operand.value)
+        return Negate(operand)
+    if isinstance(expr, BinaryOp):
+        left = fold_constants(expr.left)
+        right = fold_constants(expr.right)
+        if (
+            isinstance(left, Literal) and isinstance(right, Literal)
+            and isinstance(left.value, (int, float))
+            and isinstance(right.value, (int, float))
+            and not isinstance(left.value, bool)
+            and not isinstance(right.value, bool)
+            and expr.op in _FOLDABLE_ARITH
+        ):
+            a, b = left.value, right.value
+            if expr.op == "+":
+                return Literal(a + b)
+            if expr.op == "-":
+                return Literal(a - b)
+            if expr.op == "*":
+                return Literal(a * b)
+            if expr.op == "/":
+                return Literal(a / b if b != 0 else 0.0)
+            return Literal(a % b) if b != 0 else Literal(0.0)
+        return BinaryOp(expr.op, left, right)
+    if isinstance(expr, Comparison):
+        return Comparison(expr.op, fold_constants(expr.left),
+                          fold_constants(expr.right))
+    if isinstance(expr, BooleanOp):
+        return BooleanOp(expr.op,
+                         [fold_constants(o) for o in expr.operands])
+    if isinstance(expr, FunctionCall):
+        return FunctionCall(expr.name,
+                            [fold_constants(a) for a in expr.args])
+    if isinstance(expr, Between):
+        return Between(fold_constants(expr.value),
+                       fold_constants(expr.low),
+                       fold_constants(expr.high))
+    if isinstance(expr, InList):
+        return InList(fold_constants(expr.value), expr.options)
+    if isinstance(expr, InSubquery):
+        return InSubquery(fold_constants(expr.value), expr.slot,
+                          expr.negated)
+    if isinstance(expr, CaseWhen):
+        whens = [(fold_constants(c), fold_constants(v))
+                 for c, v in expr.whens]
+        otherwise = fold_constants(expr.otherwise) \
+            if expr.otherwise is not None else None
+        return CaseWhen(whens, otherwise)
+    return expr
+
+
+def normalize_predicate(expr: Expression) -> Expression:
+    """Push NOT inward (De Morgan + comparison negation); cancel pairs.
+
+    Maximizes top-level AND conjuncts, which is what the online engine
+    classifies independently.
+    """
+    if isinstance(expr, BooleanOp):
+        if expr.op == "NOT":
+            return _negate(normalize_predicate(expr.operands[0]))
+        return BooleanOp(
+            expr.op, [normalize_predicate(o) for o in expr.operands]
+        )
+    return expr
+
+
+def _negate(expr: Expression) -> Expression:
+    if isinstance(expr, BooleanOp):
+        if expr.op == "NOT":
+            return expr.operands[0]
+        flipped = "OR" if expr.op == "AND" else "AND"
+        return BooleanOp(flipped, [_negate(o) for o in expr.operands])
+    if isinstance(expr, Comparison):
+        return Comparison(_NEGATED_COMPARISON[expr.op], expr.left,
+                          expr.right)
+    if isinstance(expr, InSubquery):
+        return InSubquery(expr.value, expr.slot, negated=not expr.negated)
+    if isinstance(expr, Literal) and isinstance(expr.value, bool):
+        return Literal(not expr.value)
+    return BooleanOp("NOT", [expr])
+
+
+def _rewrite_expr(expr: Expression) -> Expression:
+    return normalize_predicate(fold_constants(expr))
+
+
+# ----------------------------------------------------------------------
+# Plan rewrites
+# ----------------------------------------------------------------------
+
+def _rewrite_plan(plan: LogicalPlan) -> LogicalPlan:
+    if isinstance(plan, Scan):
+        return plan
+    if isinstance(plan, Filter):
+        child = _rewrite_plan(plan.input)
+        predicate = _rewrite_expr(plan.predicate)
+        return _push_filter(child, conjuncts(predicate))
+    if isinstance(plan, Project):
+        return Project(
+            _rewrite_plan(plan.input),
+            [(_rewrite_expr(e), name) for e, name in plan.exprs],
+        )
+    if isinstance(plan, Join):
+        return Join(_rewrite_plan(plan.left), _rewrite_plan(plan.right),
+                    plan.keys, plan.how)
+    if isinstance(plan, Aggregate):
+        return Aggregate(
+            _rewrite_plan(plan.input),
+            [(_rewrite_expr(e), name) for e, name in plan.group_by],
+            plan.aggregates,
+            _rewrite_expr(plan.having) if plan.having is not None else None,
+        )
+    if isinstance(plan, Sort):
+        return Sort(_rewrite_plan(plan.input), plan.keys)
+    if isinstance(plan, Limit):
+        return Limit(_rewrite_plan(plan.input), plan.n)
+    return plan
+
+
+def _push_filter(child: LogicalPlan,
+                 predicates: List[Expression]) -> LogicalPlan:
+    """Place each conjunct as low in the tree as its columns allow.
+
+    Only inner joins admit left-side pushdown (a left join's unmatched
+    rows must be produced before filtering right-side columns, and
+    pushing a left-side filter below would be fine — but keeping the
+    rule minimal and obviously sound, we push below inner joins only).
+    """
+    if not predicates:
+        return child
+    if isinstance(child, Join) and child.how == "inner":
+        left_columns = set(child.left.schema.names)
+        pushable = [
+            p for p in predicates if p.references() <= left_columns
+        ]
+        rest = [
+            p for p in predicates if not p.references() <= left_columns
+        ]
+        if pushable:
+            new_left = _push_filter(child.left, pushable)
+            new_join = Join(new_left, child.right, child.keys, child.how)
+            remaining = conjoin(rest)
+            return Filter(new_join, remaining) if remaining is not None \
+                else new_join
+    combined = conjoin(predicates)
+    return Filter(child, combined) if combined is not None else child

@@ -1,0 +1,6 @@
+"""SQL front-end: lexer, AST and parser."""
+
+from .ast_nodes import SelectStmt
+from .parser import parse_sql
+
+__all__ = ["SelectStmt", "parse_sql"]

@@ -1,0 +1,142 @@
+"""SQL abstract syntax tree.
+
+Pure data: the parser builds these, the binder turns them into logical
+plans.  Keeping the AST independent of plans lets tests assert on parse
+results without a catalog.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+
+class SqlExpr:
+    """Base class for SQL expression AST nodes."""
+
+
+@dataclass(frozen=True)
+class NumberLit(SqlExpr):
+    value: float
+    is_integer: bool = False
+
+
+@dataclass(frozen=True)
+class StringLit(SqlExpr):
+    value: str
+
+
+@dataclass(frozen=True)
+class BoolLit(SqlExpr):
+    value: bool
+
+
+@dataclass(frozen=True)
+class Ident(SqlExpr):
+    """A possibly-qualified identifier, e.g. ``s.buffer_time``."""
+
+    parts: Tuple[str, ...]
+
+    @property
+    def name(self) -> str:
+        return self.parts[-1]
+
+    @property
+    def qualifier(self) -> Optional[str]:
+        return self.parts[0] if len(self.parts) > 1 else None
+
+
+@dataclass(frozen=True)
+class Call(SqlExpr):
+    """A function or aggregate call; ``star`` marks ``COUNT(*)``."""
+
+    name: str
+    args: Tuple[SqlExpr, ...]
+    distinct: bool = False
+    star: bool = False
+
+
+@dataclass(frozen=True)
+class Unary(SqlExpr):
+    op: str  # '-' or 'not'
+    operand: SqlExpr
+
+
+@dataclass(frozen=True)
+class Binary(SqlExpr):
+    """Arithmetic, comparison, AND and OR share this node; op disambiguates."""
+
+    op: str
+    left: SqlExpr
+    right: SqlExpr
+
+
+@dataclass(frozen=True)
+class BetweenExpr(SqlExpr):
+    value: SqlExpr
+    low: SqlExpr
+    high: SqlExpr
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class InListExpr(SqlExpr):
+    value: SqlExpr
+    options: Tuple[SqlExpr, ...]
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class InSelectExpr(SqlExpr):
+    value: SqlExpr
+    select: "SelectStmt"
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class ScalarSelect(SqlExpr):
+    """A parenthesized subquery used as a scalar value."""
+
+    select: "SelectStmt"
+
+
+@dataclass(frozen=True)
+class CaseExpr(SqlExpr):
+    whens: Tuple[Tuple[SqlExpr, SqlExpr], ...]
+    otherwise: Optional[SqlExpr] = None
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    expr: SqlExpr
+    alias: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class TableRef:
+    name: str
+    alias: Optional[str] = None
+
+    @property
+    def binding(self) -> str:
+        return (self.alias or self.name).lower()
+
+
+@dataclass(frozen=True)
+class JoinClause:
+    table: TableRef
+    condition: SqlExpr
+    how: str = "inner"
+
+
+@dataclass(frozen=True)
+class SelectStmt:
+    items: Tuple[SelectItem, ...]
+    from_table: TableRef
+    joins: Tuple[JoinClause, ...] = ()
+    where: Optional[SqlExpr] = None
+    group_by: Tuple[SqlExpr, ...] = ()
+    having: Optional[SqlExpr] = None
+    order_by: Tuple[Tuple[SqlExpr, bool], ...] = ()  # (expr, descending)
+    limit: Optional[int] = None
+    distinct: bool = False

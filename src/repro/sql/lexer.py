@@ -1,0 +1,124 @@
+"""SQL tokenizer.
+
+Produces a flat token stream for the recursive-descent parser.  Keywords
+are case-insensitive; identifiers preserve case but compare lowercased
+downstream.  Comments (``-- ...`` to end of line) are skipped.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from ..errors import ParseError
+
+
+class TokenType(enum.Enum):
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    NUMBER = "number"
+    STRING = "string"
+    SYMBOL = "symbol"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset(
+    """
+    select distinct from where group by having order limit as and or not
+    between in is null case when then else end join inner left on asc desc
+    true false
+    """.split()
+)
+
+# Multi-character symbols first so the scanner is greedy.
+SYMBOLS = ("<=", ">=", "!=", "<>", "=", "<", ">", "(", ")", ",", "+", "-",
+           "*", "/", "%", ".")
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: str
+    position: int
+
+    def matches_keyword(self, *words: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.value in words
+
+    def matches_symbol(self, *symbols: str) -> bool:
+        return self.type is TokenType.SYMBOL and self.value in symbols
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize ``text``, raising :class:`ParseError` on bad input."""
+    tokens: List[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if text.startswith("--", i):
+            end = text.find("\n", i)
+            i = n if end < 0 else end + 1
+            continue
+        if ch == "'":
+            j = i + 1
+            parts = []
+            while True:
+                if j >= n:
+                    raise ParseError("unterminated string literal", i, text)
+                if text[j] == "'":
+                    if j + 1 < n and text[j + 1] == "'":  # escaped quote
+                        parts.append("'")
+                        j += 2
+                        continue
+                    break
+                parts.append(text[j])
+                j += 1
+            tokens.append(Token(TokenType.STRING, "".join(parts), i))
+            i = j + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            seen_exp = False
+            while j < n:
+                c = text[j]
+                if c.isdigit():
+                    j += 1
+                elif c == "." and not seen_dot and not seen_exp:
+                    seen_dot = True
+                    j += 1
+                elif c in "eE" and not seen_exp and j > i:
+                    seen_exp = True
+                    j += 1
+                    if j < n and text[j] in "+-":
+                        j += 1
+                else:
+                    break
+            tokens.append(Token(TokenType.NUMBER, text[i:j], i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            lowered = word.lower()
+            if lowered in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, lowered, i))
+            else:
+                tokens.append(Token(TokenType.IDENT, word, i))
+            i = j
+            continue
+        for sym in SYMBOLS:
+            if text.startswith(sym, i):
+                tokens.append(Token(TokenType.SYMBOL, sym, i))
+                i += len(sym)
+                break
+        else:
+            raise ParseError(f"unexpected character {ch!r}", i, text)
+    tokens.append(Token(TokenType.EOF, "", n))
+    return tokens

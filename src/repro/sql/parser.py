@@ -1,0 +1,373 @@
+"""Recursive-descent SQL parser.
+
+Covers the dialect the paper's workloads need: SELECT lists with
+aggregates and expressions, single-table FROM with INNER/LEFT equi-joins,
+WHERE with arbitrarily nested scalar and IN subqueries (including
+equality-correlated ones), GROUP BY / HAVING, ORDER BY, LIMIT, CASE,
+BETWEEN and IN lists.
+
+Grammar (precedence low to high)::
+
+    expr        := or_expr
+    or_expr     := and_expr (OR and_expr)*
+    and_expr    := not_expr (AND not_expr)*
+    not_expr    := NOT not_expr | predicate
+    predicate   := additive (cmp additive
+                             | [NOT] BETWEEN additive AND additive
+                             | [NOT] IN '(' (select | expr_list) ')')?
+    additive    := multiplicative (('+'|'-') multiplicative)*
+    multiplicative := unary (('*'|'/'|'%') unary)*
+    unary       := '-' unary | primary
+    primary     := literal | CASE ... END | ident ['(' args ')']
+                 | '(' select ')' | '(' expr ')'
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..errors import ParseError
+from .ast_nodes import (
+    BetweenExpr,
+    Binary,
+    BoolLit,
+    Call,
+    CaseExpr,
+    Ident,
+    InListExpr,
+    InSelectExpr,
+    JoinClause,
+    NumberLit,
+    ScalarSelect,
+    SelectItem,
+    SelectStmt,
+    SqlExpr,
+    StringLit,
+    TableRef,
+    Unary,
+)
+from .lexer import Token, TokenType, tokenize
+
+_COMPARE_OPS = ("=", "!=", "<>", "<", "<=", ">", ">=")
+
+
+class Parser:
+    """One-shot parser over a token list; use :func:`parse_sql`."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = tokenize(text)
+        self.pos = 0
+
+    # ------------------------------------------------------------------
+    # Token helpers
+    # ------------------------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def _advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        self.pos += 1
+        return tok
+
+    def _error(self, message: str) -> ParseError:
+        return ParseError(message, self._peek().position, self.text)
+
+    def _expect_keyword(self, word: str) -> Token:
+        tok = self._peek()
+        if not tok.matches_keyword(word):
+            raise self._error(f"expected {word.upper()}, found {tok.value!r}")
+        return self._advance()
+
+    def _expect_symbol(self, symbol: str) -> Token:
+        tok = self._peek()
+        if not tok.matches_symbol(symbol):
+            raise self._error(f"expected {symbol!r}, found {tok.value!r}")
+        return self._advance()
+
+    def _accept_keyword(self, *words: str) -> Optional[Token]:
+        if self._peek().matches_keyword(*words):
+            return self._advance()
+        return None
+
+    def _accept_symbol(self, *symbols: str) -> Optional[Token]:
+        if self._peek().matches_symbol(*symbols):
+            return self._advance()
+        return None
+
+    def _expect_ident(self) -> str:
+        tok = self._peek()
+        if tok.type is not TokenType.IDENT:
+            raise self._error(f"expected identifier, found {tok.value!r}")
+        return self._advance().value
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+
+    def parse_statement(self) -> SelectStmt:
+        stmt = self._parse_select()
+        if self._peek().type is not TokenType.EOF:
+            raise self._error(
+                f"unexpected trailing input {self._peek().value!r}"
+            )
+        return stmt
+
+    def _parse_select(self) -> SelectStmt:
+        self._expect_keyword("select")
+        distinct = self._accept_keyword("distinct") is not None
+
+        items = [self._parse_select_item()]
+        while self._accept_symbol(","):
+            items.append(self._parse_select_item())
+
+        self._expect_keyword("from")
+        from_table = self._parse_table_ref()
+
+        joins: List[JoinClause] = []
+        while True:
+            how = None
+            if self._accept_keyword("join"):
+                how = "inner"
+            elif self._peek().matches_keyword("inner", "left"):
+                how = self._advance().value
+                if how == "left":
+                    # Allow LEFT JOIN and LEFT OUTER-free form.
+                    pass
+                self._expect_keyword("join")
+            else:
+                break
+            table = self._parse_table_ref()
+            self._expect_keyword("on")
+            condition = self.parse_expression()
+            joins.append(JoinClause(table, condition, how))
+
+        where = None
+        if self._accept_keyword("where"):
+            where = self.parse_expression()
+
+        group_by: List[SqlExpr] = []
+        if self._accept_keyword("group"):
+            self._expect_keyword("by")
+            group_by.append(self.parse_expression())
+            while self._accept_symbol(","):
+                group_by.append(self.parse_expression())
+
+        having = None
+        if self._accept_keyword("having"):
+            having = self.parse_expression()
+
+        order_by: List[Tuple[SqlExpr, bool]] = []
+        if self._accept_keyword("order"):
+            self._expect_keyword("by")
+            order_by.append(self._parse_order_item())
+            while self._accept_symbol(","):
+                order_by.append(self._parse_order_item())
+
+        limit = None
+        if self._accept_keyword("limit"):
+            tok = self._peek()
+            if tok.type is not TokenType.NUMBER:
+                raise self._error("LIMIT expects a number")
+            self._advance()
+            limit = int(float(tok.value))
+
+        return SelectStmt(
+            items=tuple(items),
+            from_table=from_table,
+            joins=tuple(joins),
+            where=where,
+            group_by=tuple(group_by),
+            having=having,
+            order_by=tuple(order_by),
+            limit=limit,
+            distinct=distinct,
+        )
+
+    def _parse_select_item(self) -> SelectItem:
+        expr = self.parse_expression()
+        alias = None
+        if self._accept_keyword("as"):
+            alias = self._expect_ident()
+        elif self._peek().type is TokenType.IDENT:
+            alias = self._advance().value
+        return SelectItem(expr, alias)
+
+    def _parse_table_ref(self) -> TableRef:
+        name = self._expect_ident()
+        alias = None
+        if self._accept_keyword("as"):
+            alias = self._expect_ident()
+        elif self._peek().type is TokenType.IDENT:
+            alias = self._advance().value
+        return TableRef(name, alias)
+
+    def _parse_order_item(self) -> Tuple[SqlExpr, bool]:
+        expr = self.parse_expression()
+        descending = False
+        if self._accept_keyword("desc"):
+            descending = True
+        else:
+            self._accept_keyword("asc")
+        return expr, descending
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+
+    def parse_expression(self) -> SqlExpr:
+        return self._parse_or()
+
+    def _parse_or(self) -> SqlExpr:
+        left = self._parse_and()
+        while self._accept_keyword("or"):
+            left = Binary("or", left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> SqlExpr:
+        left = self._parse_not()
+        while self._accept_keyword("and"):
+            left = Binary("and", left, self._parse_not())
+        return left
+
+    def _parse_not(self) -> SqlExpr:
+        if self._accept_keyword("not"):
+            return Unary("not", self._parse_not())
+        return self._parse_predicate()
+
+    def _parse_predicate(self) -> SqlExpr:
+        left = self._parse_additive()
+        tok = self._peek()
+        if tok.matches_symbol(*_COMPARE_OPS):
+            op = self._advance().value
+            right = self._parse_additive()
+            return Binary("<>" if op == "<>" else op, left, right)
+        negated = False
+        if tok.matches_keyword("not"):
+            nxt = self.tokens[self.pos + 1]
+            if nxt.matches_keyword("between", "in"):
+                self._advance()
+                negated = True
+                tok = self._peek()
+        if tok.matches_keyword("between"):
+            self._advance()
+            low = self._parse_additive()
+            self._expect_keyword("and")
+            high = self._parse_additive()
+            return BetweenExpr(left, low, high, negated)
+        if tok.matches_keyword("in"):
+            self._advance()
+            self._expect_symbol("(")
+            if self._peek().matches_keyword("select"):
+                select = self._parse_select()
+                self._expect_symbol(")")
+                return InSelectExpr(left, select, negated)
+            options = [self.parse_expression()]
+            while self._accept_symbol(","):
+                options.append(self.parse_expression())
+            self._expect_symbol(")")
+            return InListExpr(left, tuple(options), negated)
+        return left
+
+    def _parse_additive(self) -> SqlExpr:
+        left = self._parse_multiplicative()
+        while True:
+            tok = self._accept_symbol("+", "-")
+            if tok is None:
+                return left
+            left = Binary(tok.value, left, self._parse_multiplicative())
+
+    def _parse_multiplicative(self) -> SqlExpr:
+        left = self._parse_unary()
+        while True:
+            tok = self._accept_symbol("*", "/", "%")
+            if tok is None:
+                return left
+            left = Binary(tok.value, left, self._parse_unary())
+
+    def _parse_unary(self) -> SqlExpr:
+        if self._accept_symbol("-"):
+            return Unary("-", self._parse_unary())
+        if self._accept_symbol("+"):
+            return self._parse_unary()
+        return self._parse_primary()
+
+    def _parse_primary(self) -> SqlExpr:
+        tok = self._peek()
+
+        if tok.type is TokenType.NUMBER:
+            self._advance()
+            value = float(tok.value)
+            is_int = "." not in tok.value and "e" not in tok.value.lower()
+            return NumberLit(value, is_int)
+
+        if tok.type is TokenType.STRING:
+            self._advance()
+            return StringLit(tok.value)
+
+        if tok.matches_keyword("true", "false"):
+            self._advance()
+            return BoolLit(tok.value == "true")
+
+        if tok.matches_keyword("case"):
+            return self._parse_case()
+
+        if tok.matches_symbol("("):
+            self._advance()
+            if self._peek().matches_keyword("select"):
+                select = self._parse_select()
+                self._expect_symbol(")")
+                return ScalarSelect(select)
+            inner = self.parse_expression()
+            self._expect_symbol(")")
+            return inner
+
+        if tok.type is TokenType.IDENT:
+            name = self._advance().value
+            if self._peek().matches_symbol("("):
+                return self._parse_call(name)
+            parts = [name]
+            while self._accept_symbol("."):
+                parts.append(self._expect_ident())
+            return Ident(tuple(parts))
+
+        raise self._error(f"unexpected token {tok.value!r}")
+
+    def _parse_call(self, name: str) -> SqlExpr:
+        self._expect_symbol("(")
+        if self._accept_symbol("*"):
+            self._expect_symbol(")")
+            return Call(name, (), star=True)
+        distinct = self._accept_keyword("distinct") is not None
+        args: List[SqlExpr] = []
+        if not self._peek().matches_symbol(")"):
+            args.append(self.parse_expression())
+            while self._accept_symbol(","):
+                args.append(self.parse_expression())
+        self._expect_symbol(")")
+        return Call(name, tuple(args), distinct=distinct)
+
+    def _parse_case(self) -> SqlExpr:
+        self._expect_keyword("case")
+        whens: List[Tuple[SqlExpr, SqlExpr]] = []
+        while self._accept_keyword("when"):
+            cond = self.parse_expression()
+            self._expect_keyword("then")
+            value = self.parse_expression()
+            whens.append((cond, value))
+        if not whens:
+            raise self._error("CASE requires at least one WHEN")
+        otherwise = None
+        if self._accept_keyword("else"):
+            otherwise = self.parse_expression()
+        self._expect_keyword("end")
+        return CaseExpr(tuple(whens), otherwise)
+
+
+def parse_sql(text: str) -> SelectStmt:
+    """Parse one SELECT statement (trailing semicolon allowed)."""
+    stripped = text.strip()
+    if stripped.endswith(";"):
+        stripped = stripped[:-1]
+    return Parser(stripped).parse_statement()

@@ -1,0 +1,77 @@
+"""A named-table catalog.
+
+The session-level registry that binds table names appearing in SQL text to
+in-memory :class:`~repro.storage.table.Table` objects.  Also records which
+relations the user marked as *streamed* — G-OLA lets the user choose a
+subset of input relations to process online (typically the large fact
+table) while small dimension tables are read in entirety (paper section 2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from ..errors import CatalogError
+from .table import Schema, Table
+
+
+class Catalog:
+    """Mutable mapping of table name -> table, with streaming marks."""
+
+    def __init__(self) -> None:
+        self._tables: Dict[str, Table] = {}
+        self._streamed: Dict[str, bool] = {}
+
+    def register(self, name: str, table: Table, streamed: bool = True,
+                 replace: bool = False) -> None:
+        """Add ``table`` under ``name``.
+
+        Args:
+            streamed: Process this relation online in mini-batches.  Non
+                streamed (dimension) tables are consumed whole in batch 1.
+            replace: Allow overwriting an existing registration.
+        """
+        key = name.lower()
+        if key in self._tables and not replace:
+            raise CatalogError(f"table {name!r} already registered")
+        self._tables[key] = table
+        self._streamed[key] = streamed
+
+    def unregister(self, name: str) -> None:
+        key = name.lower()
+        if key not in self._tables:
+            raise CatalogError(f"unknown table {name!r}")
+        del self._tables[key]
+        del self._streamed[key]
+
+    def get(self, name: str) -> Table:
+        key = name.lower()
+        if key not in self._tables:
+            raise CatalogError(
+                f"unknown table {name!r}; registered: {sorted(self._tables)}"
+            )
+        return self._tables[key]
+
+    def schema(self, name: str) -> Schema:
+        return self.get(name).schema
+
+    def is_streamed(self, name: str) -> bool:
+        key = name.lower()
+        if key not in self._streamed:
+            raise CatalogError(f"unknown table {name!r}")
+        return self._streamed[key]
+
+    def set_streamed(self, name: str, streamed: bool) -> None:
+        key = name.lower()
+        if key not in self._streamed:
+            raise CatalogError(f"unknown table {name!r}")
+        self._streamed[key] = streamed
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._tables)
+
+    def names(self) -> List[str]:
+        return sorted(self._tables)

@@ -1,0 +1,107 @@
+"""Plain-text table I/O (CSV and JSON lines).
+
+Kept deliberately dependency-free: the generators in ``repro.workloads``
+produce tables directly, but users adopting the library will want to load
+their own logs, and the examples round-trip through these functions.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..errors import SchemaError
+from .table import Column, ColumnType, Schema, Table
+
+PathLike = Union[str, Path]
+
+_PARSERS = {
+    ColumnType.INT64: int,
+    ColumnType.FLOAT64: float,
+    ColumnType.STRING: str,
+    ColumnType.BOOL: lambda s: s.strip().lower() in ("1", "true", "t", "yes"),
+}
+
+
+def _infer_column(values: List[str]) -> ColumnType:
+    """Infer the narrowest type that parses every value in the column."""
+    def all_parse(fn) -> bool:
+        try:
+            for v in values:
+                fn(v)
+        except (TypeError, ValueError):
+            return False
+        return True
+
+    if all_parse(int):
+        return ColumnType.INT64
+    if all_parse(float):
+        return ColumnType.FLOAT64
+    lowered = {v.strip().lower() for v in values}
+    if lowered <= {"true", "false", "t", "f", "0", "1", "yes", "no"}:
+        return ColumnType.BOOL
+    return ColumnType.STRING
+
+
+def read_csv(path: PathLike, schema: Optional[Schema] = None,
+             delimiter: str = ",") -> Table:
+    """Load a headered CSV file, inferring types unless a schema is given."""
+    with open(path, newline="") as f:
+        reader = csv.reader(f, delimiter=delimiter)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise SchemaError(f"{path}: empty file, no header") from None
+        rows = list(reader)
+
+    raw = {name: [row[i] for row in rows] for i, name in enumerate(header)}
+    if schema is None:
+        schema = Schema(
+            [Column(name, _infer_column(raw[name])) for name in header]
+        )
+    columns = {}
+    for col in schema:
+        parse = _PARSERS[col.ctype]
+        columns[col.name] = np.array(
+            [parse(v) for v in raw[col.name]], dtype=col.ctype.numpy_dtype
+        )
+    return Table(schema, columns)
+
+
+def write_csv(table: Table, path: PathLike, delimiter: str = ",") -> None:
+    """Write a table as a headered CSV file."""
+    with open(path, "w", newline="") as f:
+        writer = csv.writer(f, delimiter=delimiter)
+        writer.writerow(table.schema.names)
+        writer.writerows(table.iter_rows())
+
+
+def read_jsonl(path: PathLike) -> Table:
+    """Load a JSON-lines file (one flat object per line)."""
+    records = []
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    if not records:
+        raise SchemaError(f"{path}: no records")
+    names = list(records[0])
+    columns = {n: np.array([r[n] for r in records]) for n in names}
+    return Table.from_columns(columns)
+
+
+def write_jsonl(table: Table, path: PathLike) -> None:
+    """Write a table as JSON lines."""
+    names = table.schema.names
+    with open(path, "w") as f:
+        for row in table.iter_rows():
+            record = {
+                n: (v.item() if hasattr(v, "item") else v)
+                for n, v in zip(names, row)
+            }
+            f.write(json.dumps(record) + "\n")

@@ -1,0 +1,100 @@
+"""Random shuffling and mini-batch partitioning.
+
+G-OLA's statistical guarantees rest on processing the input *in random
+order*: every prefix ``D_i = ΔD_1 ∪ … ∪ ΔD_i`` must be a uniform random
+sample of the full dataset ``D``.  The paper offers two mechanisms:
+
+* partition-wise randomness — randomly pick existing partitions, which is
+  valid when query attributes are uncorrelated with physical layout; and
+* a pre-processing shuffle of the whole dataset, after which *any* subset
+  is a uniform sample.
+
+:class:`MiniBatchPartitioner` implements both and slices the (optionally
+shuffled) table into ``k`` batches of uniform size.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from .table import Table
+
+
+class MiniBatchPartitioner:
+    """Splits a table into ``k`` uniform mini-batches in random order.
+
+    Args:
+        num_batches: The number of mini-batches ``k``.
+        seed: Seed for the shuffle permutation (reproducible runs).
+        shuffle: If True, rows are globally shuffled before slicing —
+            the paper's pre-processing tool.  If False, the table is sliced
+            in storage order and the *batch order* is randomized instead
+            (partition-wise randomness).
+    """
+
+    def __init__(self, num_batches: int, seed: int = 0, shuffle: bool = True):
+        if num_batches < 1:
+            raise ValueError("num_batches must be >= 1")
+        self.num_batches = num_batches
+        self.seed = seed
+        self.shuffle = shuffle
+
+    def partition(self, table: Table) -> List[Table]:
+        """Return the list of mini-batches, in processing order.
+
+        Batch sizes differ by at most one row (uniform size up to
+        divisibility); the paper assumes ``|ΔD_1| = … = |ΔD_k|``.
+        """
+        rng = np.random.default_rng(self.seed)
+        n = table.num_rows
+        if self.shuffle:
+            perm = rng.permutation(n)
+            shuffled = table.take(perm)
+            bounds = self._bounds(n)
+            return [shuffled.slice(lo, hi) for lo, hi in bounds]
+        bounds = self._bounds(n)
+        order = rng.permutation(len(bounds))
+        return [table.slice(*bounds[i]) for i in order]
+
+    def iter_batches(self, table: Table) -> Iterator[Table]:
+        """Iterate mini-batches lazily in processing order."""
+        return iter(self.partition(table))
+
+    def _bounds(self, n: int):
+        edges = np.linspace(0, n, self.num_batches + 1).astype(np.int64)
+        return [(int(edges[i]), int(edges[i + 1])) for i in range(self.num_batches)]
+
+
+def batch_sizes(total_rows: int, num_batches: int) -> List[int]:
+    """The sizes the partitioner will produce for ``total_rows`` rows."""
+    edges = np.linspace(0, total_rows, num_batches + 1).astype(np.int64)
+    return [int(edges[i + 1] - edges[i]) for i in range(num_batches)]
+
+
+def shuffle_table(table: Table, seed: int = 0) -> Table:
+    """The paper's pre-processing tool: globally shuffle a dataset.
+
+    After shuffling, *any* contiguous subset of the rows is a uniform
+    random sample of the original dataset, so partition-wise batch
+    selection is statistically safe even when query attributes correlate
+    with the original physical order (paper section 2).
+    """
+    rng = np.random.default_rng(seed)
+    return table.take(rng.permutation(table.num_rows))
+
+
+def random_sample(table: Table, fraction: float, seed: int = 0) -> Table:
+    """A uniform random sample of ``fraction`` of the rows (no replacement).
+
+    Utility used by tests and the BlinkDB-style comparisons in the
+    benchmarks; not part of the G-OLA hot path.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    n = table.num_rows
+    take = int(round(n * fraction))
+    idx = rng.choice(n, size=take, replace=False)
+    return table.take(np.sort(idx))

@@ -1,0 +1,28 @@
+"""Workload generators and the paper's query suites."""
+
+from .adstream import generate_adstream
+from .adstream import QUERIES as ADSTREAM_QUERIES
+from .conviva import C1_QUERY, C2_QUERY, C3_QUERY, generate_conviva
+from .conviva import QUERIES as CONVIVA_QUERIES
+from .sessions import SBI_QUERY, figure1_table, generate_sessions
+from .tpch import Q11_QUERY, Q17_QUERY, Q18_QUERY, Q20_QUERY, generate_tpch
+from .tpch import QUERIES as TPCH_QUERIES
+
+__all__ = [
+    "ADSTREAM_QUERIES",
+    "C1_QUERY",
+    "C2_QUERY",
+    "C3_QUERY",
+    "CONVIVA_QUERIES",
+    "Q11_QUERY",
+    "Q17_QUERY",
+    "Q18_QUERY",
+    "Q20_QUERY",
+    "SBI_QUERY",
+    "TPCH_QUERIES",
+    "figure1_table",
+    "generate_adstream",
+    "generate_conviva",
+    "generate_sessions",
+    "generate_tpch",
+]

@@ -1,0 +1,90 @@
+"""Ad-impression stream for the real-time ad-optimization demo scenario.
+
+Paper section 6.2: "MyTube Inc. wants to adapt its policies and decisions
+in near real time to maximize its ad revenue … aggregating over a number
+of user metrics across multiple dimensions to understand how an ad
+performs for a particular group of users or content at a particular time
+of day."  The generator produces an impression log whose click-through
+and revenue depend on ad, hour-of-day and region, and the module ships
+the nested-aggregate queries the example application runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..storage.table import Table
+
+REGIONS = np.array(["NA", "EU", "APAC", "LATAM"], dtype=object)
+
+#: Ads that out-earn the average ad (uncertain revenue threshold) —
+#: per-region performance of the over-performers.
+OVERPERFORMERS_QUERY = """
+SELECT region, COUNT(*) AS impressions, AVG(revenue) AS avg_revenue
+FROM adstream
+WHERE revenue > (SELECT 2.0 * AVG(revenue) FROM adstream)
+GROUP BY region
+ORDER BY region
+"""
+
+#: Click-through of impressions shown outside an ad's typical hour — the
+#: inner aggregate is correlated per ad_id.
+OFF_PEAK_CTR_QUERY = """
+SELECT AVG(clicked) AS off_peak_ctr
+FROM adstream
+WHERE hour > (SELECT 1.25 * AVG(hour) FROM adstream a
+              WHERE a.ad_id = adstream.ad_id)
+"""
+
+QUERIES = {
+    "overperformers": OVERPERFORMERS_QUERY,
+    "off_peak_ctr": OFF_PEAK_CTR_QUERY,
+}
+
+
+def generate_adstream(num_rows: int, seed: int = 0,
+                      num_ads: int = 60,
+                      num_contents: int = 300) -> Table:
+    """Generate the ad-impression log.
+
+    Columns: ``impression_id, ad_id, content_id, region, hour, clicked,
+    view_ms, revenue``.
+    """
+    if num_rows < 1:
+        raise ValueError("num_rows must be >= 1")
+    rng = np.random.default_rng(seed)
+
+    ad_id = rng.integers(1, num_ads + 1, num_rows, dtype=np.int64)
+    region_idx = rng.integers(0, len(REGIONS), num_rows)
+    region = REGIONS[region_idx]
+
+    # Each ad has a preferred hour band; impressions cluster around it.
+    ad_peak_hour = rng.integers(6, 23, num_ads)
+    hour = np.clip(
+        rng.normal(ad_peak_hour[ad_id - 1], 3.0), 0, 23
+    ).astype(np.int64)
+
+    # Ad quality drives CTR and revenue; regions modulate both.
+    ad_quality = rng.beta(2.0, 8.0, num_ads)
+    region_lift = np.array([1.2, 1.0, 0.9, 0.8])[region_idx]
+    ctr = np.clip(ad_quality[ad_id - 1] * region_lift, 0.001, 0.9)
+    clicked = (rng.random(num_rows) < ctr).astype(np.int64)
+
+    view_ms = (rng.exponential(3500.0, num_rows)
+               * (1.0 + clicked)).astype(np.int64)
+    revenue = clicked * rng.gamma(2.0, 0.08, num_rows) \
+        + 0.001 * rng.random(num_rows)
+
+    return Table.from_columns(
+        {
+            "impression_id": np.arange(1, num_rows + 1, dtype=np.int64),
+            "ad_id": ad_id,
+            "content_id": rng.integers(1, num_contents + 1, num_rows,
+                                       dtype=np.int64),
+            "region": region,
+            "hour": hour,
+            "clicked": clicked,
+            "view_ms": view_ms,
+            "revenue": revenue,
+        }
+    )

@@ -1,0 +1,119 @@
+"""Conviva-like video-delivery trace and the C1–C3 queries.
+
+The paper evaluates on a 100 GB slice of a 10 TB proprietary Conviva
+trace — a single denormalized fact table of session logs.  We substitute
+a seeded synthetic generator that reproduces the properties the C
+queries exercise: heavy-tailed buffering, buffering-dependent retention
+and join failures, and categorical dimensions (geo, content, device,
+CDN) with skewed popularity.
+
+C1–C3 follow the paper's description: "statistics (such as histograms of
+play_time and join_failure_rate) of sessions with abnormal behaviors
+(e.g., those with a longer than average buffering time)" — each is a
+nested-aggregate (non-monotonic) query.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..storage.table import Table
+
+GEOS = np.array(["US", "EU", "IN", "BR", "JP", "AU", "CA", "KR"],
+                dtype=object)
+DEVICES = np.array(["web", "ios", "android", "tv", "console"], dtype=object)
+CDNS = np.array(["cdn_a", "cdn_b", "cdn_c"], dtype=object)
+
+#: C1 — play-time histogram of slow-buffering ("abnormal") sessions.
+C1_QUERY = """
+SELECT FLOOR(play_time / 120) AS bucket, COUNT(*) AS sessions
+FROM conviva
+WHERE buffer_time > (SELECT AVG(buffer_time) FROM conviva)
+GROUP BY FLOOR(play_time / 120)
+ORDER BY bucket
+"""
+
+#: C2 — join-failure rate per geo among slow-buffering sessions.
+C2_QUERY = """
+SELECT geo, AVG(join_failure) AS failure_rate, COUNT(*) AS sessions
+FROM conviva
+WHERE buffer_time > (SELECT AVG(buffer_time) FROM conviva)
+GROUP BY geo
+ORDER BY geo
+"""
+
+#: C3 — retention of sessions buffering far above their content's norm
+#: (correlated inner aggregate, per content_id).
+C3_QUERY = """
+SELECT AVG(play_time) AS retention
+FROM conviva
+WHERE buffer_time >
+      (SELECT 2.0 * AVG(buffer_time) FROM conviva c
+       WHERE c.content_id = conviva.content_id)
+"""
+
+QUERIES = {"C1": C1_QUERY, "C2": C2_QUERY, "C3": C3_QUERY}
+
+
+def generate_conviva(num_rows: int, seed: int = 0,
+                     num_contents: int = 100,
+                     num_users: int = 5000) -> Table:
+    """Generate the synthetic Conviva-like fact table.
+
+    Columns: ``session_id, user_id, content_id, geo, device, cdn,
+    buffer_time, play_time, join_time, join_failure, bitrate_kbps``.
+
+    Content popularity is Zipf-like; per-content baseline buffering
+    varies (some contents are poorly cached), which is what makes C3's
+    correlated inner aggregate informative.
+    """
+    if num_rows < 1:
+        raise ValueError("num_rows must be >= 1")
+    rng = np.random.default_rng(seed)
+
+    # Zipf-ish content popularity.
+    ranks = np.arange(1, num_contents + 1)
+    popularity = 1.0 / ranks
+    popularity /= popularity.sum()
+    content_id = rng.choice(num_contents, size=num_rows, p=popularity)
+    content_id = content_id.astype(np.int64) + 1
+
+    # Per-content baseline buffering (cache quality differs by content).
+    content_base = rng.gamma(shape=4.0, scale=6.0, size=num_contents)
+    buffer_time = rng.exponential(
+        content_base[content_id - 1], size=num_rows
+    ) + rng.exponential(5.0, num_rows)
+
+    geo = GEOS[rng.integers(0, len(GEOS), num_rows)]
+    device = DEVICES[rng.integers(0, len(DEVICES), num_rows)]
+    cdn = CDNS[rng.integers(0, len(CDNS), num_rows)]
+
+    # Retention decays with buffering; failures spike with buffering.
+    mean_buffer = buffer_time.mean() if num_rows else 1.0
+    decay = np.exp(-0.5 * buffer_time / max(mean_buffer, 1e-9))
+    play_time = rng.exponential(420.0, num_rows) * (0.3 + 0.7 * decay)
+    join_time = rng.exponential(2.0, num_rows) + 0.05 * buffer_time
+    failure_p = np.clip(
+        0.02 + 0.10 * buffer_time / (buffer_time + mean_buffer), 0.0, 0.6
+    )
+    join_failure = (rng.random(num_rows) < failure_p).astype(np.int64)
+    bitrate = rng.choice(
+        np.array([400, 800, 1600, 3200, 6400], dtype=np.int64), num_rows
+    )
+
+    return Table.from_columns(
+        {
+            "session_id": np.arange(1, num_rows + 1, dtype=np.int64),
+            "user_id": rng.integers(1, num_users + 1, num_rows,
+                                    dtype=np.int64),
+            "content_id": content_id,
+            "geo": geo,
+            "device": device,
+            "cdn": cdn,
+            "buffer_time": buffer_time,
+            "play_time": play_time,
+            "join_time": join_time,
+            "join_failure": join_failure,
+            "bitrate_kbps": bitrate,
+        }
+    )

@@ -1,0 +1,73 @@
+"""The MyTube ``Sessions`` log (paper Figure 1 / Example 1).
+
+A seeded synthetic generator for the three-column session log the paper
+uses to introduce the SBI ("Slow Buffering Impact") query, plus the tiny
+hand-written table from Figure 1(b) used by the walk-through tests.
+
+Buffering and play time are negatively correlated (longer buffering
+drives users away), so SBI's answer is materially below the overall
+average play time — the effect the analyst is hunting for.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..storage.table import Table
+
+#: The paper's Example 1, verbatim.
+SBI_QUERY = """
+SELECT AVG(play_time)
+FROM Sessions
+WHERE buffer_time > (SELECT AVG(buffer_time) FROM Sessions)
+"""
+
+
+def generate_sessions(num_rows: int, seed: int = 0,
+                      mean_buffer_s: float = 30.0,
+                      mean_play_s: float = 300.0,
+                      buffering_impact: float = 0.6) -> Table:
+    """Generate a synthetic Sessions table.
+
+    Args:
+        num_rows: Number of session log entries.
+        seed: RNG seed (reproducible).
+        mean_buffer_s: Mean buffering time (exponential).
+        mean_play_s: Baseline mean play time.
+        buffering_impact: Strength of the negative buffer->play coupling;
+            0 means independent columns.
+
+    Returns:
+        A table with ``session_id``, ``buffer_time``, ``play_time``.
+    """
+    if num_rows < 1:
+        raise ValueError("num_rows must be >= 1")
+    rng = np.random.default_rng(seed)
+    buffer_time = rng.exponential(mean_buffer_s, num_rows)
+    # Play time falls as buffering rises: retention decays with wait.
+    decay = np.exp(-buffering_impact * buffer_time / mean_buffer_s)
+    play_time = rng.exponential(mean_play_s, num_rows) * (0.4 + 0.6 * decay)
+    return Table.from_columns(
+        {
+            "session_id": np.arange(1, num_rows + 1, dtype=np.int64),
+            "buffer_time": buffer_time,
+            "play_time": play_time,
+        }
+    )
+
+
+def figure1_table() -> Table:
+    """The concrete rows of the paper's Figure 1(b).
+
+    Rows t1, t2, tn, tn+1, tn+2, t2n with the buffer/play values printed
+    in the figure; used by the walk-through integration test that
+    re-enacts the t1 decision flip between mini-batches.
+    """
+    return Table.from_columns(
+        {
+            "session_id": np.array([1, 2, 3, 4, 5, 6], dtype=np.int64),
+            "buffer_time": np.array([36.0, 58.0, 17.0, 56.0, 19.0, 26.0]),
+            "play_time": np.array([238.0, 135.0, 617.0, 194.0, 308.0,
+                                   319.0]),
+        }
+    )

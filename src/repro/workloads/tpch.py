@@ -1,0 +1,204 @@
+"""Denormalized TPC-H-like workload and queries Q11, Q17, Q18, Q20.
+
+The paper denormalizes TPC-H into a single fact table "to simplify
+random partitioning during mini-batch execution" and notes (footnote 12)
+that it modified very selective WHERE / GROUP BY clauses "to avoid
+undesirably sparse results for small samples of data".  We do the same:
+
+* one seeded, laptop-scale lineitem-centric fact table carrying the
+  part/supplier/order/partsupp columns the four queries touch;
+* query texts that preserve each query's *nested-aggregate structure*
+  (which is what G-OLA is about) with de-selectivized filters.
+
+Every query is non-monotonic: Q11 via an uncertain HAVING threshold,
+Q17 and Q20 via correlated per-part inner aggregates, Q18 via an
+uncertain IN-membership set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..storage.table import Table
+
+BRANDS = np.array([f"Brand#{i}" for i in range(1, 6)], dtype=object)
+CONTAINERS = np.array(
+    ["SM BOX", "SM PACK", "MED BOX", "MED PACK", "LG BOX", "LG PACK"],
+    dtype=object,
+)
+
+#: Q11 — important stock identification.  Original shape: per-part value
+#: SUM(ps_supplycost * ps_availqty) filtered by a HAVING against a global
+#: fraction of total value.  Fraction raised from 0.0001 for density.
+Q11_QUERY = """
+SELECT l_partkey, SUM(ps_supplycost * l_quantity) AS part_value
+FROM tpch
+GROUP BY l_partkey
+HAVING SUM(ps_supplycost * l_quantity) >
+       (SELECT 0.002 * SUM(ps_supplycost * l_quantity) FROM tpch)
+ORDER BY part_value DESC
+"""
+
+#: Q17 — small-quantity-order revenue.  The correlated inner aggregate
+#: AVG(l_quantity) per part is the paper's running nested example; the
+#: very selective brand/container filter is widened per footnote 12.
+Q17_QUERY = """
+SELECT SUM(l_extendedprice) / 7.0 AS avg_yearly
+FROM tpch
+WHERE container IN ('SM BOX', 'SM PACK', 'MED BOX', 'MED PACK')
+  AND l_quantity < (SELECT 0.75 * AVG(l_quantity) FROM tpch t
+                    WHERE t.l_partkey = tpch.l_partkey)
+"""
+
+#: Q18 — large-volume customers.  Membership of an order in the
+#: "large-volume" set is decided by an uncertain per-order SUM.  The
+#: paper's threshold (300) sits in the tail of order sizes, which is
+#: what keeps the uncertain membership set small.
+Q18_QUERY = """
+SELECT o_custkey, SUM(l_quantity) AS total_qty
+FROM tpch
+WHERE l_orderkey IN (SELECT l_orderkey FROM tpch
+                     GROUP BY l_orderkey
+                     HAVING SUM(l_quantity) > 300)
+GROUP BY o_custkey
+ORDER BY total_qty DESC
+LIMIT 20
+"""
+
+#: Q20 — potential part promotion.  Suppliers whose available quantity
+#: exceeds half of the quantity sold of that part (correlated inner SUM,
+#: scaled down for the denormalized/laptop setting).
+Q20_QUERY = """
+SELECT COUNT(*) AS promotable
+FROM tpch
+WHERE ps_availqty > (SELECT 0.005 * SUM(l_quantity) FROM tpch t
+                     WHERE t.l_partkey = tpch.l_partkey)
+"""
+
+QUERIES = {
+    "Q11": Q11_QUERY,
+    "Q17": Q17_QUERY,
+    "Q18": Q18_QUERY,
+    "Q20": Q20_QUERY,
+}
+
+
+def generate_tpch(num_rows: int, seed: int = 0,
+                  num_parts: int = 150,
+                  num_suppliers: int = 50,
+                  num_customers: int = 800,
+                  bulk_order_fraction: float = 0.06) -> Table:
+    """Generate the denormalized lineitem-centric fact table.
+
+    Columns: ``l_orderkey, l_partkey, l_suppkey, o_custkey, l_quantity,
+    l_extendedprice, l_discount, brand, container, p_size, ps_availqty,
+    ps_supplycost, o_year``.
+
+    Order-structured: most orders are small retail orders, a small
+    fraction are bulk orders with many high-quantity lines.  This mirrors
+    TPC-H's tail structure and keeps Q18's membership threshold (order
+    quantity sum > 300) in the tail — most orders classify
+    deterministically early, exactly the property G-OLA's uncertain sets
+    depend on.  Per-part quantity regimes differ (retail vs bulk parts),
+    which makes Q17's correlated per-part inner average informative.
+    """
+    if num_rows < 1:
+        raise ValueError("num_rows must be >= 1")
+    rng = np.random.default_rng(seed)
+
+    # --- orders: draw line counts until we cover num_rows ----------------
+    est_orders = max(int(num_rows / 3.5) + 10, 4)
+    is_bulk = rng.random(est_orders) < bulk_order_fraction
+    line_counts = np.where(
+        is_bulk,
+        rng.poisson(12.0, est_orders) + 8,
+        rng.poisson(2.2, est_orders) + 1,
+    )
+    while line_counts.sum() < num_rows:
+        more_bulk = rng.random(est_orders) < bulk_order_fraction
+        is_bulk = np.concatenate([is_bulk, more_bulk])
+        line_counts = np.concatenate(
+            [line_counts,
+             np.where(more_bulk, rng.poisson(12.0, est_orders) + 8,
+                      rng.poisson(2.2, est_orders) + 1)]
+        )
+    ends = np.cumsum(line_counts)
+    used_orders = int(np.searchsorted(ends, num_rows)) + 1
+    line_counts = line_counts[:used_orders]
+    is_bulk = is_bulk[:used_orders]
+    line_counts[-1] -= int(ends[used_orders - 1] - num_rows)
+
+    order_keys = np.arange(1, used_orders + 1, dtype=np.int64)
+    l_orderkey = np.repeat(order_keys, line_counts)
+    row_is_bulk = np.repeat(is_bulk, line_counts)
+    o_custkey = np.repeat(
+        rng.integers(1, num_customers + 1, used_orders, dtype=np.int64),
+        line_counts,
+    )
+    o_year = np.repeat(
+        rng.integers(1992, 1999, used_orders, dtype=np.int64), line_counts
+    )
+
+    # --- parts: retail parts vs bulk parts -------------------------------
+    part_is_bulk = rng.random(num_parts) < 0.3
+    retail_parts = np.nonzero(~part_is_bulk)[0] + 1
+    bulk_parts = np.nonzero(part_is_bulk)[0] + 1
+    if len(retail_parts) == 0:
+        retail_parts = np.array([1], dtype=np.int64)
+    if len(bulk_parts) == 0:
+        bulk_parts = np.array([num_parts], dtype=np.int64)
+    l_partkey = np.where(
+        row_is_bulk,
+        bulk_parts[rng.integers(0, len(bulk_parts), num_rows)],
+        retail_parts[rng.integers(0, len(retail_parts), num_rows)],
+    ).astype(np.int64)
+    l_suppkey = rng.integers(1, num_suppliers + 1, num_rows, dtype=np.int64)
+
+    # Quantities: tight around per-part means so Q17's correlated
+    # threshold (0.6 * per-part average) has modest density around it.
+    part_mean_qty = np.where(
+        part_is_bulk,
+        rng.uniform(120.0, 260.0, num_parts),
+        rng.uniform(6.0, 24.0, num_parts),
+    )
+    mean_qty = part_mean_qty[l_partkey - 1]
+    l_quantity = np.maximum(
+        rng.normal(mean_qty, 0.35 * mean_qty), 1.0
+    )
+
+    # Per-unit price inversely related to the part's quantity regime
+    # (bulk commodities are cheap per unit), keeping line revenues in a
+    # comparable range across regimes — matching TPC-H's price structure
+    # and the error-curve shape of the paper's Figure 3(a).
+    part_price = (50_000.0 / part_mean_qty) \
+        * rng.uniform(0.8, 1.2, num_parts)
+    l_extendedprice = part_price[l_partkey - 1] * l_quantity \
+        * rng.uniform(0.9, 1.1, num_rows)
+    l_discount = rng.choice(
+        np.array([0.0, 0.02, 0.04, 0.06, 0.08, 0.10]), num_rows
+    )
+
+    brand = BRANDS[(l_partkey - 1) % len(BRANDS)]
+    container = CONTAINERS[(l_partkey * 7 - 1) % len(CONTAINERS)]
+    p_size = ((l_partkey * 13) % 50 + 1).astype(np.int64)
+
+    ps_availqty = rng.integers(1, 10000, num_rows, dtype=np.int64)
+    ps_supplycost = rng.gamma(shape=3.0, scale=120.0, size=num_rows) + 20.0
+
+    return Table.from_columns(
+        {
+            "l_orderkey": l_orderkey,
+            "l_partkey": l_partkey,
+            "l_suppkey": l_suppkey,
+            "o_custkey": o_custkey,
+            "l_quantity": l_quantity,
+            "l_extendedprice": l_extendedprice,
+            "l_discount": l_discount,
+            "brand": brand,
+            "container": container,
+            "p_size": p_size,
+            "ps_availqty": ps_availqty,
+            "ps_supplycost": ps_supplycost,
+            "o_year": o_year,
+        }
+    )

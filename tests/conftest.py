@@ -1,0 +1,61 @@
+"""Shared fixtures: small deterministic tables, catalogs and sessions."""
+
+import numpy as np
+import pytest
+
+from repro import GolaConfig, GolaSession
+from repro.storage import Catalog, Table
+
+
+@pytest.fixture
+def small_table():
+    """A 6-row mixed-type table used across storage/engine tests."""
+    return Table.from_columns(
+        {
+            "id": np.array([1, 2, 3, 4, 5, 6], dtype=np.int64),
+            "grp": np.array(["a", "b", "a", "b", "a", "c"], dtype=object),
+            "x": np.array([1.0, 2.0, 3.0, 4.0, 5.0, 6.0]),
+            "flag": np.array([True, False, True, False, True, False]),
+        }
+    )
+
+
+@pytest.fixture
+def sessions_table():
+    """A deterministic 5k-row Sessions table with a real SBI effect."""
+    rng = np.random.default_rng(42)
+    n = 5000
+    buffer_time = rng.exponential(30.0, n)
+    play_time = rng.exponential(300.0, n) * np.exp(-0.02 * buffer_time)
+    return Table.from_columns(
+        {
+            "session_id": np.arange(1, n + 1, dtype=np.int64),
+            "buffer_time": buffer_time,
+            "play_time": play_time,
+        }
+    )
+
+
+@pytest.fixture
+def catalog(sessions_table):
+    cat = Catalog()
+    cat.register("sessions", sessions_table)
+    return cat
+
+
+@pytest.fixture
+def session(sessions_table):
+    s = GolaSession(GolaConfig(num_batches=5, bootstrap_trials=30, seed=9))
+    s.register_table("sessions", sessions_table)
+    return s
+
+
+SBI = (
+    "SELECT AVG(play_time) FROM sessions "
+    "WHERE buffer_time > (SELECT AVG(buffer_time) FROM sessions)"
+)
+
+
+@pytest.fixture
+def sbi_sql():
+    return SBI

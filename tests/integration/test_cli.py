@@ -1,0 +1,51 @@
+"""Smoke tests for the ``python -m repro`` CLI and the dashboard example."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_module(*args, stdin=None, timeout=240):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True, text=True, input=stdin, timeout=timeout,
+    )
+
+
+class TestCli:
+    def test_queries_listing(self):
+        proc = run_module("queries")
+        assert proc.returncode == 0, proc.stderr
+        for token in ("SBI", "Q17", "C3", "GROUP BY"):
+            assert token in proc.stdout
+
+    def test_demo(self):
+        proc = run_module("demo", "--rows", "4000", "--batches", "3")
+        assert proc.returncode == 0, proc.stderr
+        assert "batch 3/3" in proc.stdout
+        assert "estimate" in proc.stdout
+
+    def test_console_scripted(self):
+        proc = run_module(
+            "console", "--rows", "3000",
+            stdin="SELECT COUNT(*) FROM sessions\n\\quit\n",
+        )
+        assert proc.returncode == 0, proc.stderr
+
+    def test_requires_command(self):
+        proc = run_module()
+        assert proc.returncode != 0
+
+
+class TestDashboardExample:
+    def test_dashboard(self):
+        proc = subprocess.run(
+            [sys.executable, str(EXAMPLES / "dashboard.py"), "8000", "3"],
+            capture_output=True, text=True, timeout=240,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "dashboard tick 3/3" in proc.stdout
+        assert "stream fully processed" in proc.stdout
+        assert "±" in proc.stdout

@@ -1,0 +1,82 @@
+"""Statistical integration tests: convergence, coverage, unbiasedness.
+
+These validate the paper's section 2.2 semantics: ``Q(D_i, k/i)`` is an
+unbiased estimator of ``Q(D)`` whose error shrinks as batches accumulate,
+and the bootstrap confidence intervals cover the truth at roughly the
+nominal rate.
+"""
+
+import numpy as np
+import pytest
+
+from repro import GolaConfig, GolaSession
+from repro.workloads import SBI_QUERY, generate_sessions
+
+
+def run_series(seed, num_batches=8, trials=40, n=8000):
+    session = GolaSession(
+        GolaConfig(num_batches=num_batches, bootstrap_trials=trials,
+                   seed=seed)
+    )
+    session.register_table("sessions", generate_sessions(n, seed=123))
+    query = session.sql(SBI_QUERY)
+    snapshots = list(query.run_online())
+    exact = session.execute_batch(query)
+    truth = float(exact.column(exact.schema.names[0])[0])
+    return snapshots, truth
+
+
+class TestConvergence:
+    def test_error_shrinks_with_batches(self):
+        snapshots, truth = run_series(seed=1)
+        errors = [abs(s.estimate - truth) for s in snapshots]
+        # Compare average error over first vs last third.
+        third = len(errors) // 3
+        assert np.mean(errors[-third:]) <= np.mean(errors[:third]) + 1e-12
+
+    def test_relative_stdev_decreases(self):
+        snapshots, _ = run_series(seed=2)
+        rsd = [s.relative_stdev for s in snapshots]
+        assert rsd[-1] < rsd[0]
+
+    def test_interval_width_decreases(self):
+        snapshots, _ = run_series(seed=3)
+        widths = [s.interval.width for s in snapshots]
+        assert widths[-1] < widths[0]
+
+    def test_final_equals_truth(self):
+        snapshots, truth = run_series(seed=4)
+        assert snapshots[-1].estimate == pytest.approx(truth, rel=1e-9)
+
+    def test_estimator_unbiased_across_partitionings(self):
+        """First-batch estimates across seeds center on the truth."""
+        estimates = []
+        truth = None
+        for seed in range(12):
+            snapshots, truth = run_series(
+                seed=seed, num_batches=4, trials=16, n=4000
+            )
+            estimates.append(snapshots[0].estimate)
+        spread = np.std(estimates)
+        assert abs(np.mean(estimates) - truth) < 1.2 * spread / np.sqrt(12) * 3
+
+    def test_coverage_near_nominal(self):
+        """~95% CIs across seeds and batches cover the truth >= ~85%."""
+        hits = total = 0
+        for seed in range(8):
+            snapshots, truth = run_series(
+                seed=seed, num_batches=5, trials=40, n=4000
+            )
+            for snapshot in snapshots[:-1]:  # final is exact by design
+                total += 1
+                if snapshot.interval.contains(truth):
+                    hits += 1
+        assert hits / total >= 0.80
+
+    def test_error_scales_roughly_with_sqrt(self):
+        """Bootstrap stdev shrinks like ~1/sqrt(i) in batch index."""
+        snapshots, truth = run_series(seed=6, num_batches=16, trials=40)
+        rsd = np.array([s.relative_stdev for s in snapshots])
+        # rsd_1 / rsd_16 should be near sqrt(16) = 4; allow wide slack.
+        ratio = rsd[0] / rsd[-2]
+        assert 1.5 < ratio < 10.0

@@ -1,0 +1,61 @@
+"""Smoke tests: every example script runs end to end on small inputs."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, *args, stdin=None, timeout=240):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, input=stdin, timeout=timeout,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        proc = run_example("quickstart.py", "8000", "5")
+        assert proc.returncode == 0, proc.stderr
+        assert "exact batch answer" in proc.stdout
+        assert "estimate" in proc.stdout
+
+    def test_ad_optimization(self):
+        proc = run_example("ad_optimization.py", "20000")
+        assert proc.returncode == 0, proc.stderr
+        assert "over-performing ads" in proc.stdout
+        assert "off-peak" in proc.stdout
+
+    def test_ab_testing(self):
+        proc = run_example("ab_testing.py", "15000")
+        assert proc.returncode == 0, proc.stderr
+        assert "verdict" in proc.stdout
+        assert "exact answers" in proc.stdout
+
+    @pytest.mark.parametrize("query", ["Q17", "Q18"])
+    def test_tpch_online(self, query):
+        proc = run_example("tpch_online.py", query, "20000")
+        assert proc.returncode == 0, proc.stderr
+        assert "G-OLA online execution" in proc.stdout
+        assert "classical delta maintenance" in proc.stdout
+
+    def test_sql_console_scripted(self):
+        script = (
+            "\\tables\n"
+            "SELECT COUNT(*) FROM sessions\n"
+            "\\batch SELECT COUNT(*) FROM sessions\n"
+            "\\quit\n"
+        )
+        proc = run_example("sql_console.py", "5000", stdin=script)
+        assert proc.returncode == 0, proc.stderr
+        assert "sessions" in proc.stdout
+        assert "batch" in proc.stdout
+
+    def test_sql_console_reports_errors(self):
+        script = "SELECT nope FROM sessions\n\\quit\n"
+        proc = run_example("sql_console.py", "2000", stdin=script)
+        assert proc.returncode == 0, proc.stderr
+        assert "error:" in proc.stdout

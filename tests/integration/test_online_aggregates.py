@@ -1,0 +1,109 @@
+"""Online execution across the whole aggregate family.
+
+The paper lists COUNT, SUM, AVG, STDEV and QUANTILES as supported
+standard aggregates; every one must refine online and land exactly on
+the batch answer (QUANTILE lands within its reservoir tolerance).
+"""
+
+import numpy as np
+import pytest
+
+from repro import GolaConfig, GolaSession, Table
+
+
+@pytest.fixture(scope="module")
+def session():
+    rng = np.random.default_rng(12)
+    n = 6000
+    s = GolaSession(GolaConfig(num_batches=5, bootstrap_trials=24, seed=4))
+    s.register_table("t", Table.from_columns({
+        "g": rng.integers(0, 8, n).astype(np.int64),
+        "x": rng.normal(50.0, 12.0, n),
+        "y": rng.exponential(4.0, n),
+    }))
+    return s
+
+
+def final_and_exact(session, sql):
+    query = session.sql(sql)
+    last = query.run_to_completion()
+    exact = session.execute_batch(query)
+    return last, exact
+
+
+class TestOnlineAggregates:
+    @pytest.mark.parametrize("agg", [
+        "COUNT(*)", "SUM(x)", "AVG(x)", "MIN(x)", "MAX(x)", "STDEV(x)",
+        "VAR(x)",
+    ])
+    def test_global_exactness(self, session, agg):
+        last, exact = final_and_exact(
+            session, f"SELECT {agg} AS v FROM t WHERE y < 6"
+        )
+        assert last.estimate == pytest.approx(
+            float(exact.column("v")[0]), rel=1e-9
+        )
+
+    @pytest.mark.parametrize("agg", ["SUM(x)", "AVG(x)", "STDEV(x)"])
+    def test_grouped_exactness(self, session, agg):
+        last, exact = final_and_exact(
+            session, f"SELECT g, {agg} AS v FROM t GROUP BY g ORDER BY g"
+        )
+        np.testing.assert_allclose(
+            last.table.column("v").astype(float),
+            exact.column("v").astype(float), rtol=1e-9,
+        )
+
+    def test_quantile_online(self, session):
+        last, exact = final_and_exact(
+            session, "SELECT QUANTILE(x, 0.5) AS med FROM t"
+        )
+        # Reservoir-approximate on both paths; same ballpark as numpy.
+        table = session.catalog.get("t")
+        assert last.estimate == pytest.approx(
+            float(np.median(table["x"])), abs=1.5
+        )
+
+    def test_nested_with_stdev(self, session):
+        last, exact = final_and_exact(
+            session,
+            "SELECT STDEV(x) AS v FROM t WHERE y > "
+            "(SELECT AVG(y) FROM t)",
+        )
+        assert last.estimate == pytest.approx(
+            float(exact.column("v")[0]), rel=1e-9
+        )
+
+    def test_multiple_aggregates_one_query(self, session):
+        last, exact = final_and_exact(
+            session,
+            "SELECT COUNT(*) AS n, SUM(x) AS s, AVG(x) AS m, "
+            "MIN(x) AS lo, MAX(x) AS hi FROM t WHERE y < "
+            "(SELECT 2.0 * AVG(y) FROM t)",
+        )
+        for col in ("n", "s", "m", "lo", "hi"):
+            assert float(last.table.column(col)[0]) == pytest.approx(
+                float(exact.column(col)[0]), rel=1e-9
+            )
+
+    def test_expression_over_aggregates(self, session):
+        last, exact = final_and_exact(
+            session,
+            "SELECT SUM(x) / COUNT(*) AS ratio FROM t WHERE y > "
+            "(SELECT AVG(y) FROM t)",
+        )
+        assert last.estimate == pytest.approx(
+            float(exact.column("ratio")[0]), rel=1e-9
+        )
+        # The derived column still carries error bars (replica algebra).
+        assert "ratio" in last.errors
+
+    def test_intermediate_snapshots_have_error_bars(self, session):
+        query = session.sql(
+            "SELECT AVG(x) AS v FROM t WHERE y > (SELECT AVG(y) FROM t)"
+        )
+        for snap in query.run_online():
+            assert snap.interval.width >= 0.0
+            if not snap.is_final:
+                assert snap.interval.width > 0.0
+            break

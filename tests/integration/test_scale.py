@@ -1,0 +1,53 @@
+"""Scale smoke tests: the engine stays fast and exact at 1M rows."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import GolaConfig, GolaSession
+from repro.workloads import SBI_QUERY, generate_sessions, generate_tpch
+from repro.workloads.tpch import Q17_QUERY
+
+
+@pytest.mark.parametrize("n", [1_000_000])
+class TestMillionRows:
+    def test_sbi_online_throughput(self, n):
+        session = GolaSession(
+            GolaConfig(num_batches=10, bootstrap_trials=40, seed=1)
+        )
+        session.register_table("sessions", generate_sessions(n, seed=1))
+        query = session.sql(SBI_QUERY)
+        started = time.perf_counter()
+        last = query.run_to_completion()
+        elapsed = time.perf_counter() - started
+        exact = session.execute_batch(query)
+        assert last.estimate == pytest.approx(
+            float(exact.column(exact.schema.names[0])[0]), rel=1e-9
+        )
+        # Generous bound: the whole online run (10 batches x 40 trials
+        # over 1M rows, two blocks) should stay interactive-ish.
+        assert elapsed < 60.0, f"online SBI took {elapsed:.1f}s at 1M rows"
+
+    def test_q17_online_throughput(self, n):
+        session = GolaSession(
+            GolaConfig(num_batches=10, bootstrap_trials=20, seed=1)
+        )
+        session.register_table("tpch", generate_tpch(n, seed=1))
+        query = session.sql(Q17_QUERY)
+        started = time.perf_counter()
+        last = query.run_to_completion()
+        elapsed = time.perf_counter() - started
+        exact = session.execute_batch(query)
+        assert last.estimate == pytest.approx(
+            float(exact.column(exact.schema.names[0])[0]), rel=1e-8
+        )
+        assert elapsed < 120.0, f"online Q17 took {elapsed:.1f}s at 1M rows"
+
+    def test_uncertain_fraction_stays_small_at_scale(self, n):
+        session = GolaSession(
+            GolaConfig(num_batches=10, bootstrap_trials=20, seed=2)
+        )
+        session.register_table("sessions", generate_sessions(n, seed=2))
+        last = session.sql(SBI_QUERY).run_to_completion()
+        assert last.total_uncertain < 0.03 * n

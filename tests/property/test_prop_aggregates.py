@@ -1,0 +1,147 @@
+"""Property-based tests: mergeable aggregate state algebra.
+
+The delta-maintenance correctness of G-OLA rests on these algebraic
+properties — any split of the data into update calls, and any merge tree
+over partial states, must give the same finalized values.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.engine.aggregates import (
+    AvgState,
+    CountState,
+    MaxState,
+    MinState,
+    StdevState,
+    SumState,
+    VarState,
+)
+
+STATE_TYPES = [SumState, CountState, AvgState, MinState, MaxState,
+               VarState, StdevState]
+
+values_strategy = arrays(
+    np.float64, st.integers(min_value=1, max_value=120),
+    elements=st.floats(min_value=-1e6, max_value=1e6,
+                       allow_nan=False, allow_infinity=False),
+)
+
+
+@st.composite
+def grouped_data(draw):
+    values = draw(values_strategy)
+    n = len(values)
+    groups = draw(arrays(np.int64, n,
+                         elements=st.integers(min_value=0, max_value=4)))
+    split = draw(st.integers(min_value=0, max_value=n))
+    return values, groups, split
+
+
+@given(grouped_data(), st.sampled_from(STATE_TYPES))
+@settings(max_examples=60, deadline=None)
+def test_incremental_update_equals_batch(data, state_type):
+    values, groups, split = data
+    whole = state_type()
+    whole.update(groups, values)
+    pieces = state_type()
+    pieces.update(groups[:split], values[:split])
+    pieces.update(groups[split:], values[split:])
+    np.testing.assert_allclose(
+        pieces.finalize(), whole.finalize(), rtol=1e-8, atol=1e-6
+    )
+
+
+@given(grouped_data(), st.sampled_from(STATE_TYPES))
+@settings(max_examples=60, deadline=None)
+def test_merge_equals_single_state(data, state_type):
+    values, groups, split = data
+    left = state_type()
+    right = state_type()
+    left.update(groups[:split], values[:split])
+    right.update(groups[split:], values[split:])
+    left.merge(right)
+    whole = state_type()
+    whole.update(groups, values)
+    np.testing.assert_allclose(
+        left.finalize(), whole.finalize(), rtol=1e-8, atol=1e-6
+    )
+
+
+@given(grouped_data(), st.sampled_from(STATE_TYPES))
+@settings(max_examples=40, deadline=None)
+def test_merge_commutes(data, state_type):
+    values, groups, split = data
+    a1, b1 = state_type(), state_type()
+    a1.update(groups[:split], values[:split])
+    b1.update(groups[split:], values[split:])
+    a2, b2 = state_type(), state_type()
+    a2.update(groups[:split], values[:split])
+    b2.update(groups[split:], values[split:])
+    a1.merge(b1)
+    b2.merge(a2)
+    np.testing.assert_allclose(
+        a1.finalize(), b2.finalize(), rtol=1e-8, atol=1e-6
+    )
+
+
+@given(grouped_data())
+@settings(max_examples=40, deadline=None)
+def test_copy_isolation(data):
+    values, groups, _ = data
+    state = AvgState()
+    state.update(groups, values)
+    before = state.finalize().copy()
+    clone = state.copy()
+    clone.update(groups, values + 1.0)
+    np.testing.assert_array_equal(state.finalize(), before)
+
+
+@given(values_strategy)
+@settings(max_examples=40, deadline=None)
+def test_unit_weights_match_unweighted(values):
+    groups = np.zeros(len(values), dtype=np.int64)
+    plain = SumState()
+    plain.update(groups, values)
+    weighted = SumState()
+    weighted.update(groups, values, np.ones(len(values)))
+    np.testing.assert_allclose(plain.finalize(), weighted.finalize())
+
+
+@given(values_strategy, st.integers(min_value=2, max_value=8))
+@settings(max_examples=30, deadline=None)
+def test_trial_columns_independent(values, trials):
+    """Each trial column equals a single-state run with those weights."""
+    rng = np.random.default_rng(0)
+    groups = np.zeros(len(values), dtype=np.int64)
+    weights = rng.poisson(1.0, (len(values), trials)).astype(float)
+    multi = AvgState(trials=trials)
+    multi.update(groups, values, weights)
+    combined = multi.finalize()
+    for t in range(trials):
+        single = AvgState()
+        single.update(groups, values, weights[:, t])
+        np.testing.assert_allclose(
+            combined[0, t], single.finalize()[0], rtol=1e-8, atol=1e-8
+        )
+
+
+@given(values_strategy, st.floats(min_value=0.1, max_value=10.0))
+@settings(max_examples=40, deadline=None)
+def test_scale_semantics(values, scale):
+    """SUM/COUNT scale linearly; AVG/STDEV are scale-invariant."""
+    groups = np.zeros(len(values), dtype=np.int64)
+    s, c, a, sd = SumState(), CountState(), AvgState(), StdevState()
+    for state in (s, c, a, sd):
+        state.update(groups, values)
+    np.testing.assert_allclose(
+        s.finalize(scale), s.finalize() * scale, rtol=1e-9
+    )
+    np.testing.assert_allclose(
+        c.finalize(scale), c.finalize() * scale, rtol=1e-9
+    )
+    np.testing.assert_allclose(a.finalize(scale), a.finalize(), rtol=1e-12)
+    np.testing.assert_allclose(sd.finalize(scale), sd.finalize(),
+                               rtol=1e-12)

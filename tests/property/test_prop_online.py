@@ -1,0 +1,98 @@
+"""Property-based end-to-end test: online == exact for random queries.
+
+The capstone invariant of the whole system: for randomly generated data,
+a randomly parameterized nested-aggregate query, any batch count and any
+seed, the final G-OLA snapshot must equal the exact batch answer — delta
+maintenance (classification, caching, guards, rebuilds) is an
+optimization, never an approximation of the final result.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import GolaConfig, GolaSession, Table
+
+
+@st.composite
+def dataset(draw):
+    n = draw(st.integers(min_value=40, max_value=400))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = np.random.default_rng(seed)
+    return Table.from_columns(
+        {
+            "k": rng.integers(0, 6, n).astype(np.int64),
+            "x": rng.normal(10.0, 4.0, n),
+            "y": rng.exponential(3.0, n),
+        }
+    )
+
+
+QUERY_TEMPLATES = [
+    # Scalar uncertain threshold.
+    "SELECT AVG(y) FROM fact WHERE x > (SELECT {m} * AVG(x) FROM fact)",
+    # COUNT with uncertain threshold.
+    "SELECT COUNT(*) FROM fact WHERE x < (SELECT {m} * AVG(x) FROM fact)",
+    # Correlated (keyed) threshold.
+    "SELECT SUM(y) FROM fact WHERE x > "
+    "(SELECT {m} * AVG(x) FROM fact f WHERE f.k = fact.k)",
+    # Grouped output with uncertain filter.
+    "SELECT k, COUNT(*) AS n FROM fact WHERE x > "
+    "(SELECT {m} * AVG(x) FROM fact) GROUP BY k",
+    # Uncertain set membership.
+    "SELECT COUNT(*) FROM fact WHERE k IN "
+    "(SELECT k FROM fact GROUP BY k HAVING SUM(y) > {t})",
+]
+
+
+@given(
+    dataset(),
+    st.sampled_from(QUERY_TEMPLATES),
+    st.floats(min_value=0.5, max_value=1.5),
+    st.integers(min_value=2, max_value=6),
+    st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=25, deadline=None)
+def test_final_online_snapshot_equals_exact(table, template, mult, k, seed):
+    sql = template.format(m=round(mult, 3), t=round(mult * 30, 2))
+    session = GolaSession(
+        GolaConfig(num_batches=k, bootstrap_trials=12, seed=seed)
+    )
+    session.register_table("fact", table)
+    query = session.sql(sql)
+    exact = session.execute_batch(query)
+    last = query.run_to_completion()
+    online = last.table
+    assert online.num_rows == exact.num_rows
+    for col in exact.schema.names:
+        a = np.sort(exact.column(col).astype(np.float64))
+        b = np.sort(online.column(col).astype(np.float64))
+        np.testing.assert_allclose(a, b, rtol=1e-7, atol=1e-9)
+
+
+@given(dataset(), st.integers(min_value=2, max_value=5),
+       st.integers(min_value=0, max_value=500))
+@settings(max_examples=15, deadline=None)
+def test_online_series_matches_cdm_prefix_series(table, k, seed):
+    """Every intermediate snapshot equals exact prefix recomputation."""
+    from repro.baselines import ClassicalDeltaMaintenance
+    from repro.plan import bind_statement
+    from repro.sql import parse_sql
+    from repro.storage import Catalog
+
+    sql = ("SELECT AVG(y) FROM fact WHERE x > "
+           "(SELECT AVG(x) FROM fact)")
+    config = GolaConfig(num_batches=k, bootstrap_trials=10, seed=seed)
+    session = GolaSession(config)
+    session.register_table("fact", table)
+    online = [s.estimate for s in session.sql(sql).run_online()]
+
+    cat = Catalog()
+    cat.register("fact", table, streamed=True)
+    query = bind_statement(parse_sql(sql), cat)
+    cdm = ClassicalDeltaMaintenance(query, {"fact": table}, config)
+    prefix = [
+        float(s.table.column(s.table.schema.names[0])[0]) for s in cdm.run()
+    ]
+    np.testing.assert_allclose(online, prefix, rtol=1e-8)

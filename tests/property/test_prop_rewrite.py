@@ -1,0 +1,102 @@
+"""Property test: plan rewrites are semantics-preserving.
+
+Random predicate trees (including NOTs and nested boolean structure) are
+evaluated on random data both raw and after constant folding + predicate
+normalization — results must be identical row-for-row.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.expr.expressions import (
+    BinaryOp,
+    BooleanOp,
+    ColumnRef,
+    Comparison,
+    Environment,
+    Literal,
+    evaluate_mask,
+)
+from repro.plan import fold_constants, normalize_predicate
+from repro.storage import Table
+
+N = 50
+_RNG = np.random.default_rng(77)
+_TABLE = Table.from_columns({
+    "a": _RNG.uniform(-5, 5, N).round(2),
+    "b": _RNG.uniform(-5, 5, N).round(2),
+})
+
+
+@st.composite
+def numeric(draw, depth=0):
+    if depth >= 2 or draw(st.booleans()):
+        if draw(st.booleans()):
+            return Literal(draw(st.integers(-5, 5)))
+        return ColumnRef(draw(st.sampled_from(["a", "b"])))
+    op = draw(st.sampled_from(["+", "-", "*"]))
+    return BinaryOp(op, draw(numeric(depth=depth + 1)),
+                    draw(numeric(depth=depth + 1)))
+
+
+@st.composite
+def predicate(draw, depth=0):
+    if depth >= 3 or draw(st.booleans()):
+        op = draw(st.sampled_from(["<", "<=", ">", ">=", "=", "!="]))
+        return Comparison(op, draw(numeric()), draw(numeric()))
+    kind = draw(st.sampled_from(["AND", "OR", "NOT"]))
+    if kind == "NOT":
+        return BooleanOp("NOT", [draw(predicate(depth=depth + 1))])
+    return BooleanOp(kind, [
+        draw(predicate(depth=depth + 1)),
+        draw(predicate(depth=depth + 1)),
+    ])
+
+
+@given(predicate())
+@settings(max_examples=200, deadline=None)
+def test_normalization_preserves_semantics(pred):
+    raw = evaluate_mask(pred, _TABLE, Environment())
+    rewritten = normalize_predicate(fold_constants(pred))
+    out = evaluate_mask(rewritten, _TABLE, Environment())
+    np.testing.assert_array_equal(raw, out)
+
+
+@given(predicate())
+@settings(max_examples=100, deadline=None)
+def test_normalization_eliminates_not_over_comparisons(pred):
+    """After normalization, NOT only wraps non-negatable leaves."""
+    rewritten = normalize_predicate(fold_constants(pred))
+
+    def check(node):
+        if isinstance(node, BooleanOp) and node.op == "NOT":
+            # Our grammar only produces comparisons/booleans, all of
+            # which are negatable, so no NOT should survive.
+            raise AssertionError(f"NOT survived: {node.sql()}")
+        for child in node.children():
+            check(child)
+
+    check(rewritten)
+
+
+@given(numeric())
+@settings(max_examples=150, deadline=None)
+def test_folding_preserves_values(expr):
+    raw = np.broadcast_to(
+        np.asarray(expr.evaluate(_TABLE, Environment()), dtype=float), (N,)
+    )
+    folded = fold_constants(expr)
+    out = np.broadcast_to(
+        np.asarray(folded.evaluate(_TABLE, Environment()), dtype=float),
+        (N,),
+    )
+    np.testing.assert_allclose(raw, out, rtol=1e-12)
+
+
+@given(numeric())
+@settings(max_examples=100, deadline=None)
+def test_folding_idempotent(expr):
+    once = fold_constants(expr)
+    twice = fold_constants(once)
+    assert once.sql() == twice.sql()

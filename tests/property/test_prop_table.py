@@ -1,0 +1,80 @@
+"""Property-based tests: Table operation invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.storage import MiniBatchPartitioner, Table
+
+floats = st.floats(allow_nan=False, allow_infinity=False,
+                   min_value=-1e9, max_value=1e9)
+
+
+@st.composite
+def table_strategy(draw):
+    n = draw(st.integers(min_value=0, max_value=80))
+    x = draw(arrays(np.float64, n, elements=floats))
+    g = draw(arrays(np.int64, n,
+                    elements=st.integers(min_value=0, max_value=5)))
+    return Table.from_columns({"x": x, "g": g})
+
+
+@given(table_strategy())
+@settings(max_examples=80, deadline=None)
+def test_take_concat_roundtrip(table):
+    """Splitting by a mask and concatenating recovers a permutation."""
+    if table.num_rows == 0:
+        return
+    mask = table.column("g") % 2 == 0
+    combined = Table.concat([table.take(mask), table.take(~mask)])
+    assert combined.num_rows == table.num_rows
+    assert sorted(combined.column("x").tolist()) == \
+        sorted(table.column("x").tolist())
+
+
+@given(table_strategy())
+@settings(max_examples=80, deadline=None)
+def test_sort_is_ordered_permutation(table):
+    out = table.sort_by(["x"])
+    values = out.column("x")
+    assert (np.diff(values) >= 0).all() if len(values) > 1 else True
+    assert sorted(values.tolist()) == sorted(table.column("x").tolist())
+
+
+@given(table_strategy())
+@settings(max_examples=80, deadline=None)
+def test_sort_descending_reverses(table):
+    asc = table.sort_by(["x"]).column("x").tolist()
+    desc = table.sort_by(["x"], [True]).column("x").tolist()
+    assert desc == asc[::-1]
+
+
+@given(table_strategy(), st.integers(min_value=1, max_value=10),
+       st.integers(min_value=0, max_value=2 ** 31 - 1))
+@settings(max_examples=80, deadline=None)
+def test_partitioner_is_a_partition(table, k, seed):
+    """Mini-batches form an exact partition of the rows, any k, any seed."""
+    parts = MiniBatchPartitioner(k, seed=seed).partition(table)
+    assert len(parts) == k
+    sizes = [p.num_rows for p in parts]
+    assert sum(sizes) == table.num_rows
+    assert max(sizes) - min(sizes) <= 1 if sizes else True
+    merged = sorted(
+        v for p in parts for v in p.column("x").tolist()
+    )
+    assert merged == sorted(table.column("x").tolist())
+
+
+@given(table_strategy())
+@settings(max_examples=50, deadline=None)
+def test_slices_tile_table(table):
+    mid = table.num_rows // 2
+    front = table.slice(0, mid)
+    back = table.slice(mid, table.num_rows)
+    assert front.num_rows + back.num_rows == table.num_rows
+    if table.num_rows:
+        recombined = Table.concat([front, back])
+        np.testing.assert_array_equal(
+            recombined.column("x"), table.column("x")
+        )

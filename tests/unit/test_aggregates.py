@@ -1,0 +1,281 @@
+"""Unit tests for mergeable aggregate states."""
+
+import numpy as np
+import pytest
+
+from repro.engine import UDAFRegistry, UDAFSpec, make_state
+from repro.engine.aggregates import (
+    AggregateCall,
+    AvgState,
+    CountState,
+    GroupIndex,
+    MaxState,
+    MinState,
+    QuantileState,
+    StdevState,
+    SumState,
+    VarState,
+)
+from repro.errors import ExecutionError, PlanError
+
+
+def call(func, alias="out", param=None):
+    return AggregateCall(func, None, alias, param=param)
+
+
+class TestGroupIndex:
+    def test_encode_assigns_dense_ids(self):
+        idx = GroupIndex()
+        out = idx.encode(np.array(["b", "a", "b", "c"], dtype=object))
+        assert idx.num_groups == 3
+        assert out.tolist() == [idx.index_of("b"), idx.index_of("a"),
+                                idx.index_of("b"), idx.index_of("c")]
+
+    def test_encode_stable_across_calls(self):
+        idx = GroupIndex()
+        first = idx.encode(np.array([10, 20]))
+        second = idx.encode(np.array([20, 30]))
+        assert first.tolist() == [idx.index_of(10), idx.index_of(20)]
+        assert second[0] == idx.index_of(20)
+        assert idx.num_groups == 3
+
+    def test_encode_without_adding(self):
+        idx = GroupIndex()
+        idx.encode(np.array([1]))
+        out = idx.encode(np.array([1, 2]), add_new=False)
+        assert out.tolist() == [0, -1]
+        assert idx.num_groups == 1
+
+    def test_empty(self):
+        idx = GroupIndex()
+        assert idx.encode(np.array([])).tolist() == []
+
+    def test_copy_independent(self):
+        idx = GroupIndex()
+        idx.encode(np.array([1]))
+        clone = idx.copy()
+        clone.encode(np.array([2]))
+        assert idx.num_groups == 1 and clone.num_groups == 2
+
+
+class TestExactStates:
+    def test_sum(self):
+        state = SumState()
+        state.update(np.array([0, 0, 1]), np.array([1.0, 2.0, 10.0]))
+        np.testing.assert_array_equal(state.finalize(), [3.0, 10.0])
+
+    def test_sum_scales(self):
+        state = SumState()
+        state.update(np.zeros(2, dtype=np.int64), np.array([1.0, 2.0]))
+        assert state.finalize(scale=5.0)[0] == 15.0
+
+    def test_count_ignores_values(self):
+        state = CountState()
+        state.update(np.array([0, 1, 1]), None)
+        np.testing.assert_array_equal(state.finalize(), [1.0, 2.0])
+
+    def test_avg_scale_invariant(self):
+        state = AvgState()
+        state.update(np.zeros(4, dtype=np.int64),
+                     np.array([1.0, 2.0, 3.0, 4.0]))
+        assert state.finalize(scale=7.0)[0] == pytest.approx(2.5)
+
+    def test_avg_empty_group_is_zero(self):
+        state = AvgState()
+        state.ensure_groups(2)
+        state.update(np.array([1]), np.array([5.0]))
+        out = state.finalize()
+        assert out[0] == 0.0 and out[1] == 5.0
+
+    def test_min_max(self):
+        lo, hi = MinState(), MaxState()
+        idx = np.array([0, 0, 1])
+        vals = np.array([3.0, -1.0, 7.0])
+        lo.update(idx, vals)
+        hi.update(idx, vals)
+        np.testing.assert_array_equal(lo.finalize(), [-1.0, 7.0])
+        np.testing.assert_array_equal(hi.finalize(), [3.0, 7.0])
+
+    def test_var_stdev_match_numpy(self):
+        rng = np.random.default_rng(0)
+        vals = rng.normal(10, 3, 500)
+        var_state, std_state = VarState(), StdevState()
+        idx = np.zeros(500, dtype=np.int64)
+        var_state.update(idx, vals)
+        std_state.update(idx, vals)
+        assert var_state.finalize()[0] == pytest.approx(
+            np.var(vals, ddof=1), rel=1e-9
+        )
+        assert std_state.finalize()[0] == pytest.approx(
+            np.std(vals, ddof=1), rel=1e-9
+        )
+
+    def test_weighted_sum(self):
+        state = SumState()
+        state.update(np.zeros(2, dtype=np.int64), np.array([1.0, 2.0]),
+                     np.array([3.0, 0.0]))
+        assert state.finalize()[0] == 3.0
+
+    def test_incremental_equals_batch(self):
+        rng = np.random.default_rng(1)
+        vals = rng.normal(size=1000)
+        idx = rng.integers(0, 7, 1000)
+        whole = AvgState()
+        whole.update(idx, vals)
+        pieces = AvgState()
+        for lo in range(0, 1000, 100):
+            pieces.update(idx[lo:lo + 100], vals[lo:lo + 100])
+        np.testing.assert_allclose(pieces.finalize(), whole.finalize())
+
+    def test_merge_equals_update(self):
+        rng = np.random.default_rng(2)
+        vals = rng.normal(size=200)
+        idx = rng.integers(0, 3, 200)
+        a, b, whole = SumState(), SumState(), SumState()
+        a.update(idx[:100], vals[:100])
+        b.update(idx[100:], vals[100:])
+        whole.update(idx, vals)
+        a.merge(b)
+        np.testing.assert_allclose(a.finalize(), whole.finalize())
+
+    def test_merge_type_mismatch(self):
+        with pytest.raises(ExecutionError, match="cannot merge"):
+            SumState().merge(CountState())
+
+    def test_copy_is_independent(self):
+        state = SumState()
+        state.update(np.zeros(1, dtype=np.int64), np.array([1.0]))
+        clone = state.copy()
+        clone.update(np.zeros(1, dtype=np.int64), np.array([1.0]))
+        assert state.finalize()[0] == 1.0 and clone.finalize()[0] == 2.0
+
+    def test_values_length_checked(self):
+        with pytest.raises(ExecutionError):
+            SumState().update(np.array([0, 0]), np.array([1.0]))
+
+
+class TestTrialStates:
+    def test_trial_shape(self):
+        state = SumState(trials=8)
+        weights = np.ones((5, 8))
+        state.update(np.zeros(5, dtype=np.int64), np.arange(5.0), weights)
+        out = state.finalize()
+        assert out.shape == (1, 8)
+        np.testing.assert_array_equal(out[0], np.full(8, 10.0))
+
+    def test_poisson_weights_vary_trials(self):
+        rng = np.random.default_rng(3)
+        state = AvgState(trials=16)
+        vals = rng.normal(10, 2, 400)
+        weights = rng.poisson(1.0, (400, 16)).astype(float)
+        state.update(np.zeros(400, dtype=np.int64), vals, weights)
+        reps = state.finalize()[0]
+        assert reps.std() > 0
+        assert abs(reps.mean() - vals.mean()) < 0.5
+
+    def test_1d_weights_broadcast_to_trials(self):
+        state = SumState(trials=4)
+        state.update(np.zeros(2, dtype=np.int64), np.array([1.0, 2.0]),
+                     np.array([2.0, 1.0]))
+        np.testing.assert_array_equal(state.finalize()[0], np.full(4, 4.0))
+
+    def test_bad_weight_shape(self):
+        state = SumState(trials=4)
+        with pytest.raises(ExecutionError):
+            state.update(np.zeros(2, dtype=np.int64), np.array([1.0, 2.0]),
+                         np.ones((2, 3)))
+
+    def test_min_trials_respect_zero_weights(self):
+        state = MinState(trials=2)
+        weights = np.array([[1.0, 0.0], [0.0, 1.0]])
+        state.update(np.zeros(2, dtype=np.int64), np.array([1.0, 5.0]),
+                     weights)
+        out = state.finalize()[0]
+        assert out[0] == 1.0 and out[1] == 5.0
+
+
+class TestQuantile:
+    def test_median_exact_small(self):
+        state = QuantileState(q=0.5, capacity=100)
+        state.update(np.zeros(9, dtype=np.int64), np.arange(1.0, 10.0))
+        assert state.finalize()[0] == 5.0
+
+    def test_reservoir_bounds_memory(self):
+        state = QuantileState(q=0.5, capacity=64, seed=1)
+        rng = np.random.default_rng(5)
+        for _ in range(10):
+            state.update(np.zeros(100, dtype=np.int64), rng.normal(size=100))
+        assert len(state.values) <= 64
+        assert state.seen == 1000
+
+    def test_quantile_approximates(self):
+        state = QuantileState(q=0.9, capacity=2048, seed=2)
+        rng = np.random.default_rng(6)
+        vals = rng.uniform(0, 1, 5000)
+        state.update(np.zeros(5000, dtype=np.int64), vals)
+        assert state.finalize()[0] == pytest.approx(0.9, abs=0.05)
+
+    def test_grouped_rejected(self):
+        state = QuantileState()
+        with pytest.raises(ExecutionError, match="global"):
+            state.update(np.array([0, 1]), np.array([1.0, 2.0]))
+
+    def test_merge(self):
+        a = QuantileState(q=0.5, capacity=1000, seed=3)
+        b = QuantileState(q=0.5, capacity=1000, seed=4)
+        a.update(np.zeros(100, dtype=np.int64), np.arange(100.0))
+        b.update(np.zeros(100, dtype=np.int64), np.arange(100.0, 200.0))
+        a.merge(b)
+        assert 80 <= a.finalize()[0] <= 120
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ExecutionError):
+            QuantileState(q=1.5)
+
+
+class TestFactoryAndUdaf:
+    def test_make_state_builtins(self):
+        for func in ("sum", "count", "avg", "min", "max", "stdev", "var"):
+            assert make_state(call(func)) is not None
+
+    def test_make_state_quantile_param(self):
+        state = make_state(call("quantile", param=0.25))
+        assert state.q == 0.25
+
+    def test_median_is_quantile_half(self):
+        assert make_state(call("median")).q == 0.5
+
+    def test_unknown_aggregate(self):
+        with pytest.raises(PlanError, match="unknown aggregate"):
+            make_state(call("frobnicate"))
+
+    def test_udaf_roundtrip(self):
+        spec = UDAFSpec(
+            name="geomean",
+            init=lambda: [0.0, 0.0],
+            update=lambda s, v, w: [s[0] + np.sum(np.log(v) * w),
+                                    s[1] + np.sum(w)],
+            merge=lambda a, b: [a[0] + b[0], a[1] + b[1]],
+            finalize=lambda s, scale: float(np.exp(s[0] / max(s[1], 1.0))),
+        )
+        registry = UDAFRegistry()
+        registry.register(spec)
+        state = make_state(call("geomean"), udafs=registry)
+        state.update(np.zeros(3, dtype=np.int64), np.array([1.0, 10.0, 100.0]))
+        assert state.finalize()[0] == pytest.approx(10.0)
+
+    def test_udaf_no_trials(self):
+        spec = UDAFSpec("x", lambda: 0, lambda s, v, w: s, lambda a, b: a,
+                        lambda s, scale: 0.0)
+        registry = UDAFRegistry()
+        registry.register(spec)
+        with pytest.raises(ExecutionError, match="bootstrap"):
+            make_state(call("x"), trials=8, udafs=registry)
+
+    def test_duplicate_udaf_rejected(self):
+        spec = UDAFSpec("x", lambda: 0, lambda s, v, w: s, lambda a, b: a,
+                        lambda s, scale: 0.0)
+        registry = UDAFRegistry()
+        registry.register(spec)
+        with pytest.raises(PlanError):
+            registry.register(spec)

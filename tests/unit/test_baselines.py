@@ -1,0 +1,165 @@
+"""Unit tests for the batch, classical-OLA and CDM baselines."""
+
+import numpy as np
+import pytest
+
+from repro import GolaConfig, UnsupportedQueryError
+from repro.baselines import (
+    BatchBaseline,
+    ClassicalDeltaMaintenance,
+    ClassicalOLA,
+)
+from repro.plan import bind_statement
+from repro.sql import parse_sql
+from repro.storage import Catalog, Table
+
+
+@pytest.fixture
+def fact():
+    rng = np.random.default_rng(8)
+    n = 3000
+    return Table.from_columns(
+        {
+            "g": np.array(["g%d" % v for v in rng.integers(0, 4, n)],
+                          dtype=object),
+            "x": rng.normal(20, 5, n),
+            "y": rng.exponential(2, n),
+        }
+    )
+
+
+def bind(sql, fact):
+    cat = Catalog()
+    cat.register("fact", fact, streamed=True)
+    return bind_statement(parse_sql(sql), cat)
+
+
+class TestBatchBaseline:
+    def test_exact_answer_and_rows(self, fact):
+        query = bind("SELECT AVG(x) AS m FROM fact", fact)
+        result = BatchBaseline({"fact": fact}).run(query)
+        assert result.table.to_pylist()[0]["m"] == pytest.approx(
+            fact["x"].mean()
+        )
+        assert result.rows_processed == 3000
+        assert result.elapsed_s >= 0.0
+
+
+class TestClassicalOLA:
+    def test_rejects_nested_aggregates(self, fact):
+        query = bind(
+            "SELECT AVG(x) FROM fact WHERE x > (SELECT AVG(x) FROM fact)",
+            fact,
+        )
+        with pytest.raises(UnsupportedQueryError, match="SPJA"):
+            ClassicalOLA(query, {"fact": fact},
+                         GolaConfig(num_batches=4, bootstrap_trials=8))
+
+    def test_rejects_unsupported_aggregate(self, fact):
+        query = bind("SELECT MIN(x) FROM fact", fact)
+        with pytest.raises(UnsupportedQueryError, match="closed-form"):
+            ClassicalOLA(query, {"fact": fact},
+                         GolaConfig(num_batches=4, bootstrap_trials=8))
+
+    def test_rejects_having(self, fact):
+        query = bind(
+            "SELECT g, SUM(x) FROM fact GROUP BY g HAVING SUM(x) > 1",
+            fact,
+        )
+        with pytest.raises(UnsupportedQueryError, match="HAVING"):
+            ClassicalOLA(query, {"fact": fact},
+                         GolaConfig(num_batches=4, bootstrap_trials=8))
+
+    def test_running_mean_converges(self, fact):
+        query = bind("SELECT AVG(x) AS m FROM fact WHERE y < 3", fact)
+        ola = ClassicalOLA(query, {"fact": fact},
+                           GolaConfig(num_batches=5, bootstrap_trials=8,
+                                      seed=4))
+        snaps = list(ola.run())
+        assert len(snaps) == 5
+        truth = fact["x"][fact["y"] < 3].mean()
+        est, low, high = snaps[-1].scalar()
+        assert est == pytest.approx(truth, rel=1e-9)
+        widths = [s.scalar()[2] - s.scalar()[1] for s in snaps]
+        assert widths[-1] < widths[0]  # intervals tighten
+
+    def test_sum_and_count_scale_to_population(self, fact):
+        query = bind("SELECT SUM(x) AS s, COUNT(*) AS n FROM fact", fact)
+        ola = ClassicalOLA(query, {"fact": fact},
+                           GolaConfig(num_batches=4, bootstrap_trials=8,
+                                      seed=4))
+        first = next(iter(ola.run()))
+        # After one of four batches the scaled estimates target the
+        # full-population values.
+        assert first.estimates["s"][0] == pytest.approx(
+            fact["x"].sum(), rel=0.1
+        )
+        assert first.estimates["n"][0] == pytest.approx(3000, rel=1e-9)
+
+    def test_interval_covers_truth(self, fact):
+        query = bind("SELECT AVG(x) AS m FROM fact", fact)
+        ola = ClassicalOLA(query, {"fact": fact},
+                           GolaConfig(num_batches=10, bootstrap_trials=8,
+                                      seed=4))
+        truth = fact["x"].mean()
+        hits = sum(
+            1 for s in ola.run()
+            if s.scalar()[1] <= truth <= s.scalar()[2]
+        )
+        assert hits >= 8  # ~95% nominal coverage, 10 correlated checks
+
+
+class TestCDM:
+    def test_prefix_answers_match_gola_semantics(self, fact):
+        sql = ("SELECT AVG(y) AS m FROM fact WHERE x > "
+               "(SELECT AVG(x) FROM fact)")
+        query = bind(sql, fact)
+        config = GolaConfig(num_batches=4, bootstrap_trials=8, seed=3)
+        cdm = ClassicalDeltaMaintenance(query, {"fact": fact}, config)
+        snaps = list(cdm.run())
+        assert len(snaps) == 4
+        # Final iteration is the exact answer.
+        inner = fact["x"].mean()
+        truth = fact["y"][fact["x"] > inner].mean()
+        assert snaps[-1].table.to_pylist()[0]["m"] == pytest.approx(
+            truth, rel=1e-9
+        )
+
+    def test_rows_grow_linearly(self, fact):
+        sql = ("SELECT AVG(y) AS m FROM fact WHERE x > "
+               "(SELECT AVG(x) FROM fact)")
+        query = bind(sql, fact)
+        config = GolaConfig(num_batches=4, bootstrap_trials=8, seed=3)
+        cdm = ClassicalDeltaMaintenance(query, {"fact": fact}, config)
+        rows = [s.rows_processed["main"] for s in cdm.run()]
+        assert rows == sorted(rows)
+        assert rows[-1] == 3000  # full prefix at the last batch
+        # Inner aggregate maintained incrementally.
+        inner_rows = [
+            s.rows_processed["sub#0"]
+            for s in ClassicalDeltaMaintenance(
+                query, {"fact": fact}, config
+            ).run()
+        ]
+        assert max(inner_rows) <= 751
+
+    def test_matches_gola_estimates_per_batch(self, fact):
+        """CDM and G-OLA compute the same Q(D_i, k/i) series."""
+        from repro import GolaSession
+
+        sql = ("SELECT AVG(y) AS m FROM fact WHERE x > "
+               "(SELECT AVG(x) FROM fact)")
+        config = GolaConfig(num_batches=4, bootstrap_trials=8, seed=3)
+        session = GolaSession(config)
+        session.register_table("fact", fact)
+        gola_series = [
+            s.estimate for s in session.sql(sql).run_online()
+        ]
+        query = bind(sql, fact)
+        cdm_series = [
+            s.table.to_pylist()[0]["m"]
+            for s in ClassicalDeltaMaintenance(
+                query, {"fact": fact}, config
+            ).run()
+        ]
+        np.testing.assert_allclose(gola_series, cdm_series, rtol=1e-9)

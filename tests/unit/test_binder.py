@@ -1,0 +1,251 @@
+"""Unit tests for SQL binding: name resolution and subquery lifting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import BindError, UnsupportedQueryError
+from repro.expr.expressions import ColumnRef, InSubquery, SubqueryRef
+from repro.plan import (
+    Aggregate,
+    Filter,
+    Limit,
+    Project,
+    Scan,
+    Sort,
+    bind_statement,
+)
+from repro.sql import parse_sql
+from repro.storage import Catalog, Table
+
+
+@pytest.fixture
+def cat():
+    fact = Table.from_columns(
+        {
+            "k": np.array([1, 2], dtype=np.int64),
+            "g": np.array(["a", "b"], dtype=object),
+            "x": np.array([1.0, 2.0]),
+            "y": np.array([3.0, 4.0]),
+        }
+    )
+    dim = Table.from_columns(
+        {
+            "k": np.array([1, 2], dtype=np.int64),
+            "label": np.array(["one", "two"], dtype=object),
+        }
+    )
+    catalog = Catalog()
+    catalog.register("fact", fact, streamed=True)
+    catalog.register("dim", dim, streamed=False)
+    return catalog
+
+
+def bind(sql, cat):
+    return bind_statement(parse_sql(sql), cat)
+
+
+class TestBasicBinding:
+    def test_projection_plan_shape(self, cat):
+        q = bind("SELECT x, y FROM fact WHERE x > 1", cat)
+        assert isinstance(q.plan, Project)
+        assert isinstance(q.plan.input, Filter)
+        assert isinstance(q.plan.input.input, Scan)
+
+    def test_unknown_column(self, cat):
+        with pytest.raises(BindError, match="cannot resolve"):
+            bind("SELECT nope FROM fact", cat)
+
+    def test_unknown_table(self, cat):
+        from repro.errors import CatalogError
+
+        with pytest.raises(CatalogError):
+            bind("SELECT x FROM missing", cat)
+
+    def test_case_insensitive_columns(self, cat):
+        q = bind("SELECT X FROM fact", cat)
+        assert q.plan.schema.names == ["x"]
+
+    def test_qualified_resolution(self, cat):
+        q = bind("SELECT f.x FROM fact f", cat)
+        assert q.plan.schema.names == ["x"]
+        with pytest.raises(BindError):
+            bind("SELECT wrong.x FROM fact f", cat)
+
+    def test_streamed_table_recorded(self, cat):
+        q = bind("SELECT x FROM fact", cat)
+        assert q.streamed_table == "fact"
+
+    def test_order_limit(self, cat):
+        q = bind("SELECT x FROM fact ORDER BY x DESC LIMIT 1", cat)
+        assert isinstance(q.plan, Limit)
+        assert isinstance(q.plan.input, Sort)
+        assert q.plan.input.keys == [("x", True)]
+
+    def test_order_by_nonoutput_rejected(self, cat):
+        with pytest.raises(BindError, match="not in the output"):
+            bind("SELECT x FROM fact ORDER BY y", cat)
+
+    def test_select_distinct_rejected(self, cat):
+        with pytest.raises(UnsupportedQueryError):
+            bind("SELECT DISTINCT x FROM fact", cat)
+
+
+class TestAggregateBinding:
+    def test_global_aggregate(self, cat):
+        q = bind("SELECT AVG(x) FROM fact", cat)
+        assert isinstance(q.plan, Project)
+        agg = q.plan.input
+        assert isinstance(agg, Aggregate) and agg.is_global
+        assert agg.aggregates[0].func == "avg"
+
+    def test_group_by(self, cat):
+        q = bind("SELECT g, SUM(x) AS total FROM fact GROUP BY g", cat)
+        agg = q.plan.input
+        assert [n for _, n in agg.group_by] == ["g"]
+        assert agg.aggregates[0].alias == "total"
+        assert q.plan.schema.names == ["g", "total"]
+
+    def test_duplicate_agg_calls_share_state(self, cat):
+        q = bind(
+            "SELECT SUM(x) AS a, SUM(x) / COUNT(*) AS b FROM fact", cat
+        )
+        agg = q.plan.input
+        assert len(agg.aggregates) == 2  # sum shared, count separate
+
+    def test_having_references_aggregate(self, cat):
+        q = bind(
+            "SELECT g, SUM(x) FROM fact GROUP BY g HAVING SUM(x) > 1", cat
+        )
+        agg = q.plan.input
+        assert agg.having is not None
+
+    def test_nonaggregated_column_rejected(self, cat):
+        with pytest.raises(BindError, match="GROUP BY"):
+            bind("SELECT g, x FROM fact GROUP BY g", cat)
+
+    def test_group_by_expression_selectable(self, cat):
+        q = bind(
+            "SELECT FLOOR(x / 2) AS b, COUNT(*) FROM fact "
+            "GROUP BY FLOOR(x / 2)", cat
+        )
+        assert q.plan.schema.names[0] == "b"
+
+    def test_aggregate_in_where_rejected(self, cat):
+        with pytest.raises(BindError, match="not allowed here"):
+            bind("SELECT x FROM fact WHERE SUM(x) > 1", cat)
+
+    def test_nested_aggregate_rejected(self, cat):
+        with pytest.raises(BindError, match="nest"):
+            bind("SELECT SUM(AVG(x)) FROM fact", cat)
+
+    def test_distinct_aggregate_rejected(self, cat):
+        with pytest.raises(UnsupportedQueryError, match="DISTINCT"):
+            bind("SELECT COUNT(DISTINCT x) FROM fact", cat)
+
+
+class TestSubqueryLifting:
+    def test_scalar_subquery(self, cat):
+        q = bind(
+            "SELECT AVG(y) FROM fact WHERE x > (SELECT AVG(x) FROM fact)",
+            cat,
+        )
+        assert len(q.subqueries) == 1
+        spec = q.subqueries[0]
+        assert spec.kind == "scalar" and spec.value_column == "value"
+        # The use site carries a SubqueryRef placeholder.
+        filt = q.plan.input.input
+        assert isinstance(filt, Filter)
+        assert filt.predicate.subquery_slots() == {0}
+
+    def test_correlated_subquery_becomes_keyed(self, cat):
+        q = bind(
+            "SELECT AVG(y) FROM fact WHERE x > "
+            "(SELECT AVG(x) FROM fact f WHERE f.k = fact.k)",
+            cat,
+        )
+        spec = q.subqueries[0]
+        assert spec.kind == "keyed" and spec.key_column == "k"
+        agg = spec.plan.input
+        assert isinstance(agg, Aggregate)
+        assert [n for _, n in agg.group_by] == ["k"]
+        assert spec.plan.schema.names == ["k", "value"]
+
+    def test_scaled_subquery_value_projection(self, cat):
+        q = bind(
+            "SELECT AVG(y) FROM fact WHERE x > "
+            "(SELECT 0.5 * AVG(x) FROM fact)",
+            cat,
+        )
+        spec = q.subqueries[0]
+        value_expr = spec.plan.exprs[-1][0]
+        assert "0.5" in value_expr.sql()
+
+    def test_in_subquery_becomes_set(self, cat):
+        q = bind(
+            "SELECT COUNT(*) FROM fact WHERE k IN "
+            "(SELECT k FROM fact GROUP BY k HAVING SUM(x) > 1)",
+            cat,
+        )
+        spec = q.subqueries[0]
+        assert spec.kind == "set"
+
+    def test_nested_nesting_allocates_two_slots(self, cat):
+        q = bind(
+            "SELECT AVG(x) FROM fact WHERE x > "
+            "(SELECT AVG(x) FROM fact WHERE y > "
+            "(SELECT AVG(y) FROM fact))",
+            cat,
+        )
+        assert set(q.subqueries) == {0, 1}
+        order = q.subquery_order()
+        # The innermost (AVG(y)) must evaluate before its consumer.
+        inner_of_outer = q.subqueries[order[-1]].plan.subquery_slots()
+        assert set(order[:-1]) >= inner_of_outer
+
+    def test_multi_item_scalar_subquery_rejected(self, cat):
+        with pytest.raises(UnsupportedQueryError):
+            bind(
+                "SELECT AVG(x) FROM fact WHERE x > "
+                "(SELECT AVG(x), AVG(y) FROM fact)",
+                cat,
+            )
+
+    def test_non_aggregate_scalar_subquery_rejected(self, cat):
+        with pytest.raises(UnsupportedQueryError, match="aggregate"):
+            bind(
+                "SELECT AVG(x) FROM fact WHERE x > (SELECT x FROM fact)",
+                cat,
+            )
+
+    def test_subquery_in_having(self, cat):
+        q = bind(
+            "SELECT g, SUM(x) FROM fact GROUP BY g "
+            "HAVING SUM(x) > (SELECT 0.1 * SUM(x) FROM fact)",
+            cat,
+        )
+        assert len(q.subqueries) == 1
+        agg = q.plan.input
+        assert agg.having.subquery_slots() == {0}
+
+
+class TestJoinBinding:
+    def test_dimension_join(self, cat):
+        q = bind(
+            "SELECT label, SUM(x) FROM fact JOIN dim ON fact.k = dim.k "
+            "GROUP BY label",
+            cat,
+        )
+        from repro.plan import Join
+
+        agg = q.plan.input
+        assert isinstance(agg.input, Join)
+        assert agg.input.keys == [("k", "k")]
+
+    def test_streamed_join_side_rejected(self, cat):
+        cat.set_streamed("dim", True)
+        with pytest.raises(UnsupportedQueryError, match="streamed"):
+            bind("SELECT x FROM fact JOIN dim ON fact.k = dim.k", cat)
+
+    def test_non_equi_join_rejected(self, cat):
+        with pytest.raises(UnsupportedQueryError, match="equalities"):
+            bind("SELECT x FROM fact JOIN dim ON fact.k > dim.k", cat)

@@ -1,0 +1,101 @@
+"""Unit tests for the catalog and table I/O."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CatalogError, SchemaError
+from repro.storage import (
+    Catalog,
+    Table,
+    read_csv,
+    read_jsonl,
+    write_csv,
+    write_jsonl,
+)
+
+
+class TestCatalog:
+    def test_register_get(self, small_table):
+        cat = Catalog()
+        cat.register("T1", small_table)
+        assert cat.get("t1") is small_table  # case-insensitive
+        assert "T1" in cat
+
+    def test_duplicate_rejected_unless_replace(self, small_table):
+        cat = Catalog()
+        cat.register("t", small_table)
+        with pytest.raises(CatalogError, match="already"):
+            cat.register("t", small_table)
+        cat.register("t", small_table, replace=True)
+
+    def test_unknown_table(self):
+        with pytest.raises(CatalogError, match="unknown"):
+            Catalog().get("nope")
+
+    def test_streamed_flag(self, small_table):
+        cat = Catalog()
+        cat.register("fact", small_table, streamed=True)
+        cat.register("dim", small_table, streamed=False)
+        assert cat.is_streamed("fact") and not cat.is_streamed("dim")
+        cat.set_streamed("fact", False)
+        assert not cat.is_streamed("fact")
+
+    def test_unregister(self, small_table):
+        cat = Catalog()
+        cat.register("t", small_table)
+        cat.unregister("t")
+        assert "t" not in cat
+        with pytest.raises(CatalogError):
+            cat.unregister("t")
+
+    def test_names_sorted(self, small_table):
+        cat = Catalog()
+        cat.register("zeta", small_table)
+        cat.register("alpha", small_table)
+        assert cat.names() == ["alpha", "zeta"]
+
+
+class TestCsvRoundtrip:
+    def test_roundtrip(self, small_table, tmp_path):
+        path = tmp_path / "t.csv"
+        write_csv(small_table, path)
+        loaded = read_csv(path)
+        assert loaded.num_rows == small_table.num_rows
+        assert loaded.column("id").tolist() == \
+            small_table.column("id").tolist()
+        np.testing.assert_allclose(
+            loaded.column("x"), small_table.column("x")
+        )
+        assert loaded.column("flag").tolist() == \
+            small_table.column("flag").tolist()
+
+    def test_type_inference_narrowest(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a,b,c,d\n1,1.5,true,hello\n2,2.5,false,bye\n")
+        t = read_csv(path)
+        assert t.schema.type_of("a").value == "int64"
+        assert t.schema.type_of("b").value == "float64"
+        assert t.schema.type_of("c").value == "bool"
+        assert t.schema.type_of("d").value == "string"
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(SchemaError):
+            read_csv(path)
+
+
+class TestJsonlRoundtrip:
+    def test_roundtrip(self, small_table, tmp_path):
+        path = tmp_path / "t.jsonl"
+        write_jsonl(small_table, path)
+        loaded = read_jsonl(path)
+        assert loaded.num_rows == small_table.num_rows
+        assert loaded.column("grp").tolist() == \
+            small_table.column("grp").tolist()
+
+    def test_empty_rejected(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        path.write_text("\n")
+        with pytest.raises(SchemaError):
+            read_jsonl(path)

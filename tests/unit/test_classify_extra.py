@@ -1,0 +1,118 @@
+"""Extra classifier coverage: CASE intervals, Between, rewrite synergy."""
+
+import numpy as np
+import pytest
+
+from repro.core import IntervalEnv, ScalarSlotState, TRI_FALSE, TRI_TRUE, TRI_UNKNOWN
+from repro.core.classify import interval_eval, tri_eval
+from repro.core.delta import _analyze_guard
+from repro.estimate import VariationRange
+from repro.expr.expressions import (
+    Between,
+    BinaryOp,
+    BooleanOp,
+    CaseWhen,
+    ColumnRef,
+    Comparison,
+    Environment,
+    InList,
+    Literal,
+    SubqueryRef,
+)
+from repro.plan import normalize_predicate
+from repro.storage import Table
+
+
+@pytest.fixture
+def table():
+    return Table.from_columns({"x": np.array([0.0, 5.0, 10.0])})
+
+
+def env(lo, hi):
+    mid = (lo + hi) / 2
+    state = ScalarSlotState(
+        slot=0, estimate=mid, replicas=np.array([lo, hi]),
+        vrange=VariationRange(lo, hi),
+    )
+    return IntervalEnv(slots={0: state},
+                       point=Environment(scalars={0: mid}))
+
+
+class TestCaseIntervals:
+    def test_certain_guard_selects_branch(self, table):
+        # CASE WHEN x > 4 THEN u ELSE 0 END: rows with x<=4 get [0,0].
+        expr = CaseWhen(
+            [(Comparison(">", ColumnRef("x"), Literal(4)), SubqueryRef(0))],
+            Literal(0.0),
+        )
+        low, high = interval_eval(expr, table, env(2.0, 3.0))
+        assert (low[0], high[0]) == (0.0, 0.0)
+        assert (low[1], high[1]) == (2.0, 3.0)
+
+    def test_uncertain_guard_unions_branches(self, table):
+        # CASE WHEN x > u THEN 100 ELSE 0 END with u in [4, 6]:
+        # x = 5 is undecided -> interval spans both branch values.
+        expr = CaseWhen(
+            [(Comparison(">", ColumnRef("x"), SubqueryRef(0)),
+              Literal(100.0))],
+            Literal(0.0),
+        )
+        low, high = interval_eval(expr, table, env(4.0, 6.0))
+        assert (low[0], high[0]) == (0.0, 0.0)       # x=0: else only
+        assert (low[1], high[1]) == (0.0, 100.0)     # x=5: both
+        assert (low[2], high[2]) == (100.0, 100.0)   # x=10: then only
+
+
+class TestBetweenTri:
+    def test_between_with_uncertain_bound(self, table):
+        # x BETWEEN u AND 8 with u in [4, 6].
+        expr = Between(ColumnRef("x"), SubqueryRef(0), Literal(8.0))
+        tri = tri_eval(expr, table, env(4.0, 6.0))
+        assert tri.tolist() == [TRI_FALSE, TRI_UNKNOWN, TRI_FALSE]
+
+    def test_between_fully_decided(self, table):
+        expr = Between(ColumnRef("x"), SubqueryRef(0), Literal(20.0))
+        tri = tri_eval(expr, table, env(1.0, 2.0))
+        assert tri.tolist() == [TRI_FALSE, TRI_TRUE, TRI_TRUE]
+
+
+class TestInListTri:
+    def test_uncertain_value_unknown_unless_degenerate(self, table):
+        expr = InList(SubqueryRef(0), [5.0])
+        tri = tri_eval(expr, table, env(4.0, 6.0))
+        assert (tri == TRI_UNKNOWN).all()
+        tri2 = tri_eval(expr, table, env(5.0, 5.0))
+        assert (tri2 == TRI_TRUE).all()
+        tri3 = tri_eval(InList(SubqueryRef(0), [7.0]), table, env(5.0, 5.0))
+        assert (tri3 == TRI_FALSE).all()
+
+
+class TestModuloConservative:
+    def test_modulo_over_uncertain_is_unbounded(self, table):
+        expr = BinaryOp("%", SubqueryRef(0), Literal(3))
+        low, high = interval_eval(expr, table, env(4.0, 6.0))
+        assert np.isneginf(low).all() and np.isposinf(high).all()
+
+
+class TestRewriteClassifySynergy:
+    def test_normalized_not_gets_decision_guard(self):
+        """NOT (x <= u) normalizes to x > u, which the fast decision
+        guard handles; the raw NOT form would fall back."""
+        raw = BooleanOp("NOT", [
+            Comparison("<=", ColumnRef("x"), SubqueryRef(0))
+        ])
+        kind_raw, _ = _analyze_guard(raw)
+        assert kind_raw == "fallback"
+        normalized = normalize_predicate(raw)
+        kind_norm, guard = _analyze_guard(normalized)
+        assert kind_norm == "decision" and guard.op == ">"
+
+    def test_kleene_not_consistent_with_rewrite(self, table):
+        raw = BooleanOp("NOT", [
+            Comparison("<=", ColumnRef("x"), SubqueryRef(0))
+        ])
+        normalized = normalize_predicate(raw)
+        e = env(4.0, 6.0)
+        np.testing.assert_array_equal(
+            tri_eval(raw, table, e), tri_eval(normalized, table, e)
+        )

@@ -1,0 +1,148 @@
+"""Unit tests for the discrete-event kernel, cost model and simulator."""
+
+import pytest
+
+from repro import ClusterConfig
+from repro.cluster import (
+    ClusterSimulator,
+    EventLoop,
+    WorkerPool,
+    broadcast_cost,
+    task_durations,
+)
+
+
+class TestEventLoop:
+    def test_events_run_in_time_order(self):
+        loop = EventLoop()
+        order = []
+        loop.schedule(2.0, lambda: order.append("late"))
+        loop.schedule(1.0, lambda: order.append("early"))
+        final = loop.run()
+        assert order == ["early", "late"]
+        assert final == 2.0
+
+    def test_actions_can_schedule_more(self):
+        loop = EventLoop()
+        seen = []
+
+        def first():
+            seen.append(loop.now)
+            loop.schedule(3.0, lambda: seen.append(loop.now))
+
+        loop.schedule(1.0, first)
+        loop.run()
+        assert seen == [1.0, 4.0]
+
+    def test_fifo_tie_break(self):
+        loop = EventLoop()
+        order = []
+        loop.schedule(1.0, lambda: order.append("a"))
+        loop.schedule(1.0, lambda: order.append("b"))
+        loop.run()
+        assert order == ["a", "b"]
+
+    def test_past_scheduling_rejected(self):
+        with pytest.raises(ValueError):
+            EventLoop().schedule(-1.0, lambda: None)
+
+
+class TestWorkerPool:
+    def test_parallel_speedup(self):
+        serial = WorkerPool(1)
+        parallel = WorkerPool(4)
+        durations = [1.0] * 8
+        assert serial.submit_all(durations) == pytest.approx(8.0)
+        assert parallel.submit_all(durations) == pytest.approx(2.0)
+
+    def test_longest_first_packing(self):
+        pool = WorkerPool(2)
+        makespan = pool.submit_all([3.0, 1.0, 1.0, 1.0])
+        assert makespan == pytest.approx(3.0)
+
+    def test_not_before(self):
+        pool = WorkerPool(1)
+        assert pool.submit(1.0, not_before=5.0) == pytest.approx(6.0)
+
+    def test_needs_workers(self):
+        with pytest.raises(ValueError):
+            WorkerPool(0)
+
+
+class TestCostModel:
+    def test_task_fanout(self):
+        config = ClusterConfig(rows_per_task=100)
+        durations = task_durations(250, config, bootstrap=False)
+        assert len(durations) == 3
+        total_rows_time = sum(durations) - 3 * config.task_overhead_s
+        assert total_rows_time == pytest.approx(
+            250 * config.per_tuple_cost_s
+        )
+
+    def test_bootstrap_overhead_applied(self):
+        config = ClusterConfig()
+        plain = sum(task_durations(10_000, config, bootstrap=False))
+        boosted = sum(task_durations(10_000, config, bootstrap=True))
+        rows_plain = plain - config.task_overhead_s
+        rows_boost = boosted - config.task_overhead_s
+        assert rows_boost / rows_plain == pytest.approx(
+            1.0 + config.bootstrap_overhead_factor
+        )
+
+    def test_zero_rows_still_costs_overhead(self):
+        config = ClusterConfig()
+        assert task_durations(0, config) == [config.task_overhead_s]
+
+    def test_broadcast_cost(self):
+        config = ClusterConfig()
+        assert broadcast_cost(3, config) == pytest.approx(
+            3 * config.broadcast_cost_s
+        )
+
+
+class TestSimulator:
+    def test_batch_latency_composition(self):
+        sim = ClusterSimulator(ClusterConfig())
+        batch = sim.simulate_batch(1, {"sub#0": 1000, "main": 1000})
+        assert set(batch.stage_seconds) == {"sub#0", "main"}
+        assert batch.total_seconds == pytest.approx(
+            sum(batch.stage_seconds.values())
+            + batch.broadcast_seconds + batch.overhead_seconds
+        )
+
+    def test_run_cumulative(self):
+        sim = ClusterSimulator()
+        run = sim.simulate_run([{"main": 100}] * 3)
+        cum = run.cumulative_seconds
+        assert len(cum) == 3
+        assert cum[-1] == pytest.approx(run.total_seconds)
+        assert cum == sorted(cum)
+
+    def test_more_rows_take_longer(self):
+        sim = ClusterSimulator()
+        small = sim.simulate_batch(1, {"main": 1000}).total_seconds
+        big = sim.simulate_batch(1, {"main": 10_000_000}).total_seconds
+        assert big > small
+
+    def test_batch_engine_has_no_bootstrap_overhead(self):
+        # At paper scale the per-tuple cost dominates fixed overheads, so
+        # the bootstrap multiplier shows through (~1.6x per pass).
+        config = ClusterConfig()
+        sim = ClusterSimulator(config)
+        rows = 500_000_000
+        batch_engine = sim.simulate_batch_engine(rows)
+        online_pass = sim.simulate_batch(1, {"main": rows}).total_seconds
+        assert online_pass > batch_engine * 1.4
+
+    def test_first_answer_much_earlier_than_batch(self):
+        """The Figure 3(a) shape: tiny first-batch latency vs full scan.
+
+        The paper reports the first answer at ~1.6% of the batch-engine
+        latency (2.3s vs 2.34min) for 100 mini-batches over ~100GB.
+        """
+        sim = ClusterSimulator()
+        total_rows = 5_000_000_000
+        k = 100
+        first = sim.simulate_batch(1, {"main": total_rows // k})
+        full = sim.simulate_batch_engine(total_rows)
+        assert first.total_seconds < 0.05 * full

@@ -1,0 +1,63 @@
+"""Unit tests for sparkline history rendering."""
+
+import numpy as np
+
+from repro.core.result import ColumnErrors, OnlineSnapshot
+from repro.frontends import render_history, sparkline
+from repro.storage import Table
+
+
+def snapshot(value, rel, i, k=4):
+    table = Table.from_columns({"v": np.array([value])})
+    return OnlineSnapshot(
+        batch_index=i, num_batches=k, table=table,
+        errors={"v": ColumnErrors(
+            lows=np.array([value - 1]), highs=np.array([value + 1]),
+            rel_stdev=np.array([rel]),
+        )},
+        uncertain_sizes={}, rows_processed={}, rebuilds=[],
+        elapsed_s=0.0, confidence=0.95,
+    )
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant_series_is_flat(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_monotone_series_rises(self):
+        line = sparkline([0, 1, 2, 3])
+        assert line[0] == "▁" and line[-1] == "█"
+        assert len(line) == 4
+
+    def test_width_truncates_to_tail(self):
+        line = sparkline(list(range(100)), width=10)
+        assert len(line) == 10
+
+    def test_extremes_map_to_ends(self):
+        line = sparkline([0, 100, 0])
+        assert line == "▁█▁"
+
+
+class TestRenderHistory:
+    def test_scalar_history(self):
+        snaps = [snapshot(10 + i, 0.1 / (i + 1), i + 1) for i in range(4)]
+        out = render_history(snaps)
+        assert "estimate" in out and "rel.stdev" in out
+        assert "->" in out
+
+    def test_non_scalar_history(self):
+        table = Table.from_columns({"v": np.array([1.0, 2.0])})
+        snap = OnlineSnapshot(
+            batch_index=1, num_batches=2, table=table, errors={},
+            uncertain_sizes={}, rows_processed={}, rebuilds=[],
+            elapsed_s=0.0, confidence=0.95,
+        )
+        assert render_history([snap]) == "(no scalar history)"
+
+    def test_real_run_history(self, session, sbi_sql):
+        snaps = list(session.sql(sbi_sql).run_online())
+        out = render_history(snaps)
+        assert out.count("\n") == 1

@@ -1,0 +1,190 @@
+"""Unit tests for the query controller and public session API."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    GolaConfig,
+    GolaSession,
+    QueryStopped,
+    Table,
+    UnsupportedQueryError,
+)
+from repro.core.controller import QueryController
+
+
+class TestSessionBasics:
+    def test_register_and_sql(self, session, sbi_sql):
+        query = session.sql(sbi_sql)
+        assert "subquery #0" in query.plan_description
+
+    def test_execute_batch_accepts_text(self, session):
+        out = session.execute_batch("SELECT COUNT(*) AS n FROM sessions")
+        assert out.to_pylist()[0]["n"] == 5000
+
+    def test_load_csv(self, tmp_path, sessions_table):
+        from repro.storage import write_csv
+
+        path = tmp_path / "s.csv"
+        write_csv(sessions_table, path)
+        s = GolaSession(GolaConfig(num_batches=2, bootstrap_trials=8))
+        t = s.load_csv("sessions", path)
+        assert t.num_rows == 5000
+        assert "sessions" in s.catalog
+
+    def test_udf_available_in_sql(self, session):
+        session.register_udf("clip10", lambda v: np.minimum(v, 10.0))
+        out = session.execute_batch(
+            "SELECT MAX(clip10(buffer_time)) AS m FROM sessions"
+        )
+        assert out.to_pylist()[0]["m"] == 10.0
+
+    def test_udaf_available_in_sql(self, session):
+        session.register_udaf(
+            "second_moment",
+            init=lambda: [0.0, 0.0],
+            update=lambda s, v, w: [s[0] + float(np.sum(v * v * w)),
+                                    s[1] + float(np.sum(w))],
+            merge=lambda a, b: [a[0] + b[0], a[1] + b[1]],
+            finalize=lambda s, scale: s[0] / max(s[1], 1.0),
+        )
+        out = session.execute_batch(
+            "SELECT second_moment(buffer_time) AS m2 FROM sessions"
+        )
+        buffer = session.catalog.get("sessions").column("buffer_time")
+        assert out.to_pylist()[0]["m2"] == pytest.approx(
+            float((buffer ** 2).mean())
+        )
+
+
+class TestOnlineRuns:
+    def test_snapshot_count_equals_batches(self, session, sbi_sql):
+        query = session.sql(sbi_sql)
+        snapshots = list(query.run_online())
+        assert len(snapshots) == 5
+        assert snapshots[-1].is_final
+
+    def test_final_snapshot_equals_exact(self, session, sbi_sql):
+        query = session.sql(sbi_sql)
+        last = query.run_to_completion()
+        exact = session.execute_batch(query)
+        assert last.estimate == pytest.approx(
+            float(exact.column(exact.schema.names[0])[0]), rel=1e-9
+        )
+
+    def test_estimates_within_interval_mostly(self, session, sbi_sql):
+        query = session.sql(sbi_sql)
+        exact = session.execute_batch(query)
+        truth = float(exact.column(exact.schema.names[0])[0])
+        hits = 0
+        snaps = list(session.sql(query.sql).run_online())
+        for snap in snaps:
+            if snap.interval.contains(truth):
+                hits += 1
+        assert hits >= len(snaps) - 1  # allow one miss at 95% nominal
+
+    def test_stop_ends_iteration(self, session, sbi_sql):
+        query = session.sql(sbi_sql)
+        count = 0
+        for snapshot in query.run_online():
+            count += 1
+            if count == 2:
+                query.stop()
+        assert count == 2
+
+    def test_run_until_target(self, session, sbi_sql):
+        query = session.sql(sbi_sql)
+        snap = query.run_until(relative_stdev=0.5)
+        assert snap.relative_stdev <= 0.5
+
+    def test_run_until_unreachable_returns_final(self, session, sbi_sql):
+        query = session.sql(sbi_sql)
+        snap = query.run_until(relative_stdev=0.0)
+        assert snap.is_final
+
+    def test_stop_before_run_raises(self, session, sbi_sql):
+        with pytest.raises(QueryStopped):
+            session.sql(sbi_sql).stop()
+
+    def test_reproducible_runs(self, session, sbi_sql):
+        a = [s.estimate for s in session.sql(sbi_sql).run_online()]
+        b = [s.estimate for s in session.sql(sbi_sql).run_online()]
+        assert a == b
+
+    def test_config_override_per_run(self, session, sbi_sql):
+        query = session.sql(sbi_sql)
+        snaps = list(query.run_online(
+            GolaConfig(num_batches=3, bootstrap_trials=8, seed=1)
+        ))
+        assert len(snaps) == 3
+
+    def test_monotonic_query_runs_with_empty_uncertain(self, session):
+        query = session.sql("SELECT AVG(play_time) FROM sessions")
+        for snap in query.run_online():
+            assert snap.total_uncertain == 0
+
+    def test_grouped_query_snapshots(self, session):
+        query = session.sql(
+            "SELECT FLOOR(buffer_time / 20) AS b, COUNT(*) AS n "
+            "FROM sessions GROUP BY FLOOR(buffer_time / 20) ORDER BY b"
+        )
+        last = query.run_to_completion()
+        exact = session.execute_batch(query)
+        assert last.table.num_rows == exact.num_rows
+
+    def test_snapshot_errors_present_for_aggregates(self, session, sbi_sql):
+        snap = next(iter(session.sql(sbi_sql).run_online()))
+        assert snap.errors  # at least the aggregate column has error bars
+        name = snap.table.schema.names[0]
+        assert snap.errors[name].lows.shape == (1,)
+
+
+class TestControllerValidation:
+    def test_requires_streamed_relation(self, sessions_table, sbi_sql):
+        session = GolaSession(GolaConfig(num_batches=2, bootstrap_trials=8))
+        session.register_table("sessions", sessions_table, streamed=False)
+        query = session.sql(sbi_sql)
+        with pytest.raises(UnsupportedQueryError, match="streamed"):
+            list(query.run_online())
+
+    def test_plain_select_unsupported_online(self, session):
+        query = session.sql("SELECT play_time FROM sessions")
+        with pytest.raises(UnsupportedQueryError):
+            list(query.run_online())
+
+    def test_static_dimension_subquery(self, sessions_table):
+        """A subquery over a non-streamed table is evaluated once, exactly."""
+        session = GolaSession(
+            GolaConfig(num_batches=3, bootstrap_trials=8, seed=2)
+        )
+        session.register_table("sessions", sessions_table, streamed=True)
+        thresholds = Table.from_columns({"cut": np.array([25.0, 35.0])})
+        session.register_table("thresholds", thresholds, streamed=False)
+        query = session.sql(
+            "SELECT AVG(play_time) FROM sessions WHERE buffer_time > "
+            "(SELECT AVG(cut) FROM thresholds)"
+        )
+        last = query.run_to_completion()
+        exact = session.execute_batch(query)
+        assert last.estimate == pytest.approx(
+            float(exact.column(exact.schema.names[0])[0]), rel=1e-9
+        )
+        # Static values are certain: no uncertain tuples anywhere.
+        assert all(
+            s == 0 for s in last.uncertain_sizes.values()
+        )
+
+    def test_retain_batches_disabled_still_runs_clean_queries(
+        self, sessions_table
+    ):
+        session = GolaSession(
+            GolaConfig(num_batches=3, bootstrap_trials=8, seed=2,
+                       retain_batches=False)
+        )
+        session.register_table("sessions", sessions_table)
+        query = session.sql("SELECT SUM(play_time) FROM sessions")
+        last = query.run_to_completion()
+        exact = session.execute_batch(query)
+        assert last.estimate == pytest.approx(
+            float(exact.column(exact.schema.names[0])[0]), rel=1e-6
+        )

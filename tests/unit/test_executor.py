@@ -1,0 +1,230 @@
+"""Unit tests for the exact batch executor against numpy oracles."""
+
+import numpy as np
+import pytest
+
+from repro.engine import BatchExecutor, hash_join
+from repro.errors import ExecutionError
+from repro.plan import bind_statement
+from repro.sql import parse_sql
+from repro.storage import Catalog, Table
+
+
+@pytest.fixture
+def data():
+    rng = np.random.default_rng(7)
+    n = 2000
+    fact = Table.from_columns(
+        {
+            "k": rng.integers(0, 50, n).astype(np.int64),
+            "g": np.array(["g%d" % v for v in rng.integers(0, 5, n)],
+                          dtype=object),
+            "x": rng.normal(10, 3, n),
+            "y": rng.exponential(5, n),
+        }
+    )
+    dim = Table.from_columns(
+        {
+            "k": np.arange(50, dtype=np.int64),
+            "region": np.array(
+                ["north" if i % 2 else "south" for i in range(50)],
+                dtype=object,
+            ),
+        }
+    )
+    cat = Catalog()
+    cat.register("fact", fact, streamed=True)
+    cat.register("dim", dim, streamed=False)
+    return cat, fact, dim
+
+
+def run(sql, cat):
+    query = bind_statement(parse_sql(sql), cat)
+    tables = {name: cat.get(name) for name in cat}
+    return BatchExecutor(tables).execute(query)
+
+
+class TestScansAndFilters:
+    def test_projection_only(self, data):
+        cat, fact, _ = data
+        out = run("SELECT x FROM fact", cat)
+        np.testing.assert_array_equal(out.column("x"), fact.column("x"))
+
+    def test_where_filter(self, data):
+        cat, fact, _ = data
+        out = run("SELECT x FROM fact WHERE x > 12", cat)
+        assert out.num_rows == int((fact.column("x") > 12).sum())
+
+    def test_expression_projection(self, data):
+        cat, fact, _ = data
+        out = run("SELECT x + y AS s FROM fact", cat)
+        np.testing.assert_allclose(
+            out.column("s"), fact.column("x") + fact.column("y")
+        )
+
+    def test_order_by_limit(self, data):
+        cat, fact, _ = data
+        out = run("SELECT x FROM fact ORDER BY x DESC LIMIT 3", cat)
+        expected = np.sort(fact.column("x"))[::-1][:3]
+        np.testing.assert_allclose(out.column("x"), expected)
+
+
+class TestAggregates:
+    def test_global_aggregates(self, data):
+        cat, fact, _ = data
+        out = run(
+            "SELECT AVG(x) AS m, SUM(y) AS s, COUNT(*) AS n, "
+            "MIN(x) AS lo, MAX(x) AS hi, STDEV(x) AS sd FROM fact",
+            cat,
+        )
+        row = out.to_pylist()[0]
+        assert row["m"] == pytest.approx(fact.column("x").mean())
+        assert row["s"] == pytest.approx(fact.column("y").sum())
+        assert row["n"] == 2000
+        assert row["lo"] == pytest.approx(fact.column("x").min())
+        assert row["hi"] == pytest.approx(fact.column("x").max())
+        assert row["sd"] == pytest.approx(np.std(fact.column("x"), ddof=1))
+
+    def test_group_by_matches_numpy(self, data):
+        cat, fact, _ = data
+        out = run("SELECT g, AVG(x) AS m FROM fact GROUP BY g", cat)
+        for row in out.to_pylist():
+            mask = fact.column("g") == row["g"]
+            assert row["m"] == pytest.approx(fact.column("x")[mask].mean())
+
+    def test_having(self, data):
+        cat, fact, _ = data
+        out = run(
+            "SELECT g, COUNT(*) AS n FROM fact GROUP BY g "
+            "HAVING COUNT(*) > 400",
+            cat,
+        )
+        for row in out.to_pylist():
+            assert row["n"] > 400
+
+    def test_scale_applies_to_sum_count_not_avg(self, data):
+        cat, fact, _ = data
+        query = bind_statement(
+            parse_sql("SELECT SUM(x) AS s, COUNT(*) AS n, AVG(x) AS m "
+                      "FROM fact"), cat
+        )
+        tables = {name: cat.get(name) for name in cat}
+        out = BatchExecutor(tables).execute(query, scale=2.0)
+        row = out.to_pylist()[0]
+        assert row["s"] == pytest.approx(2 * fact.column("x").sum())
+        assert row["n"] == pytest.approx(2 * 2000)
+        assert row["m"] == pytest.approx(fact.column("x").mean())
+
+    def test_quantile(self, data):
+        cat, fact, _ = data
+        out = run("SELECT QUANTILE(x, 0.5) AS med FROM fact", cat)
+        assert out.to_pylist()[0]["med"] == pytest.approx(
+            np.median(fact.column("x")), abs=0.3
+        )
+
+    def test_empty_input_global_aggregate(self, data):
+        cat, _, _ = data
+        out = run("SELECT COUNT(*) AS n FROM fact WHERE x > 1e9", cat)
+        assert out.to_pylist() == [{"n": 0.0}]
+
+
+class TestSubqueries:
+    def test_scalar(self, data):
+        cat, fact, _ = data
+        out = run(
+            "SELECT COUNT(*) AS n FROM fact WHERE x > "
+            "(SELECT AVG(x) FROM fact)",
+            cat,
+        )
+        expected = int((fact.column("x") > fact.column("x").mean()).sum())
+        assert out.to_pylist()[0]["n"] == expected
+
+    def test_keyed_correlated(self, data):
+        cat, fact, _ = data
+        out = run(
+            "SELECT COUNT(*) AS n FROM fact WHERE x > "
+            "(SELECT AVG(x) FROM fact f WHERE f.k = fact.k)",
+            cat,
+        )
+        x, k = fact.column("x"), fact.column("k")
+        means = {key: x[k == key].mean() for key in np.unique(k)}
+        expected = sum(
+            1 for xi, ki in zip(x, k) if xi > means[ki]
+        )
+        assert out.to_pylist()[0]["n"] == expected
+
+    def test_set_membership(self, data):
+        cat, fact, _ = data
+        out = run(
+            "SELECT COUNT(*) AS n FROM fact WHERE k IN "
+            "(SELECT k FROM fact GROUP BY k HAVING SUM(y) > 200)",
+            cat,
+        )
+        y, k = fact.column("y"), fact.column("k")
+        big = {key for key in np.unique(k) if y[k == key].sum() > 200}
+        expected = sum(1 for ki in k if ki in big)
+        assert out.to_pylist()[0]["n"] == expected
+
+    def test_scalar_helper(self, data):
+        cat, _, _ = data
+        query = bind_statement(parse_sql("SELECT AVG(x) FROM fact"), cat)
+        tables = {name: cat.get(name) for name in cat}
+        executor = BatchExecutor(tables)
+        assert isinstance(executor.scalar(query), float)
+
+    def test_scalar_helper_rejects_tables(self, data):
+        cat, _, _ = data
+        query = bind_statement(
+            parse_sql("SELECT g, AVG(x) FROM fact GROUP BY g"), cat
+        )
+        tables = {name: cat.get(name) for name in cat}
+        with pytest.raises(ExecutionError, match="1x1"):
+            BatchExecutor(tables).scalar(query)
+
+
+class TestJoins:
+    def test_dimension_join_aggregate(self, data):
+        cat, fact, dim = data
+        out = run(
+            "SELECT region, COUNT(*) AS n FROM fact "
+            "JOIN dim ON fact.k = dim.k GROUP BY region ORDER BY region",
+            cat,
+        )
+        region_of = dict(zip(dim.column("k"), dim.column("region")))
+        counts = {"north": 0, "south": 0}
+        for ki in fact.column("k"):
+            counts[region_of[ki]] += 1
+        rows = {r["region"]: r["n"] for r in out.to_pylist()}
+        assert rows == counts
+
+    def test_hash_join_inner_drops_unmatched(self):
+        left = Table.from_columns({"k": np.array([1, 2, 3], dtype=np.int64),
+                                   "v": np.array([10.0, 20.0, 30.0])})
+        right = Table.from_columns({"k": np.array([2, 3], dtype=np.int64),
+                                    "w": np.array([200.0, 300.0])})
+        out = hash_join(left, right, [("k", "k")], "inner")
+        assert out.column("v").tolist() == [20.0, 30.0]
+        assert out.column("w").tolist() == [200.0, 300.0]
+
+    def test_hash_join_left_fills(self):
+        left = Table.from_columns({"k": np.array([1, 2], dtype=np.int64)})
+        right = Table.from_columns({"k": np.array([2], dtype=np.int64),
+                                    "w": np.array([5.0])})
+        out = hash_join(left, right, [("k", "k")], "left")
+        assert out.num_rows == 2
+        assert np.isnan(out.column("w")[0]) and out.column("w")[1] == 5.0
+
+    def test_duplicate_build_keys_rejected(self):
+        left = Table.from_columns({"k": np.array([1], dtype=np.int64)})
+        right = Table.from_columns({"k": np.array([1, 1], dtype=np.int64),
+                                    "w": np.array([1.0, 2.0])})
+        with pytest.raises(ExecutionError, match="duplicate"):
+            hash_join(left, right, [("k", "k")])
+
+    def test_rows_processed_counted(self, data):
+        cat, _, _ = data
+        query = bind_statement(parse_sql("SELECT AVG(x) FROM fact"), cat)
+        tables = {name: cat.get(name) for name in cat}
+        executor = BatchExecutor(tables)
+        executor.execute(query)
+        assert executor.last_rows_processed == 2000

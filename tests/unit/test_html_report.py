@@ -1,0 +1,88 @@
+"""Unit tests for the HTML report renderer."""
+
+import numpy as np
+import pytest
+
+from repro.core.result import ColumnErrors, OnlineSnapshot
+from repro.frontends import render_html_report, write_html_report
+from repro.storage import Table
+
+
+def scalar_snapshot(i, k, value, half_width, rebuilds=()):
+    table = Table.from_columns({"v": np.array([value])})
+    return OnlineSnapshot(
+        batch_index=i, num_batches=k, table=table,
+        errors={"v": ColumnErrors(
+            lows=np.array([value - half_width]),
+            highs=np.array([value + half_width]),
+            rel_stdev=np.array([half_width / max(value, 1e-9)]),
+        )},
+        uncertain_sizes={"main": 5 * i}, rows_processed={"main": 100},
+        rebuilds=list(rebuilds), elapsed_s=0.01, confidence=0.95,
+    )
+
+
+@pytest.fixture
+def snapshots():
+    return [
+        scalar_snapshot(i, 4, 100.0 + i, 10.0 / i,
+                        rebuilds=["main"] if i == 3 else ())
+        for i in range(1, 5)
+    ]
+
+
+class TestRenderHtml:
+    def test_is_complete_document(self, snapshots):
+        doc = render_html_report(snapshots, sql="SELECT AVG(v) FROM t")
+        assert doc.startswith("<!DOCTYPE html>")
+        assert doc.rstrip().endswith("</html>")
+        assert "SELECT AVG(v) FROM t" in doc
+
+    def test_contains_trajectory_svg(self, snapshots):
+        doc = render_html_report(snapshots)
+        assert "<svg" in doc and "polyline" in doc and "polygon" in doc
+
+    def test_progress_table_rows(self, snapshots):
+        doc = render_html_report(snapshots)
+        # One row per batch, rebuild batch highlighted.
+        assert doc.count("<tr") >= 5
+        assert 'class="rebuild"' in doc
+
+    def test_escapes_untrusted_text(self, snapshots):
+        doc = render_html_report(
+            snapshots, title="<script>alert(1)</script>"
+        )
+        assert "<script>" not in doc
+        assert "&lt;script&gt;" in doc
+
+    def test_grouped_result_without_trajectory(self):
+        table = Table.from_columns({
+            "g": np.array(["a", "b"], dtype=object),
+            "n": np.array([1.0, 2.0]),
+        })
+        snap = OnlineSnapshot(
+            batch_index=1, num_batches=2, table=table, errors={},
+            uncertain_sizes={}, rows_processed={}, rebuilds=[],
+            elapsed_s=0.0, confidence=0.95,
+        )
+        doc = render_html_report([snap])
+        assert "no scalar trajectory" in doc or "<svg" not in doc
+        assert "<td>a</td>" in doc
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_html_report([])
+
+    def test_write_roundtrip(self, snapshots, tmp_path):
+        path = tmp_path / "report.html"
+        write_html_report(snapshots, path, title="run")
+        text = path.read_text()
+        assert "run" in text and "</html>" in text
+
+    def test_real_run_report(self, session, sbi_sql, tmp_path):
+        snaps = list(session.sql(sbi_sql).run_online())
+        path = tmp_path / "sbi.html"
+        write_html_report(snaps, path, sql=sbi_sql)
+        text = path.read_text()
+        assert "Estimate trajectory" in text
+        assert f"{len(snaps)} of {len(snaps)} mini-batches" in text

@@ -1,0 +1,103 @@
+"""Remaining I/O and rendering edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.storage import Column, ColumnType, Schema, Table, read_csv, write_csv
+from repro.storage.table import _coerce
+from repro.errors import SchemaError
+
+
+class TestCsvOptions:
+    def test_explicit_schema_overrides_inference(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a,b\n1,2\n3,4\n")
+        schema = Schema([Column("a", ColumnType.FLOAT64),
+                         Column("b", ColumnType.STRING)])
+        t = read_csv(path, schema=schema)
+        assert t.schema.type_of("a") is ColumnType.FLOAT64
+        assert t.column("b").tolist() == ["2", "4"]
+
+    def test_custom_delimiter_roundtrip(self, tmp_path, small_table):
+        path = tmp_path / "t.tsv"
+        write_csv(small_table, path, delimiter="\t")
+        t = read_csv(path, delimiter="\t")
+        assert t.column("grp").tolist() == \
+            small_table.column("grp").tolist()
+
+    def test_mixed_numeric_column_widens_to_float(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("a\n1\n2.5\n")
+        t = read_csv(path)
+        assert t.schema.type_of("a") is ColumnType.FLOAT64
+
+
+class TestCoercion:
+    def test_int_to_float(self):
+        out = _coerce(np.array([1, 2]), ColumnType.FLOAT64)
+        assert out.dtype == np.float64
+
+    def test_anything_to_string_object(self):
+        out = _coerce(np.array([1, 2]), ColumnType.STRING)
+        assert out.dtype == object
+
+    def test_two_dimensional_rejected(self):
+        with pytest.raises(SchemaError, match="1-D"):
+            _coerce(np.ones((2, 2)), ColumnType.FLOAT64)
+
+    def test_uncastable_rejected(self):
+        with pytest.raises(SchemaError, match="coerce"):
+            _coerce(np.array(["x"], dtype=object), ColumnType.FLOAT64)
+
+
+class TestExpressionRendering:
+    def test_sql_roundtrippable_shapes(self):
+        from repro.expr.expressions import (
+            Between,
+            BooleanOp,
+            CaseWhen,
+            ColumnRef,
+            Comparison,
+            FunctionCall,
+            InList,
+            InSubquery,
+            Literal,
+            Negate,
+            SubqueryRef,
+        )
+
+        samples = {
+            Comparison(">", ColumnRef("a"), Literal(1)): "(a > 1)",
+            Negate(ColumnRef("a")): "(-a)",
+            BooleanOp("NOT", [Literal(True)]): "(NOT True)",
+            Between(ColumnRef("a"), Literal(0), Literal(1)):
+                "(a BETWEEN 0 AND 1)",
+            InList(ColumnRef("g"), ["x"]): "(g IN ('x'))",
+            SubqueryRef(3): "<subquery#3>",
+            InSubquery(ColumnRef("k"), 2, negated=True):
+                "(k NOT IN <subquery#2>)",
+            FunctionCall("sqrt", [ColumnRef("a")]): "sqrt(a)",
+        }
+        for expr, expected in samples.items():
+            assert expr.sql() == expected
+
+    def test_case_rendering(self):
+        from repro.expr.expressions import (
+            CaseWhen,
+            Comparison,
+            ColumnRef,
+            Literal,
+        )
+
+        expr = CaseWhen(
+            [(Comparison(">", ColumnRef("a"), Literal(0)), Literal(1))],
+            Literal(0),
+        )
+        text = expr.sql()
+        assert text.startswith("CASE WHEN") and text.endswith("END")
+
+    def test_keyed_subquery_rendering(self):
+        from repro.expr.expressions import ColumnRef, SubqueryRef
+
+        expr = SubqueryRef(1, correlation=ColumnRef("k"))
+        assert "keyed by k" in expr.sql()

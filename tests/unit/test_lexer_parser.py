@@ -1,0 +1,201 @@
+"""Unit tests for the SQL lexer and parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sql import ast_nodes as ast
+from repro.sql.lexer import TokenType, tokenize
+from repro.sql.parser import parse_sql
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        tokens = tokenize("SELECT a, 1.5 FROM t")
+        kinds = [t.type for t in tokens]
+        assert kinds == [TokenType.KEYWORD, TokenType.IDENT,
+                         TokenType.SYMBOL, TokenType.NUMBER,
+                         TokenType.KEYWORD, TokenType.IDENT, TokenType.EOF]
+
+    def test_keywords_case_insensitive(self):
+        assert tokenize("select")[0].value == "select"
+        assert tokenize("SeLeCt")[0].value == "select"
+
+    def test_string_literal_with_escape(self):
+        tok = tokenize("'it''s'")[0]
+        assert tok.type is TokenType.STRING and tok.value == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError, match="unterminated"):
+            tokenize("'oops")
+
+    def test_numbers(self):
+        values = [t.value for t in tokenize("1 2.5 .5 1e3 2.5e-2")
+                  if t.type is TokenType.NUMBER]
+        assert values == ["1", "2.5", ".5", "1e3", "2.5e-2"]
+
+    def test_comments_skipped(self):
+        tokens = tokenize("a -- comment\n b")
+        idents = [t.value for t in tokens if t.type is TokenType.IDENT]
+        assert idents == ["a", "b"]
+
+    def test_multichar_symbols_greedy(self):
+        symbols = [t.value for t in tokenize("<= >= != <> < >")
+                   if t.type is TokenType.SYMBOL]
+        assert symbols == ["<=", ">=", "!=", "<>", "<", ">"]
+
+    def test_bad_character(self):
+        with pytest.raises(ParseError, match="unexpected character"):
+            tokenize("a @ b")
+
+    def test_error_reports_line_and_column(self):
+        with pytest.raises(ParseError, match="line 2"):
+            tokenize("a\nb @")
+
+
+class TestParserBasics:
+    def test_simple_select(self):
+        stmt = parse_sql("SELECT a, b FROM t")
+        assert len(stmt.items) == 2
+        assert stmt.from_table.name == "t"
+
+    def test_aliases(self):
+        stmt = parse_sql("SELECT a AS x, b y FROM t z")
+        assert stmt.items[0].alias == "x"
+        assert stmt.items[1].alias == "y"
+        assert stmt.from_table.alias == "z"
+
+    def test_trailing_semicolon(self):
+        assert parse_sql("SELECT a FROM t;").from_table.name == "t"
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError, match="trailing"):
+            parse_sql("SELECT a FROM t extra stuff junk(")
+
+    def test_where_group_having_order_limit(self):
+        stmt = parse_sql(
+            "SELECT g, SUM(x) FROM t WHERE x > 1 GROUP BY g "
+            "HAVING SUM(x) > 10 ORDER BY g DESC LIMIT 5"
+        )
+        assert stmt.where is not None
+        assert len(stmt.group_by) == 1
+        assert stmt.having is not None
+        assert stmt.order_by[0][1] is True  # descending
+        assert stmt.limit == 5
+
+    def test_count_star(self):
+        stmt = parse_sql("SELECT COUNT(*) FROM t")
+        call = stmt.items[0].expr
+        assert isinstance(call, ast.Call) and call.star
+
+    def test_join(self):
+        stmt = parse_sql(
+            "SELECT a FROM f JOIN d ON f.k = d.k"
+        )
+        assert len(stmt.joins) == 1
+        assert stmt.joins[0].how == "inner"
+
+    def test_left_join(self):
+        stmt = parse_sql("SELECT a FROM f LEFT JOIN d ON f.k = d.k")
+        assert stmt.joins[0].how == "left"
+
+
+class TestParserExpressions:
+    def _expr(self, text):
+        return parse_sql(f"SELECT {text} FROM t").items[0].expr
+
+    def test_precedence_mul_over_add(self):
+        expr = self._expr("1 + 2 * 3")
+        assert isinstance(expr, ast.Binary) and expr.op == "+"
+        assert isinstance(expr.right, ast.Binary) and expr.right.op == "*"
+
+    def test_parens_override(self):
+        expr = self._expr("(1 + 2) * 3")
+        assert expr.op == "*"
+
+    def test_and_or_precedence(self):
+        stmt = parse_sql("SELECT a FROM t WHERE a = 1 OR b = 2 AND c = 3")
+        assert stmt.where.op == "or"
+        assert stmt.where.right.op == "and"
+
+    def test_not(self):
+        stmt = parse_sql("SELECT a FROM t WHERE NOT a = 1")
+        assert isinstance(stmt.where, ast.Unary) and stmt.where.op == "not"
+
+    def test_between(self):
+        stmt = parse_sql("SELECT a FROM t WHERE a BETWEEN 1 AND 2")
+        assert isinstance(stmt.where, ast.BetweenExpr)
+
+    def test_not_between(self):
+        stmt = parse_sql("SELECT a FROM t WHERE a NOT BETWEEN 1 AND 2")
+        assert stmt.where.negated
+
+    def test_in_list(self):
+        stmt = parse_sql("SELECT a FROM t WHERE g IN ('x', 'y')")
+        assert isinstance(stmt.where, ast.InListExpr)
+        assert len(stmt.where.options) == 2
+
+    def test_in_subquery(self):
+        stmt = parse_sql(
+            "SELECT a FROM t WHERE k IN (SELECT k FROM u)"
+        )
+        assert isinstance(stmt.where, ast.InSelectExpr)
+
+    def test_not_in_subquery(self):
+        stmt = parse_sql(
+            "SELECT a FROM t WHERE k NOT IN (SELECT k FROM u)"
+        )
+        assert stmt.where.negated
+
+    def test_scalar_subquery(self):
+        stmt = parse_sql(
+            "SELECT a FROM t WHERE x > (SELECT AVG(x) FROM t)"
+        )
+        assert isinstance(stmt.where.right, ast.ScalarSelect)
+
+    def test_nested_subqueries(self):
+        stmt = parse_sql(
+            "SELECT a FROM t WHERE x > (SELECT AVG(x) FROM t WHERE y > "
+            "(SELECT AVG(y) FROM t))"
+        )
+        inner = stmt.where.right.select
+        assert isinstance(inner.where.right, ast.ScalarSelect)
+
+    def test_case_when(self):
+        expr = self._expr(
+            "CASE WHEN a > 1 THEN 'big' WHEN a > 0 THEN 'small' "
+            "ELSE 'neg' END"
+        )
+        assert isinstance(expr, ast.CaseExpr)
+        assert len(expr.whens) == 2 and expr.otherwise is not None
+
+    def test_unary_minus(self):
+        expr = self._expr("-a")
+        assert isinstance(expr, ast.Unary) and expr.op == "-"
+
+    def test_distinct_aggregate_flag(self):
+        expr = self._expr("COUNT(DISTINCT a)")
+        assert expr.distinct
+
+    def test_string_and_bool_literals(self):
+        assert self._expr("'hi'").value == "hi"
+        assert self._expr("true").value is True
+
+    def test_qualified_idents(self):
+        expr = self._expr("s.col")
+        assert expr.parts == ("s", "col")
+
+    def test_function_call_args(self):
+        expr = self._expr("power(a, 2)")
+        assert expr.name == "power" and len(expr.args) == 2
+
+    def test_missing_from(self):
+        with pytest.raises(ParseError):
+            parse_sql("SELECT a")
+
+    def test_case_without_when(self):
+        with pytest.raises(ParseError):
+            parse_sql("SELECT CASE ELSE 1 END FROM t")
+
+    def test_limit_requires_number(self):
+        with pytest.raises(ParseError, match="LIMIT"):
+            parse_sql("SELECT a FROM t LIMIT x")

@@ -1,0 +1,92 @@
+"""Unit tests for the online query compiler (meta plans)."""
+
+import numpy as np
+import pytest
+
+from repro import GolaConfig, UnsupportedQueryError
+from repro.core import compile_meta_plan
+from repro.plan import bind_statement
+from repro.sql import parse_sql
+from repro.storage import Catalog, Table
+
+
+@pytest.fixture
+def setup():
+    rng = np.random.default_rng(9)
+    fact = Table.from_columns({
+        "k": rng.integers(0, 5, 500).astype(np.int64),
+        "x": rng.normal(size=500),
+    })
+    dim = Table.from_columns({
+        "k": np.arange(5, dtype=np.int64),
+        "cut": rng.uniform(size=5),
+    })
+    cat = Catalog()
+    cat.register("fact", fact, streamed=True)
+    cat.register("dim", dim, streamed=False)
+    tables = {"fact": fact, "dim": dim}
+    streamed = {"fact": True, "dim": False}
+    config = GolaConfig(num_batches=3, bootstrap_trials=8)
+    return cat, tables, streamed, config
+
+
+def compile_sql(sql, setup):
+    cat, tables, streamed, config = setup
+    query = bind_statement(parse_sql(sql), cat)
+    return compile_meta_plan(query, tables, streamed, config)
+
+
+class TestCompile:
+    def test_blocks_in_dependency_order(self, setup):
+        plan = compile_sql(
+            "SELECT AVG(x) FROM fact WHERE x > (SELECT AVG(x) FROM fact)",
+            setup,
+        )
+        ids = [b.block_id for b in plan.online_blocks]
+        assert ids == ["sub#0", "main"]
+        assert plan.main_runtime is plan.runtimes["main"]
+
+    def test_static_subquery_separated(self, setup):
+        plan = compile_sql(
+            "SELECT AVG(x) FROM fact WHERE x > (SELECT AVG(cut) FROM dim)",
+            setup,
+        )
+        assert [b.block_id for b in plan.online_blocks] == ["main"]
+        assert [s.slot for s in plan.static_specs] == [0]
+
+    def test_describe_mentions_strategy(self, setup):
+        plan = compile_sql(
+            "SELECT AVG(x) FROM fact WHERE x > (SELECT AVG(x) FROM fact)",
+            setup,
+        )
+        text = plan.describe()
+        assert "main" in text and "consumes #0" in text
+        assert "uncertain predicate" in text
+
+    def test_describe_static(self, setup):
+        plan = compile_sql(
+            "SELECT AVG(x) FROM fact WHERE x > (SELECT AVG(cut) FROM dim)",
+            setup,
+        )
+        assert "static" in plan.describe()
+
+    def test_no_streamed_relation_rejected(self, setup):
+        cat, tables, streamed, config = setup
+        query = bind_statement(
+            parse_sql("SELECT AVG(cut) FROM dim"), cat
+        )
+        with pytest.raises(UnsupportedQueryError, match="streamed"):
+            compile_meta_plan(query, tables, streamed, config)
+
+    def test_main_must_scan_streamed(self, setup):
+        cat, tables, streamed, config = setup
+        query = bind_statement(
+            parse_sql(
+                "SELECT AVG(cut) FROM dim WHERE cut > "
+                "(SELECT AVG(x) FROM fact)"
+            ),
+            cat,
+        )
+        # Main scans dim (non-streamed) while the subquery streams fact.
+        with pytest.raises(UnsupportedQueryError):
+            compile_meta_plan(query, tables, streamed, config)

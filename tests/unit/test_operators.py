@@ -1,0 +1,152 @@
+"""Direct unit tests for physical operators and grouping helpers."""
+
+import numpy as np
+import pytest
+
+from repro.engine.aggregates import GroupIndex
+from repro.engine.operators import (
+    group_indices,
+    run_aggregate,
+    run_filter,
+    run_limit,
+    run_project,
+    run_sort,
+)
+from repro.engine.aggregates import AggregateCall
+from repro.expr.expressions import (
+    BinaryOp,
+    ColumnRef,
+    Comparison,
+    Environment,
+    Literal,
+)
+from repro.plan.logical import Aggregate, Filter, Limit, Project, Scan, Sort
+from repro.storage import Column, ColumnType, Schema, Table
+
+
+@pytest.fixture
+def table():
+    return Table.from_columns({
+        "g": np.array(["a", "b", "a", "c"], dtype=object),
+        "h": np.array([1, 1, 2, 2], dtype=np.int64),
+        "x": np.array([1.0, 2.0, 3.0, 4.0]),
+    })
+
+
+def scan_for(table):
+    return Scan("t", table.schema)
+
+
+class TestFilterProject:
+    def test_filter(self, table):
+        node = Filter(scan_for(table),
+                      Comparison(">", ColumnRef("x"), Literal(2)))
+        out = run_filter(node, table, Environment())
+        assert out.column("x").tolist() == [3.0, 4.0]
+
+    def test_filter_empty_input(self, table):
+        node = Filter(scan_for(table), Literal(True))
+        empty = Table.empty(table.schema)
+        assert run_filter(node, empty, Environment()).num_rows == 0
+
+    def test_project_broadcasts_scalars(self, table):
+        node = Project(scan_for(table), [
+            (ColumnRef("x"), "x"),
+            (Literal(7), "seven"),
+        ])
+        out = run_project(node, table, Environment())
+        assert out.column("seven").tolist() == [7, 7, 7, 7]
+
+    def test_project_expression(self, table):
+        node = Project(scan_for(table), [
+            (BinaryOp("*", ColumnRef("x"), Literal(2)), "double"),
+        ])
+        out = run_project(node, table, Environment())
+        assert out.column("double").tolist() == [2.0, 4.0, 6.0, 8.0]
+
+
+class TestGroupIndices:
+    def test_no_grouping_single_group(self, table):
+        idx, index = group_indices(table, [], Environment())
+        assert idx.tolist() == [0, 0, 0, 0]
+        assert index.num_groups == 1
+
+    def test_single_key(self, table):
+        idx, index = group_indices(
+            table, [(ColumnRef("g"), "g")], Environment()
+        )
+        assert index.num_groups == 3
+        assert idx[0] == idx[2]  # both 'a'
+
+    def test_multi_key_tuples(self, table):
+        idx, index = group_indices(
+            table, [(ColumnRef("g"), "g"), (ColumnRef("h"), "h")],
+            Environment(),
+        )
+        assert index.num_groups == 4  # (a,1),(b,1),(a,2),(c,2)
+
+    def test_extends_existing_index(self, table):
+        index = GroupIndex()
+        index.encode(np.array(["z"], dtype=object))
+        idx, out = group_indices(
+            table, [(ColumnRef("g"), "g")], Environment(), index
+        )
+        assert out is index and out.num_groups == 4
+        assert out.index_of("z") == 0  # stable
+
+
+class TestAggregateOperator:
+    def test_grouped(self, table):
+        node = Aggregate(
+            scan_for(table), [(ColumnRef("g"), "g")],
+            [AggregateCall("sum", ColumnRef("x"), "s")],
+        )
+        out = run_aggregate(node, table, Environment())
+        rows = {r["g"]: r["s"] for r in out.to_pylist()}
+        assert rows == {"a": 4.0, "b": 2.0, "c": 4.0}
+
+    def test_global_empty_input_single_row(self, table):
+        node = Aggregate(
+            scan_for(table), [],
+            [AggregateCall("count", None, "n")],
+        )
+        out = run_aggregate(node, Table.empty(table.schema), Environment())
+        assert out.to_pylist() == [{"n": 0.0}]
+
+    def test_having_filters_groups(self, table):
+        node = Aggregate(
+            scan_for(table), [(ColumnRef("g"), "g")],
+            [AggregateCall("sum", ColumnRef("x"), "s")],
+            having=Comparison(">", ColumnRef("s"), Literal(2.5)),
+        )
+        out = run_aggregate(node, table, Environment())
+        assert sorted(out.column("g").tolist()) == ["a", "c"]
+
+    def test_scale(self, table):
+        node = Aggregate(
+            scan_for(table), [],
+            [AggregateCall("sum", ColumnRef("x"), "s")],
+        )
+        out = run_aggregate(node, table, Environment(), scale=3.0)
+        assert out.to_pylist()[0]["s"] == pytest.approx(30.0)
+
+
+class TestSortLimit:
+    def test_sort(self, table):
+        node = Sort(scan_for(table), [("x", True)])
+        out = run_sort(node, table)
+        assert out.column("x").tolist() == [4.0, 3.0, 2.0, 1.0]
+
+    def test_limit_clamps(self, table):
+        node = Limit(scan_for(table), 99)
+        assert run_limit(node, table).num_rows == 4
+        node2 = Limit(scan_for(table), 2)
+        assert run_limit(node2, table).num_rows == 2
+
+
+class TestExplain:
+    def test_explain_shows_meta_plan(self, session, sbi_sql):
+        text = session.sql(sbi_sql).explain()
+        assert "online meta plan" in text
+        assert "consumes #0" in text
+        assert "Aggregate" in text

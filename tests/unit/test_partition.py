@@ -1,0 +1,108 @@
+"""Unit tests for mini-batch partitioning and shuffling."""
+
+import numpy as np
+import pytest
+
+from repro.storage import MiniBatchPartitioner, Table, batch_sizes, random_sample
+
+
+@pytest.fixture
+def numbered():
+    return Table.from_columns({"v": np.arange(1000, dtype=np.int64)})
+
+
+class TestPartitioner:
+    def test_batches_cover_everything_once(self, numbered):
+        parts = MiniBatchPartitioner(7, seed=3).partition(numbered)
+        seen = np.concatenate([p.column("v") for p in parts])
+        assert sorted(seen.tolist()) == list(range(1000))
+
+    def test_uniform_sizes(self, numbered):
+        parts = MiniBatchPartitioner(7, seed=3).partition(numbered)
+        sizes = [p.num_rows for p in parts]
+        assert max(sizes) - min(sizes) <= 1
+        assert sum(sizes) == 1000
+
+    def test_shuffle_randomizes_rows(self, numbered):
+        parts = MiniBatchPartitioner(4, seed=3, shuffle=True).partition(
+            numbered
+        )
+        assert parts[0].column("v").tolist() != list(range(250))
+
+    def test_no_shuffle_randomizes_batch_order_only(self, numbered):
+        parts = MiniBatchPartitioner(4, seed=3, shuffle=False).partition(
+            numbered
+        )
+        # Each batch is a contiguous slice in storage order.
+        for p in parts:
+            values = p.column("v")
+            assert (np.diff(values) == 1).all()
+
+    def test_deterministic_under_seed(self, numbered):
+        a = MiniBatchPartitioner(5, seed=11).partition(numbered)
+        b = MiniBatchPartitioner(5, seed=11).partition(numbered)
+        for x, y in zip(a, b):
+            assert x.column("v").tolist() == y.column("v").tolist()
+
+    def test_different_seeds_differ(self, numbered):
+        a = MiniBatchPartitioner(5, seed=1).partition(numbered)
+        b = MiniBatchPartitioner(5, seed=2).partition(numbered)
+        assert a[0].column("v").tolist() != b[0].column("v").tolist()
+
+    def test_single_batch(self, numbered):
+        parts = MiniBatchPartitioner(1, seed=0).partition(numbered)
+        assert len(parts) == 1 and parts[0].num_rows == 1000
+
+    def test_more_batches_than_rows(self):
+        tiny = Table.from_columns({"v": np.arange(3)})
+        parts = MiniBatchPartitioner(5, seed=0).partition(tiny)
+        assert sum(p.num_rows for p in parts) == 3
+
+    def test_invalid_num_batches(self):
+        with pytest.raises(ValueError):
+            MiniBatchPartitioner(0)
+
+    def test_iter_batches(self, numbered):
+        assert len(list(
+            MiniBatchPartitioner(3, seed=0).iter_batches(numbered)
+        )) == 3
+
+
+class TestHelpers:
+    def test_batch_sizes_matches_partitioner(self, numbered):
+        sizes = batch_sizes(1000, 7)
+        parts = MiniBatchPartitioner(7, seed=5).partition(numbered)
+        assert sizes == [p.num_rows for p in parts]
+
+    def test_random_sample_fraction(self, numbered):
+        out = random_sample(numbered, 0.25, seed=1)
+        assert out.num_rows == 250
+        assert len(set(out.column("v").tolist())) == 250
+
+    def test_random_sample_bounds(self, numbered):
+        with pytest.raises(ValueError):
+            random_sample(numbered, 1.5)
+
+
+class TestShuffleTable:
+    def test_is_permutation(self, numbered):
+        from repro.storage import shuffle_table
+
+        out = shuffle_table(numbered, seed=9)
+        assert sorted(out.column("v").tolist()) == list(range(1000))
+        assert out.column("v").tolist() != list(range(1000))
+
+    def test_deterministic(self, numbered):
+        from repro.storage import shuffle_table
+
+        a = shuffle_table(numbered, seed=9)
+        b = shuffle_table(numbered, seed=9)
+        assert a.column("v").tolist() == b.column("v").tolist()
+
+    def test_makes_prefixes_uniform(self, numbered):
+        """After shuffling, a prefix mean estimates the global mean."""
+        from repro.storage import shuffle_table
+
+        out = shuffle_table(numbered, seed=4)
+        prefix = out.slice(0, 100).column("v").mean()
+        assert abs(prefix - 499.5) < 100  # vs 49.5 for the sorted prefix

@@ -1,0 +1,152 @@
+"""Unit tests for logical plan nodes and lineage-block analysis."""
+
+import numpy as np
+import pytest
+
+from repro.engine.aggregates import AggregateCall
+from repro.errors import PlanError
+from repro.expr.expressions import ColumnRef, Comparison, Literal, SubqueryRef
+from repro.plan import (
+    Aggregate,
+    Filter,
+    Join,
+    Limit,
+    Project,
+    Query,
+    Scan,
+    Sort,
+    SubquerySpec,
+    broadcast_edges,
+    lineage_blocks,
+)
+from repro.storage import Column, ColumnType, Schema
+
+
+def scan(names=("a", "b")):
+    return Scan("t", Schema([Column(n, ColumnType.FLOAT64) for n in names]))
+
+
+class TestPlanNodes:
+    def test_filter_preserves_schema(self):
+        node = Filter(scan(), Comparison(">", ColumnRef("a"), Literal(0)))
+        assert node.schema.names == ["a", "b"]
+
+    def test_project_schema(self):
+        node = Project(scan(), [(ColumnRef("b"), "bb")])
+        assert node.schema.names == ["bb"]
+
+    def test_aggregate_schema(self):
+        node = Aggregate(
+            scan(), [(ColumnRef("a"), "a")],
+            [AggregateCall("sum", ColumnRef("b"), "total")],
+        )
+        assert node.schema.names == ["a", "total"]
+        assert not node.is_global
+
+    def test_aggregate_requires_calls(self):
+        with pytest.raises(PlanError):
+            Aggregate(scan(), [], [])
+
+    def test_join_duplicate_column_rejected(self):
+        left = scan(("a", "b"))
+        right = scan(("k", "b"))
+        with pytest.raises(PlanError, match="duplicate"):
+            Join(left, right, [("a", "k")])
+
+    def test_join_schema_merges(self):
+        left = scan(("a", "b"))
+        right = scan(("k", "c"))
+        node = Join(left, right, [("a", "k")])
+        assert node.schema.names == ["a", "b", "c"]
+
+    def test_join_requires_keys(self):
+        with pytest.raises(PlanError):
+            Join(scan(), scan(("k", "c")), [])
+
+    def test_sort_validates_columns(self):
+        from repro.errors import SchemaError
+
+        with pytest.raises(SchemaError):
+            Sort(scan(), [("nope", False)])
+
+    def test_limit_negative_rejected(self):
+        with pytest.raises(PlanError):
+            Limit(scan(), -1)
+
+    def test_describe_renders_tree(self):
+        node = Limit(Filter(scan(), Literal(True)), 3)
+        text = node.describe()
+        assert "Limit(3)" in text and "Scan(t)" in text
+
+    def test_subquery_slots_propagate(self):
+        node = Filter(scan(), Comparison(">", ColumnRef("a"),
+                                         SubqueryRef(4)))
+        assert node.subquery_slots() == {4}
+
+
+def make_query_with_subquery():
+    inner = Project(
+        Aggregate(scan(), [], [AggregateCall("avg", ColumnRef("a"), "v")]),
+        [(ColumnRef("v"), "value")],
+    )
+    outer = Project(
+        Aggregate(
+            Filter(scan(), Comparison(">", ColumnRef("a"), SubqueryRef(0))),
+            [], [AggregateCall("avg", ColumnRef("b"), "out")],
+        ),
+        [(ColumnRef("out"), "out")],
+    )
+    return Query(
+        plan=outer,
+        subqueries={0: SubquerySpec(0, inner, "scalar", "value")},
+        streamed_table="t",
+    )
+
+
+class TestLineageBlocks:
+    def test_blocks_and_order(self):
+        blocks = lineage_blocks(make_query_with_subquery())
+        assert [b.block_id for b in blocks] == ["sub#0", "main"]
+        assert blocks[0].produces == 0
+        assert blocks[1].consumes == frozenset({0})
+
+    def test_broadcast_edges(self):
+        blocks = lineage_blocks(make_query_with_subquery())
+        edges = broadcast_edges(blocks)
+        assert edges["main"] == frozenset({"sub#0"})
+        assert edges["sub#0"] == frozenset()
+
+    def test_nested_aggregate_in_block_rejected(self):
+        inner_agg = Aggregate(
+            scan(), [], [AggregateCall("avg", ColumnRef("a"), "v")]
+        )
+        double = Aggregate(
+            inner_agg, [], [AggregateCall("sum", ColumnRef("v"), "s")]
+        )
+        query = Query(plan=double, subqueries={}, streamed_table="t")
+        with pytest.raises(PlanError, match="single SPJA"):
+            lineage_blocks(query)
+
+    def test_cyclic_subqueries_detected(self):
+        inner = Project(
+            Aggregate(
+                Filter(scan(), Comparison(">", ColumnRef("a"),
+                                          SubqueryRef(0))),
+                [], [AggregateCall("avg", ColumnRef("a"), "v")],
+            ),
+            [(ColumnRef("v"), "value")],
+        )
+        query = Query(
+            plan=scan(),
+            subqueries={0: SubquerySpec(0, inner, "scalar", "value")},
+        )
+        with pytest.raises(PlanError, match="cyclic"):
+            query.subquery_order()
+
+    def test_keyed_spec_requires_key_column(self):
+        with pytest.raises(PlanError, match="key_column"):
+            SubquerySpec(0, scan(), "keyed", "value")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(PlanError, match="unknown subquery kind"):
+            SubquerySpec(0, scan(), "weird", "value")

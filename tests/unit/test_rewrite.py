@@ -1,0 +1,205 @@
+"""Unit tests for the plan rewriter (optimizer pass)."""
+
+import numpy as np
+import pytest
+
+from repro.engine import BatchExecutor
+from repro.expr.expressions import (
+    BinaryOp,
+    BooleanOp,
+    ColumnRef,
+    Comparison,
+    InSubquery,
+    Literal,
+    Negate,
+    SubqueryRef,
+)
+from repro.plan import (
+    Filter,
+    Join,
+    bind_statement,
+    fold_constants,
+    normalize_predicate,
+    rewrite_query,
+)
+from repro.sql import parse_sql
+from repro.storage import Catalog, Table
+
+
+class TestConstantFolding:
+    def test_arithmetic_folds(self):
+        expr = BinaryOp("*", Literal(0.2), Literal(5.0))
+        out = fold_constants(expr)
+        assert isinstance(out, Literal) and out.value == 1.0
+
+    def test_nested_folds(self):
+        expr = BinaryOp("+", BinaryOp("*", Literal(2), Literal(3)),
+                        Literal(4))
+        out = fold_constants(expr)
+        assert isinstance(out, Literal) and out.value == 10
+
+    def test_column_blocks_fold(self):
+        expr = BinaryOp("+", ColumnRef("x"), Literal(1))
+        out = fold_constants(expr)
+        assert isinstance(out, BinaryOp)
+
+    def test_partial_fold_inside_comparison(self):
+        expr = Comparison("<", ColumnRef("x"),
+                          BinaryOp("/", Literal(10.0), Literal(4.0)))
+        out = fold_constants(expr)
+        assert isinstance(out.right, Literal) and out.right.value == 2.5
+
+    def test_division_by_zero_folds_to_zero(self):
+        out = fold_constants(BinaryOp("/", Literal(1.0), Literal(0.0)))
+        assert out.value == 0.0
+
+    def test_negate_literal(self):
+        out = fold_constants(Negate(Literal(3.0)))
+        assert isinstance(out, Literal) and out.value == -3.0
+
+    def test_booleans_not_arithmetic(self):
+        expr = BinaryOp("+", Literal(True), Literal(1))
+        out = fold_constants(expr)
+        assert isinstance(out, BinaryOp)  # bools are not folded as numbers
+
+
+class TestPredicateNormalization:
+    def test_not_comparison(self):
+        pred = BooleanOp("NOT", [Comparison("<", ColumnRef("x"),
+                                            Literal(1))])
+        out = normalize_predicate(pred)
+        assert isinstance(out, Comparison) and out.op == ">="
+
+    def test_double_negation(self):
+        inner = Comparison("=", ColumnRef("x"), Literal(1))
+        pred = BooleanOp("NOT", [BooleanOp("NOT", [inner])])
+        out = normalize_predicate(pred)
+        assert out.sql() == inner.sql()
+
+    def test_de_morgan(self):
+        a = Comparison("<", ColumnRef("x"), Literal(1))
+        b = Comparison(">", ColumnRef("x"), Literal(5))
+        pred = BooleanOp("NOT", [BooleanOp("AND", [a, b])])
+        out = normalize_predicate(pred)
+        assert isinstance(out, BooleanOp) and out.op == "OR"
+        assert out.operands[0].op == ">="
+        assert out.operands[1].op == "<="
+
+    def test_not_in_subquery(self):
+        pred = BooleanOp("NOT", [InSubquery(ColumnRef("k"), 0)])
+        out = normalize_predicate(pred)
+        assert isinstance(out, InSubquery) and out.negated
+
+    def test_uncertain_comparison_negation_preserves_slots(self):
+        pred = BooleanOp("NOT", [
+            Comparison(">", ColumnRef("x"), SubqueryRef(0))
+        ])
+        out = normalize_predicate(pred)
+        assert out.op == "<=" and out.subquery_slots() == {0}
+
+
+@pytest.fixture
+def data():
+    rng = np.random.default_rng(17)
+    n = 1500
+    fact = Table.from_columns({
+        "k": rng.integers(0, 10, n).astype(np.int64),
+        "x": rng.normal(0, 1, n),
+        "y": rng.exponential(1, n),
+    })
+    dim = Table.from_columns({
+        "k": np.arange(10, dtype=np.int64),
+        "w": rng.uniform(0, 1, 10),
+    })
+    cat = Catalog()
+    cat.register("fact", fact, streamed=True)
+    cat.register("dim", dim, streamed=False)
+    return cat, {"fact": fact, "dim": dim}
+
+
+class TestPlanRewrites:
+    def test_filter_pushed_below_inner_join(self, data):
+        cat, tables = data
+        query = bind_statement(parse_sql(
+            "SELECT SUM(w) FROM fact JOIN dim ON fact.k = dim.k "
+            "WHERE x > 0 AND w < 0.5"
+        ), cat)
+        rewritten = rewrite_query(query)
+        agg_input = rewritten.plan.input.input  # Project > Aggregate > ?
+        # Top filter keeps only the w-conjunct; x-conjunct moved below.
+        assert isinstance(agg_input, Filter)
+        assert agg_input.predicate.references() == {"w"}
+        join = agg_input.input
+        assert isinstance(join, Join)
+        assert isinstance(join.left, Filter)
+        assert join.left.predicate.references() == {"x"}
+
+    def test_left_join_not_pushed(self, data):
+        cat, tables = data
+        query = bind_statement(parse_sql(
+            "SELECT SUM(x) FROM fact LEFT JOIN dim ON fact.k = dim.k "
+            "WHERE x > 0"
+        ), cat)
+        rewritten = rewrite_query(query)
+        node = rewritten.plan.input.input
+        assert isinstance(node, Filter)
+        assert isinstance(node.input, Join)
+
+    def test_rewrite_preserves_results(self, data):
+        cat, tables = data
+        sql = ("SELECT k, SUM(x * (2 + 3)) AS s FROM fact "
+               "JOIN dim ON fact.k = dim.k "
+               "WHERE NOT (x < 0 AND w < 2) GROUP BY k ORDER BY k")
+        query = bind_statement(parse_sql(sql), cat)
+        rewritten = rewrite_query(query)
+        executor = BatchExecutor(tables)
+        a = executor.execute(query)
+        b = executor.execute(rewritten)
+        np.testing.assert_allclose(
+            a.column("s").astype(float), b.column("s").astype(float),
+            rtol=1e-12,
+        )
+
+    def test_rewrite_applies_to_subqueries(self, data):
+        cat, tables = data
+        query = bind_statement(parse_sql(
+            "SELECT AVG(y) FROM fact WHERE x > "
+            "(SELECT (0.5 * 2.0) * AVG(x) FROM fact)"
+        ), cat)
+        rewritten = rewrite_query(query)
+        sub_plan = rewritten.subqueries[0].plan
+        value_expr = sub_plan.exprs[-1][0]
+        # (0.5 * 2.0) folded into 1.0.
+        assert "1.0" in value_expr.sql()
+
+    def test_session_sql_applies_rewrites(self, data):
+        from repro import GolaConfig, GolaSession
+
+        cat, tables = data
+        session = GolaSession(GolaConfig(num_batches=2,
+                                         bootstrap_trials=8))
+        session.register_table("fact", tables["fact"])
+        query = session.sql(
+            "SELECT COUNT(*) FROM fact WHERE NOT x < 0"
+        )
+        filt = query.query.plan.input.input
+        assert isinstance(filt, Filter)
+        assert isinstance(filt.predicate, Comparison)
+        assert filt.predicate.op == ">="
+
+    def test_online_still_exact_after_rewrites(self, data):
+        from repro import GolaConfig, GolaSession
+
+        cat, tables = data
+        session = GolaSession(GolaConfig(num_batches=3,
+                                         bootstrap_trials=12, seed=6))
+        session.register_table("fact", tables["fact"], streamed=True)
+        session.register_table("dim", tables["dim"], streamed=False)
+        sql = ("SELECT SUM(y) AS s FROM fact JOIN dim ON fact.k = dim.k "
+               "WHERE w < 0.8 AND y > (SELECT (2 - 1) * AVG(y) FROM fact)")
+        query = session.sql(sql)
+        exact = session.execute_batch(query)
+        last = query.run_to_completion()
+        assert last.estimate == pytest.approx(
+            float(exact.column("s")[0]), rel=1e-9
+        )

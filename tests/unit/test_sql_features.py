@@ -1,0 +1,159 @@
+"""SQL feature combinations through the full stack (bind + execute)."""
+
+import numpy as np
+import pytest
+
+from repro import GolaConfig, GolaSession, Table
+
+
+@pytest.fixture
+def session():
+    rng = np.random.default_rng(33)
+    n = 3000
+    s = GolaSession(GolaConfig(num_batches=3, bootstrap_trials=12, seed=2))
+    s.register_table("fact", Table.from_columns({
+        "k": rng.integers(0, 20, n).astype(np.int64),
+        "cat": np.array(
+            ["red", "green", "blue"], dtype=object
+        )[rng.integers(0, 3, n)],
+        "x": rng.normal(10.0, 4.0, n),
+        "y": rng.exponential(3.0, n),
+    }), streamed=True)
+    s.register_table("dim", Table.from_columns({
+        "k": np.arange(20, dtype=np.int64),
+        "zone": np.array(
+            ["east" if i < 10 else "west" for i in range(20)], dtype=object
+        ),
+    }), streamed=False)
+    return s
+
+
+class TestSqlFeatures:
+    def test_case_when_in_projection(self, session):
+        out = session.execute_batch("""
+            SELECT SUM(CASE WHEN x > 10 THEN 1 ELSE 0 END) AS hi,
+                   SUM(CASE WHEN x <= 10 THEN 1 ELSE 0 END) AS lo
+            FROM fact
+        """)
+        row = out.to_pylist()[0]
+        fact = session.catalog.get("fact")
+        assert row["hi"] == (fact["x"] > 10).sum()
+        assert row["hi"] + row["lo"] == 3000
+
+    def test_between_and_in_list(self, session):
+        out = session.execute_batch("""
+            SELECT COUNT(*) AS n FROM fact
+            WHERE x BETWEEN 8 AND 12 AND cat IN ('red', 'blue')
+        """)
+        fact = session.catalog.get("fact")
+        mask = (fact["x"] >= 8) & (fact["x"] <= 12) & (
+            (fact["cat"] == "red") | (fact["cat"] == "blue")
+        )
+        assert out.to_pylist()[0]["n"] == mask.sum()
+
+    def test_not_in_list(self, session):
+        out = session.execute_batch(
+            "SELECT COUNT(*) AS n FROM fact WHERE cat NOT IN ('red')"
+        )
+        fact = session.catalog.get("fact")
+        assert out.to_pylist()[0]["n"] == (fact["cat"] != "red").sum()
+
+    def test_scalar_functions_in_where(self, session):
+        out = session.execute_batch(
+            "SELECT COUNT(*) AS n FROM fact WHERE ABS(x - 10) < 2"
+        )
+        fact = session.catalog.get("fact")
+        assert out.to_pylist()[0]["n"] == \
+            (np.abs(fact["x"] - 10) < 2).sum()
+
+    def test_arithmetic_between_aggregates(self, session):
+        out = session.execute_batch("""
+            SELECT (SUM(x) - SUM(y)) / COUNT(*) AS gap FROM fact
+        """)
+        fact = session.catalog.get("fact")
+        expected = (fact["x"].sum() - fact["y"].sum()) / 3000
+        assert out.to_pylist()[0]["gap"] == pytest.approx(expected)
+
+    def test_join_group_order_limit(self, session):
+        out = session.execute_batch("""
+            SELECT zone, COUNT(*) AS n FROM fact
+            JOIN dim ON fact.k = dim.k
+            GROUP BY zone ORDER BY n DESC LIMIT 1
+        """)
+        assert out.num_rows == 1
+        assert out.to_pylist()[0]["zone"] in ("east", "west")
+
+    def test_join_online_with_nested_aggregate(self, session):
+        """Dimension join + uncertain threshold, online == exact."""
+        sql = """
+            SELECT zone, AVG(x) AS m FROM fact
+            JOIN dim ON fact.k = dim.k
+            WHERE y > (SELECT AVG(y) FROM fact)
+            GROUP BY zone ORDER BY zone
+        """
+        query = session.sql(sql)
+        exact = session.execute_batch(query)
+        last = query.run_to_completion()
+        np.testing.assert_allclose(
+            last.table.column("m").astype(float),
+            exact.column("m").astype(float), rtol=1e-9,
+        )
+
+    def test_having_with_subquery_online(self, session):
+        sql = """
+            SELECT k, SUM(x) AS total FROM fact GROUP BY k
+            HAVING SUM(x) > (SELECT 0.06 * SUM(x) FROM fact)
+            ORDER BY total DESC
+        """
+        query = session.sql(sql)
+        exact = session.execute_batch(query)
+        last = query.run_to_completion()
+        assert last.table.num_rows == exact.num_rows
+        np.testing.assert_allclose(
+            last.table.column("total").astype(float),
+            exact.column("total").astype(float), rtol=1e-9,
+        )
+
+    def test_string_group_keys_online(self, session):
+        sql = """
+            SELECT cat, COUNT(*) AS n FROM fact
+            WHERE x > (SELECT AVG(x) FROM fact)
+            GROUP BY cat ORDER BY cat
+        """
+        query = session.sql(sql)
+        exact = session.execute_batch(query)
+        last = query.run_to_completion()
+        assert last.table.column("cat").tolist() == \
+            exact.column("cat").tolist()
+        np.testing.assert_allclose(
+            last.table.column("n").astype(float),
+            exact.column("n").astype(float),
+        )
+
+    def test_udf_inside_online_query(self, session):
+        session.register_udf("halved", lambda v: v / 2.0)
+        sql = """
+            SELECT AVG(halved(x)) AS m FROM fact
+            WHERE y > (SELECT AVG(y) FROM fact)
+        """
+        query = session.sql(sql)
+        exact = session.execute_batch(query)
+        last = query.run_to_completion()
+        assert last.estimate == pytest.approx(
+            float(exact.column("m")[0]), rel=1e-9
+        )
+
+    def test_negative_literals_and_unary_minus(self, session):
+        out = session.execute_batch(
+            "SELECT COUNT(*) AS n FROM fact WHERE -x < -12"
+        )
+        fact = session.catalog.get("fact")
+        assert out.to_pylist()[0]["n"] == (fact["x"] > 12).sum()
+
+    def test_order_by_multiple_keys(self, session):
+        out = session.execute_batch("""
+            SELECT cat, k, COUNT(*) AS n FROM fact
+            GROUP BY cat, k ORDER BY cat ASC, n DESC LIMIT 5
+        """)
+        cats = out.column("cat").tolist()
+        assert cats == sorted(cats)

@@ -1,0 +1,99 @@
+"""Unit tests for per-trial evaluation of the uncertain set.
+
+With ``trial_aware_uncertain`` each bootstrap trial folds the uncertain
+tuples IT would keep under its own inner-aggregate replica — capturing
+inner-selection uncertainty in the error bars, like the paper's
+per-trial query recomputation.
+"""
+
+import numpy as np
+import pytest
+
+from repro import GolaConfig, GolaSession
+from repro.workloads import generate_sessions
+
+SBI = (
+    "SELECT AVG(play_time) FROM sessions "
+    "WHERE buffer_time > (SELECT AVG(buffer_time) FROM sessions)"
+)
+KEYED = (
+    "SELECT AVG(play_time) FROM sessions WHERE buffer_time > "
+    "(SELECT 1.2 * AVG(buffer_time) FROM sessions s "
+    "WHERE s.session_id = sessions.session_id)"
+)
+
+
+def run(sql, trial_aware, n=4000, seed=3, batches=5):
+    session = GolaSession(
+        GolaConfig(num_batches=batches, bootstrap_trials=40, seed=seed,
+                   trial_aware_uncertain=trial_aware)
+    )
+    table = generate_sessions(n, seed=11)
+    # Coarsen session_id into a reusable group key for the keyed query.
+    table = table.with_column(
+        "session_id", (table["session_id"] % 50).astype(np.int64)
+    )
+    session.register_table("sessions", table)
+    query = session.sql(sql)
+    snaps = list(query.run_online())
+    exact = session.execute_batch(query)
+    return snaps, float(exact.column(exact.schema.names[0])[0])
+
+
+class TestTrialAware:
+    def test_point_estimates_unchanged(self):
+        """Trial-aware evaluation only affects error bars, not answers."""
+        on, _ = run(SBI, trial_aware=True)
+        off, _ = run(SBI, trial_aware=False)
+        for a, b in zip(on, off):
+            assert a.estimate == pytest.approx(b.estimate, rel=1e-12)
+
+    def test_final_still_exact(self):
+        snaps, truth = run(SBI, trial_aware=True)
+        assert snaps[-1].estimate == pytest.approx(truth, rel=1e-9)
+
+    def test_intervals_differ_from_shared_mask(self):
+        """The per-trial masks must actually change the replicas."""
+        on, _ = run(SBI, trial_aware=True)
+        off, _ = run(SBI, trial_aware=False)
+        widths_on = [s.interval.width for s in on[:-1]]
+        widths_off = [s.interval.width for s in off[:-1]]
+        assert widths_on != widths_off
+
+    def test_keyed_query_supported(self):
+        snaps, truth = run(KEYED, trial_aware=True)
+        assert snaps[-1].estimate == pytest.approx(truth, rel=1e-9)
+        assert snaps[0].interval.width > 0
+
+    def test_coverage_not_degraded(self):
+        hits = total = 0
+        for seed in range(5):
+            snaps, truth = run(SBI, trial_aware=True, seed=seed)
+            for snap in snaps[:-1]:
+                total += 1
+                hits += snap.interval.contains(truth)
+        assert hits / total >= 0.8
+
+    def test_membership_query_falls_back_to_point(self):
+        """Set slots use point membership per trial (documented)."""
+        session = GolaSession(
+            GolaConfig(num_batches=4, bootstrap_trials=16, seed=5,
+                       trial_aware_uncertain=True)
+        )
+        rng = np.random.default_rng(0)
+        n = 2000
+        from repro import Table
+
+        session.register_table("t", Table.from_columns({
+            "k": rng.integers(0, 40, n).astype(np.int64),
+            "x": rng.exponential(5.0, n),
+        }))
+        query = session.sql(
+            "SELECT SUM(x) FROM t WHERE k IN "
+            "(SELECT k FROM t GROUP BY k HAVING SUM(x) > 200)"
+        )
+        last = query.run_to_completion()
+        exact = session.execute_batch(query)
+        assert last.estimate == pytest.approx(
+            float(exact.column(exact.schema.names[0])[0]), rel=1e-9
+        )

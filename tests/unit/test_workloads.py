@@ -1,0 +1,148 @@
+"""Unit tests for the workload generators and query texts."""
+
+import numpy as np
+import pytest
+
+from repro.sql import parse_sql
+from repro.workloads import (
+    ADSTREAM_QUERIES,
+    CONVIVA_QUERIES,
+    SBI_QUERY,
+    TPCH_QUERIES,
+    figure1_table,
+    generate_adstream,
+    generate_conviva,
+    generate_sessions,
+    generate_tpch,
+)
+
+
+class TestSessions:
+    def test_shape_and_determinism(self):
+        a = generate_sessions(1000, seed=5)
+        b = generate_sessions(1000, seed=5)
+        assert a.num_rows == 1000
+        np.testing.assert_array_equal(a["play_time"], b["play_time"])
+
+    def test_buffering_impact_negative_correlation(self):
+        t = generate_sessions(20_000, seed=1, buffering_impact=0.8)
+        corr = np.corrcoef(t["buffer_time"], t["play_time"])[0, 1]
+        assert corr < -0.1
+
+    def test_zero_impact_uncorrelated(self):
+        t = generate_sessions(20_000, seed=1, buffering_impact=0.0)
+        corr = np.corrcoef(t["buffer_time"], t["play_time"])[0, 1]
+        assert abs(corr) < 0.05
+
+    def test_sbi_effect_present(self):
+        """Slow-buffering sessions really play less (the paper's story)."""
+        t = generate_sessions(20_000, seed=2)
+        threshold = t["buffer_time"].mean()
+        slow = t["play_time"][t["buffer_time"] > threshold].mean()
+        overall = t["play_time"].mean()
+        assert slow < overall
+
+    def test_figure1_rows(self):
+        t = figure1_table()
+        assert t.num_rows == 6
+        assert t["buffer_time"].tolist() == [36, 58, 17, 56, 19, 26]
+
+    def test_invalid_rows(self):
+        with pytest.raises(ValueError):
+            generate_sessions(0)
+
+
+class TestConviva:
+    def test_columns(self):
+        t = generate_conviva(500, seed=1)
+        for col in ("session_id", "content_id", "geo", "buffer_time",
+                    "play_time", "join_failure", "bitrate_kbps"):
+            assert col in t.schema
+
+    def test_content_popularity_skewed(self):
+        t = generate_conviva(20_000, seed=1, num_contents=100)
+        _, counts = np.unique(t["content_id"], return_counts=True)
+        assert counts.max() > 5 * np.median(counts)
+
+    def test_failures_increase_with_buffering(self):
+        t = generate_conviva(50_000, seed=2)
+        threshold = np.median(t["buffer_time"])
+        slow = t["join_failure"][t["buffer_time"] > threshold].mean()
+        fast = t["join_failure"][t["buffer_time"] <= threshold].mean()
+        assert slow > fast
+
+    def test_per_content_buffering_varies(self):
+        t = generate_conviva(50_000, seed=3, num_contents=50)
+        means = [
+            t["buffer_time"][t["content_id"] == c].mean()
+            for c in range(1, 51)
+        ]
+        assert max(means) > 2 * min(means)
+
+
+class TestTpch:
+    def test_row_count_exact(self):
+        t = generate_tpch(12_345, seed=1)
+        assert t.num_rows == 12_345
+
+    def test_order_lines_contiguous_customers(self):
+        t = generate_tpch(5000, seed=1)
+        keys = t["l_orderkey"]
+        cust = t["o_custkey"]
+        mapping = {}
+        for k, c in zip(keys, cust):
+            assert mapping.setdefault(k, c) == c  # stable per order
+
+    def test_order_sums_bimodal_for_q18(self):
+        t = generate_tpch(50_000, seed=2)
+        sums = {}
+        for k, q in zip(t["l_orderkey"], t["l_quantity"]):
+            sums[k] = sums.get(k, 0.0) + q
+        arr = np.array(list(sums.values()))
+        over = (arr > 300).mean()
+        assert 0.01 < over < 0.25  # threshold in the tail, non-empty
+        # The contested band is thin relative to the tails.
+        contested = ((arr > 150) & (arr < 450)).mean()
+        assert contested < 0.15
+
+    def test_part_quantity_regimes(self):
+        t = generate_tpch(50_000, seed=3)
+        qty = t["l_quantity"]
+        part = t["l_partkey"]
+        means = np.array([
+            qty[part == p].mean() for p in np.unique(part)[:50]
+        ])
+        assert means.max() > 4 * means.min()
+
+    def test_queries_parse(self):
+        for sql in TPCH_QUERIES.values():
+            parse_sql(sql)
+
+
+class TestAdstream:
+    def test_columns_and_determinism(self):
+        a = generate_adstream(2000, seed=4)
+        b = generate_adstream(2000, seed=4)
+        np.testing.assert_array_equal(a["revenue"], b["revenue"])
+        assert set(a["region"].tolist()) <= {"NA", "EU", "APAC", "LATAM"}
+
+    def test_clicks_drive_revenue(self):
+        t = generate_adstream(30_000, seed=5)
+        clicked = t["revenue"][t["clicked"] == 1].mean()
+        unclicked = t["revenue"][t["clicked"] == 0].mean()
+        assert clicked > 10 * unclicked
+
+    def test_queries_parse(self):
+        for sql in ADSTREAM_QUERIES.values():
+            parse_sql(sql)
+
+
+class TestQueryTexts:
+    def test_all_suites_parse(self):
+        for sql in (SBI_QUERY, *CONVIVA_QUERIES.values(),
+                    *TPCH_QUERIES.values(), *ADSTREAM_QUERIES.values()):
+            parse_sql(sql)
+
+    def test_suite_contents(self):
+        assert set(CONVIVA_QUERIES) == {"C1", "C2", "C3"}
+        assert set(TPCH_QUERIES) == {"Q11", "Q17", "Q18", "Q20"}
