@@ -8,7 +8,6 @@ queries only G-OLA survives.  Validates that G-OLA's generality costs
 no statistical fidelity where the classical method applies.
 """
 
-import numpy as np
 import pytest
 
 from repro import GolaConfig, GolaSession, UnsupportedQueryError

@@ -16,11 +16,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-import numpy as np
-
 from repro import ClusterConfig, GolaConfig, GolaSession
 from repro.baselines import BatchBaseline, ClassicalDeltaMaintenance
 from repro.cluster import ClusterSimulator, SimulatedRun
+from repro.obs import JsonlSink, Timer, Tracer
 from repro.plan import bind_statement
 from repro.sql import parse_sql
 from repro.storage import Catalog, Table
@@ -63,37 +62,42 @@ def make_tables(num_rows: int, seed: int = 2015) -> Dict[str, Table]:
 
 def run_gola(sql: str, table_name: str, tables: Dict[str, Table],
              config: GolaConfig,
-             cached_row_cost_factor: float = 0.25) -> GolaTrace:
+             cached_row_cost_factor: float = 0.25,
+             trace_out: Optional[str] = None) -> GolaTrace:
     """Run a query online and collect its execution trace.
 
     ``per_batch_rows`` carries *effective* row volumes for the cost
     model: cached uncertain tuples are re-evaluations over in-memory
     lineage and are charged at ``cached_row_cost_factor`` of a fresh
     tuple's cost (rebuild batches are charged in full).
-    """
-    import time
 
-    session = GolaSession(config)
+    ``trace_out`` writes a JSONL span event log of the run (inspect with
+    ``python -m repro report <path>``).
+    """
+    tracer = Tracer(JsonlSink(trace_out)) if trace_out else None
+    session = GolaSession(config, tracer=tracer)
     session.register_table(table_name, tables[table_name])
     query = session.sql(sql)
     snapshots = []
     per_batch_rows = []
     prev_uncertain: Dict[str, int] = {}
-    started = time.perf_counter()
-    for snapshot in query.run_online():
-        snapshots.append(snapshot)
-        effective = {}
-        for block, rows in snapshot.rows_processed.items():
-            cached = prev_uncertain.get(block, 0)
-            if block in snapshot.rebuilds or cached > rows:
-                effective[block] = rows
-            else:
-                effective[block] = int(
-                    rows - cached + cached_row_cost_factor * cached
-                )
-        per_batch_rows.append(effective)
-        prev_uncertain = dict(snapshot.uncertain_sizes)
-    wall = time.perf_counter() - started
+    with Timer() as timer:
+        for snapshot in query.run_online():
+            snapshots.append(snapshot)
+            effective = {}
+            for block, rows in snapshot.rows_processed.items():
+                cached = prev_uncertain.get(block, 0)
+                if block in snapshot.rebuilds or cached > rows:
+                    effective[block] = rows
+                else:
+                    effective[block] = int(
+                        rows - cached + cached_row_cost_factor * cached
+                    )
+            per_batch_rows.append(effective)
+            prev_uncertain = dict(snapshot.uncertain_sizes)
+    wall = timer.elapsed_s
+    if tracer is not None:
+        tracer.close()
     return GolaTrace(
         snapshots=snapshots,
         per_batch_rows=per_batch_rows,

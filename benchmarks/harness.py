@@ -34,6 +34,18 @@ from common import (
 from repro import GolaConfig, GolaSession
 from repro.workloads import SBI_QUERY, TPCH_QUERIES, generate_sessions
 
+#: Set by --trace-dir; experiments then write one JSONL event log per
+#: G-OLA run (inspect with ``python -m repro report <file>``).
+TRACE_DIR = None
+
+
+def trace_path(label: str) -> str:
+    """The JSONL trace file for one run, or None when tracing is off."""
+    if TRACE_DIR is None:
+        return None
+    TRACE_DIR.mkdir(parents=True, exist_ok=True)
+    return str(TRACE_DIR / f"{label}.jsonl")
+
 
 def fig3a() -> None:
     print("=" * 72)
@@ -41,7 +53,8 @@ def fig3a() -> None:
     print("=" * 72)
     tables = make_tables(100_000, seed=2015)
     config = GolaConfig(num_batches=100, bootstrap_trials=60, seed=2015)
-    trace = run_gola(TPCH_QUERIES["Q17"], "tpch", tables, config)
+    trace = run_gola(TPCH_QUERIES["Q17"], "tpch", tables, config,
+                     trace_out=trace_path("fig3a_q17"))
     run = simulate_latency(trace.per_batch_rows)
     total_rows, num_blocks, _ = run_batch_rows(
         TPCH_QUERIES["Q17"], "tpch", tables
@@ -82,7 +95,8 @@ def fig3b() -> None:
     ratios = {}
     for name in names:
         table_name, sql = ALL_QUERIES[name]
-        trace = run_gola(sql, table_name, tables, config)
+        trace = run_gola(sql, table_name, tables, config,
+                         trace_out=trace_path(f"fig3b_{name}"))
         gola = simulate_latency(trace.per_batch_rows).batch_seconds
         cdm = simulate_latency(
             run_cdm_rows(sql, table_name, tables, config), bootstrap=False
@@ -109,8 +123,10 @@ def uncertain() -> None:
     sizes = {}
     for name in names:
         table_name, sql = ALL_QUERIES[name]
-        sizes[name] = run_gola(sql, table_name, tables,
-                               config).uncertain_sizes
+        sizes[name] = run_gola(
+            sql, table_name, tables, config,
+            trace_out=trace_path(f"uncertain_{name}"),
+        ).uncertain_sizes
     print(f"{'batch':>6}" + "".join(f"{n:>8}" for n in names))
     for i in range(10):
         print(f"{i + 1:>6}" + "".join(
@@ -150,7 +166,8 @@ def overhead() -> None:
     print("=" * 72)
     tables = make_tables(30_000, seed=2015)
     config = GolaConfig(num_batches=10, bootstrap_trials=40, seed=2015)
-    trace = run_gola(TPCH_QUERIES["Q17"], "tpch", tables, config)
+    trace = run_gola(TPCH_QUERIES["Q17"], "tpch", tables, config,
+                     trace_out=trace_path("overhead_q17"))
     with_boot = simulate_latency(trace.per_batch_rows, bootstrap=True)
     without = simulate_latency(trace.per_batch_rows, bootstrap=False)
     total_rows, num_blocks, _ = run_batch_rows(
@@ -213,7 +230,12 @@ def main() -> None:
                         help="which experiments to run")
     parser.add_argument("--all", action="store_true",
                         help="run every experiment")
+    parser.add_argument("--trace-dir", default=None, metavar="DIR",
+                        help="write one JSONL trace per G-OLA run here")
     args = parser.parse_args()
+    if args.trace_dir:
+        global TRACE_DIR
+        TRACE_DIR = Path(args.trace_dir)
     names = list(EXPERIMENTS) if args.all or not args.experiments \
         else args.experiments
     print(f"(laptop rows -> simulated cluster rows scale: {ROW_SCALE:,})\n")

@@ -4,6 +4,8 @@ Commands:
     demo      run the SBI quickstart online (generated data)
     console   interactive online-SQL console over generated workloads
     queries   list the bundled paper queries
+    trace     run a query online with tracing, writing a JSONL event log
+    report    render the per-phase/per-operator profile of a trace file
 """
 
 from __future__ import annotations
@@ -73,6 +75,80 @@ def _console(args) -> int:
             print(f"error: {exc}")
 
 
+def _trace(args) -> int:
+    from .config import GolaConfig
+    from .core.session import GolaSession
+    from .frontends.console import ProgressConsole
+    from .errors import ReproError
+    from .obs import AggregatingSink, JsonlSink, MetricsRegistry, TeeSink, \
+        Tracer
+    from .workloads.conviva import generate_conviva
+    from .workloads.sessions import SBI_QUERY, generate_sessions
+
+    agg = AggregatingSink()
+    if args.trace_out:
+        try:  # fail before the run, not at the first span
+            open(args.trace_out, "w", encoding="utf-8").close()
+        except OSError as exc:
+            print(f"error: cannot write {args.trace_out}: {exc.strerror}",
+                  file=sys.stderr)
+            return 1
+        sink = TeeSink(agg, JsonlSink(args.trace_out))
+    else:
+        sink = agg
+    tracer = Tracer(sink, metrics=MetricsRegistry(enabled=True))
+
+    session = GolaSession(
+        GolaConfig(num_batches=args.batches, bootstrap_trials=80,
+                   seed=args.seed),
+        tracer=tracer,
+    )
+    print(f"generating {args.rows:,} rows ...")
+    session.register_table(
+        "sessions", generate_sessions(args.rows, seed=args.seed)
+    )
+    session.register_table(
+        "conviva", generate_conviva(args.rows, seed=args.seed)
+    )
+    sql = SBI_QUERY if args.query.lower() == "sbi" else args.query
+    try:
+        query = session.sql(sql)
+        console = ProgressConsole(tracer=tracer, max_rows=5)
+        for snapshot in query.run_online():
+            console.update(snapshot)
+        console.finish()
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        tracer.close()
+    if args.trace_out:
+        print(f"trace written to {args.trace_out}")
+    return 0
+
+
+def _report(args) -> int:
+    import json
+
+    from .obs import build_profile, load_events, render_profile
+
+    try:
+        records = load_events(args.trace)
+    except OSError as exc:
+        print(f"error: cannot read {args.trace}: {exc.strerror}",
+              file=sys.stderr)
+        return 1
+    except json.JSONDecodeError as exc:
+        print(f"error: {args.trace} is not a JSONL trace file ({exc})",
+              file=sys.stderr)
+        return 1
+    if not records:
+        print(f"{args.trace}: no trace events")
+        return 1
+    print(render_profile(build_profile(records)))
+    return 0
+
+
 def _queries(args) -> int:
     from .workloads import (
         ADSTREAM_QUERIES,
@@ -111,6 +187,29 @@ def main(argv=None) -> int:
 
     queries = sub.add_parser("queries", help="print the bundled queries")
     queries.set_defaults(fn=_queries)
+
+    trace = sub.add_parser(
+        "trace", help="run a query online with tracing enabled"
+    )
+    trace.add_argument(
+        "query", nargs="?", default="sbi",
+        help="'sbi' (default) or a SQL string over the generated "
+             "'sessions'/'conviva' tables",
+    )
+    trace.add_argument("--rows", type=int, default=100_000)
+    trace.add_argument("--batches", type=int, default=10)
+    trace.add_argument("--seed", type=int, default=2015)
+    trace.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write the JSONL event log here (e.g. trace.jsonl)",
+    )
+    trace.set_defaults(fn=_trace)
+
+    report = sub.add_parser(
+        "report", help="profile a JSONL trace file"
+    )
+    report.add_argument("trace", help="path to a trace .jsonl file")
+    report.set_defaults(fn=_report)
 
     args = parser.parse_args(argv)
     return args.fn(args)

@@ -13,6 +13,7 @@ from typing import Dict, Optional
 
 from ..engine.aggregates import UDAFRegistry
 from ..engine.executor import BatchExecutor
+from ..obs import NULL_TRACER, Tracer
 from ..plan.logical import Query
 from ..storage.table import Table
 
@@ -27,20 +28,26 @@ class BatchRunResult:
 
 
 class BatchBaseline:
-    """Runs queries exactly, once, over all the data."""
+    """Runs queries exactly, once, over all the data.
+
+    Timing goes through the shared :class:`repro.obs.Timer` clock path —
+    the same one the G-OLA controller and the CDM baseline use — so
+    cross-engine ratios (Figure 3's comparisons) come from one clock.
+    """
 
     def __init__(self, tables: Dict[str, Table],
-                 udafs: Optional[UDAFRegistry] = None):
-        self.executor = BatchExecutor(tables, udafs)
+                 udafs: Optional[UDAFRegistry] = None,
+                 tracer: Optional[Tracer] = None):
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.executor = BatchExecutor(tables, udafs, tracer=self.tracer)
 
     def run(self, query: Query) -> BatchRunResult:
-        import time
-
-        started = time.perf_counter()
-        table = self.executor.execute(query)
-        elapsed = time.perf_counter() - started
+        with self.tracer.span("query", engine="batch") as span, \
+                self.tracer.timer() as timer:
+            table = self.executor.execute(query)
+            span.set("rows_processed", self.executor.last_rows_processed)
         return BatchRunResult(
             table=table,
             rows_processed=self.executor.last_rows_processed,
-            elapsed_s=elapsed,
+            elapsed_s=timer.elapsed_s,
         )

@@ -18,12 +18,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional
 
-import numpy as np
 
 from ..config import GolaConfig
 from ..engine.aggregates import UDAFRegistry
 from ..engine.executor import BatchExecutor
 from ..errors import UnsupportedQueryError
+from ..obs import Tracer, tracer_from_config
 from ..plan.lineage_blocks import lineage_blocks
 from ..plan.logical import Query
 from ..storage.partition import MiniBatchPartitioner
@@ -59,13 +59,17 @@ class ClassicalDeltaMaintenance:
 
     def __init__(self, query: Query, tables: Dict[str, Table],
                  config: GolaConfig,
-                 udafs: Optional[UDAFRegistry] = None):
+                 udafs: Optional[UDAFRegistry] = None,
+                 tracer: Optional[Tracer] = None):
         if query.streamed_table is None:
             raise UnsupportedQueryError("CDM needs a streamed relation")
         self.query = query
         self.config = config
         self.tables = {k.lower(): v for k, v in tables.items()}
         self.udafs = udafs
+        self.tracer = (
+            tracer if tracer is not None else tracer_from_config(config)
+        )
         self.streamed_table = query.streamed_table
         self.blocks = lineage_blocks(query)
         # Which blocks must recompute when inner aggregates refine.
@@ -79,39 +83,49 @@ class ClassicalDeltaMaintenance:
         ]
 
     def run(self) -> Iterator[CdmSnapshot]:
-        """Yield the exact prefix answer ``Q(D_i, k/i)`` per batch."""
-        import time
+        """Yield the exact prefix answer ``Q(D_i, k/i)`` per batch.
 
+        Per-batch timing uses the shared :class:`repro.obs.Timer` clock
+        path (identical bracketing to the G-OLA controller), so Figure
+        3(b)'s CDM/G-OLA ratios compare like with like; with tracing
+        enabled each iteration records a ``batch`` span tagged
+        ``engine="cdm"`` comparable to the controller's batch spans.
+        """
+        tracer = self.tracer
         table = self.tables[self.streamed_table]
         partitioner = MiniBatchPartitioner(
             self.config.num_batches, seed=self.config.seed,
             shuffle=self.config.shuffle,
         )
-        executor = BatchExecutor(self.tables, self.udafs)
+        executor = BatchExecutor(self.tables, self.udafs, tracer=tracer)
         k = self.config.num_batches
         prefix_parts: List[Table] = []
         prefix_rows = 0
 
-        for i, batch in enumerate(partitioner.partition(table), start=1):
-            started = time.perf_counter()
-            prefix_parts.append(batch)
-            prefix_rows += batch.num_rows
-            prefix = Table.concat(prefix_parts)
-            result = executor.execute(
-                self.query, scale=k / i,
-                overrides={self.streamed_table: prefix},
-            )
-            elapsed = time.perf_counter() - started
+        with tracer.span("query", engine="cdm", num_batches=k):
+            for i, batch in enumerate(partitioner.partition(table),
+                                      start=1):
+                with tracer.span("batch", engine="cdm", batch_index=i,
+                                 rows_in=batch.num_rows) as span, \
+                        tracer.timer() as timer:
+                    prefix_parts.append(batch)
+                    prefix_rows += batch.num_rows
+                    prefix = Table.concat(prefix_parts)
+                    result = executor.execute(
+                        self.query, scale=k / i,
+                        overrides={self.streamed_table: prefix},
+                    )
 
-            rows: Dict[str, int] = {}
-            for block_id in self._incremental_blocks:
-                rows[block_id] = batch.num_rows
-            for block_id in self._recomputing_blocks:
-                rows[block_id] = prefix_rows
-            yield CdmSnapshot(
-                batch_index=i, num_batches=k, table=result,
-                rows_processed=rows, elapsed_s=elapsed,
-            )
+                    rows: Dict[str, int] = {}
+                    for block_id in self._incremental_blocks:
+                        rows[block_id] = batch.num_rows
+                    for block_id in self._recomputing_blocks:
+                        rows[block_id] = prefix_rows
+                    span.set("rows_processed", sum(rows.values()))
+                yield CdmSnapshot(
+                    batch_index=i, num_batches=k, table=result,
+                    rows_processed=rows, elapsed_s=timer.elapsed_s,
+                )
 
 
 def _scans_streamed(block, streamed_table: str) -> bool:

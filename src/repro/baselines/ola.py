@@ -13,7 +13,6 @@ system's estimator family.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 

@@ -14,7 +14,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from ..config import ClusterConfig
-from .cost import StageCost, broadcast_cost, task_durations
+from ..obs import NULL_TRACER, Tracer
+from .cost import broadcast_cost, task_durations
 from .events import EventLoop, WorkerPool
 
 
@@ -61,10 +62,18 @@ class SimulatedRun:
 
 
 class ClusterSimulator:
-    """Maps execution traces (rows per block per batch) to latencies."""
+    """Maps execution traces (rows per block per batch) to latencies.
 
-    def __init__(self, config: Optional[ClusterConfig] = None):
+    When a tracer is attached, every simulated batch/stage is recorded
+    as a span with ``clock="simulated"`` under the *same names* the real
+    controller uses (``batch``, ``block``), so a report can place the
+    simulated cluster profile next to the measured in-process one.
+    """
+
+    def __init__(self, config: Optional[ClusterConfig] = None,
+                 tracer: Optional[Tracer] = None):
         self.config = config or ClusterConfig()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     def stage_seconds(self, rows: int, bootstrap: bool = True) -> float:
         """Makespan of one stage over the worker pool."""
@@ -105,12 +114,26 @@ class ClusterSimulator:
             broadcasts if broadcasts is not None
             else max(len(rows_by_block) - 1, 0)
         )
-        return SimulatedBatch(
+        out = SimulatedBatch(
             batch_index=batch_index,
             stage_seconds=stage_seconds,
             broadcast_seconds=broadcast_cost(num_broadcasts, self.config),
             overhead_seconds=self.config.batch_overhead_s,
         )
+        if self.tracer.enabled:
+            for block_id, seconds in stage_seconds.items():
+                self.tracer.record_span(
+                    "block", seconds, clock="simulated", block=block_id,
+                    batch_index=batch_index,
+                    rows_in=rows_by_block[block_id],
+                )
+            self.tracer.record_span(
+                "batch", out.total_seconds, clock="simulated",
+                batch_index=batch_index,
+                rows_in=sum(rows_by_block.values()),
+                broadcast_s=out.broadcast_seconds,
+            )
+        return out
 
     def simulate_run(self, per_batch_rows: Sequence[Dict[str, int]],
                      bootstrap: bool = True) -> SimulatedRun:
@@ -136,4 +159,10 @@ class ClusterSimulator:
         total = 0.0
         for _ in range(num_blocks):
             total += self.stage_seconds(per_stage, bootstrap=False)
-        return total + self.config.batch_overhead_s
+        total += self.config.batch_overhead_s
+        if self.tracer.enabled:
+            self.tracer.record_span(
+                "batch_engine", total, clock="simulated",
+                rows_in=total_rows, blocks=num_blocks,
+            )
+        return total

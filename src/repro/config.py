@@ -7,7 +7,7 @@ by its configuration plus the input data.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Optional
 
 
@@ -44,6 +44,17 @@ class GolaConfig:
             "recompute the query per trial" bootstrap — the intervals then
             include inner-selection uncertainty — at ``O(B · |U|)`` extra
             work per snapshot.
+        trace: Enable structured tracing (``repro.obs``) with an
+            in-memory aggregating sink: hierarchical spans per batch,
+            block and phase, rendered by the console frontends.  Off by
+            default; disabled tracing costs one attribute check per
+            record site.
+        trace_path: Also write every span/event as one JSON object per
+            line to this path (the ``python -m repro report`` input).
+            Setting a path implies tracing.
+        metrics: Collect counters/gauges/histograms in the tracer's
+            :class:`~repro.obs.MetricsRegistry` even when span tracing
+            is off.  Tracing implies metrics.
     """
 
     num_batches: int = 10
@@ -55,6 +66,9 @@ class GolaConfig:
     retain_batches: bool = True
     max_quantile_sample: int = 4096
     trial_aware_uncertain: bool = True
+    trace: bool = False
+    trace_path: Optional[str] = None
+    metrics: bool = False
 
     def __post_init__(self) -> None:
         if self.num_batches < 1:

@@ -20,7 +20,7 @@ and UNKNOWN uncertain.  This single mechanism covers scalar thresholds
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, Tuple
 
 import numpy as np
 
@@ -30,14 +30,12 @@ from ..expr.expressions import (
     BinaryOp,
     BooleanOp,
     CaseWhen,
-    ColumnRef,
     Comparison,
     Environment,
     Expression,
     FunctionCall,
     InList,
     InSubquery,
-    Literal,
     Negate,
     SubqueryRef,
 )

@@ -18,7 +18,6 @@ Drives one online query end to end:
 
 from __future__ import annotations
 
-import time
 from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
@@ -31,10 +30,11 @@ from ..estimate.intervals import percentile_intervals, relative_stdevs
 from ..estimate.variation import VariationRange
 from ..expr.expressions import Environment
 from ..expr.functions import DEFAULT_FUNCTIONS, FunctionRegistry
-from ..plan.logical import Query, Scan
+from ..obs import Timer, Tracer, tracer_from_config
+from ..plan.logical import Query
 from ..storage.partition import MiniBatchPartitioner
 from ..storage.table import Table
-from .meta_plan import MetaPlan, compile_meta_plan
+from .meta_plan import compile_meta_plan
 from .result import ColumnErrors, OnlineSnapshot
 from .uncertain import (
     TRI_FALSE,
@@ -51,19 +51,25 @@ class QueryController:
     def __init__(self, query: Query, tables: Dict[str, Table],
                  streamed: Dict[str, bool], config: GolaConfig,
                  udafs: Optional[UDAFRegistry] = None,
-                 functions: FunctionRegistry = DEFAULT_FUNCTIONS):
+                 functions: FunctionRegistry = DEFAULT_FUNCTIONS,
+                 tracer: Optional[Tracer] = None):
         self.query = query
         self.config = config
         self.tables = {k.lower(): v for k, v in tables.items()}
         self.streamed = {k.lower(): v for k, v in streamed.items()}
         self.udafs = udafs
         self.functions = functions
+        self.tracer = (
+            tracer if tracer is not None else tracer_from_config(config)
+        )
 
         self.meta_plan = compile_meta_plan(
             query, self.tables, self.streamed, config, udafs
         )
         self.streamed_table = self.meta_plan.streamed_table
         self.runtimes = self.meta_plan.runtimes
+        for runtime in self.runtimes.values():
+            runtime.tracer = self.tracer
         self._online_blocks = self.meta_plan.online_blocks
         self.static_states: Dict[int, object] = {
             spec.slot: self._run_static(spec)
@@ -81,8 +87,11 @@ class QueryController:
         and their replicas constant, so consumers classify against them
         deterministically from the first batch.
         """
-        executor = BatchExecutor(self.tables, self.udafs, self.functions)
-        result = executor.run_plan(spec.plan)
+        executor = BatchExecutor(self.tables, self.udafs, self.functions,
+                                 tracer=self.tracer)
+        with self.tracer.span("phase:static", slot=spec.slot,
+                              kind=spec.kind):
+            result = executor.run_plan(spec.plan)
         trials = self.config.bootstrap_trials
         if spec.kind == "scalar":
             values = result.column(spec.value_column)
@@ -118,6 +127,7 @@ class QueryController:
     def run(self) -> Iterator[OnlineSnapshot]:
         """Process mini-batches, yielding one snapshot per batch."""
         self._stopped = False
+        tracer = self.tracer
         table = self.tables[self.streamed_table]
         partitioner = MiniBatchPartitioner(
             self.config.num_batches, seed=self.config.seed,
@@ -127,12 +137,37 @@ class QueryController:
         weight_source = PoissonWeightSource(
             self.config.bootstrap_trials, self.config.seed,
             label=f"bootstrap:{self.streamed_table}",
+            tracer=tracer,
         )
         retained: List[Tuple[Table, np.ndarray]] = []
         k = self.config.num_batches
 
-        for i, batch in enumerate(batches, start=1):
-            started = time.perf_counter()
+        # The query span stays open across yields, so its elapsed time
+        # includes consumer think time between snapshots; per-batch work
+        # is what the child batch spans measure.
+        with tracer.span("query", streamed_table=self.streamed_table,
+                         num_batches=k, blocks=len(self._online_blocks)):
+            for i, batch in enumerate(batches, start=1):
+                snapshot = self._run_batch(
+                    i, batch, weight_source, retained, k
+                )
+                yield snapshot
+                if self._stopped:
+                    return
+
+    def _run_batch(self, i: int, batch: Table,
+                   weight_source: PoissonWeightSource,
+                   retained: List[Tuple[Table, np.ndarray]],
+                   k: int) -> OnlineSnapshot:
+        """Fold one mini-batch into every block and snapshot the result."""
+        tracer = self.tracer
+        phases: Optional[Dict[str, float]] = (
+            {"fold": 0.0, "publish": 0.0, "snapshot": 0.0}
+            if tracer.enabled else None
+        )
+        with tracer.span("batch", batch_index=i,
+                         rows_in=batch.num_rows) as bspan, \
+                Timer() as batch_timer:
             weights = weight_source.weights_for(batch.num_rows)
             if self.config.retain_batches:
                 retained.append((batch, weights))
@@ -149,39 +184,68 @@ class QueryController:
 
             for block in self._online_blocks:
                 runtime = self.runtimes[block.block_id]
-                stats = runtime.process_batch(
-                    i, batch, weights, slot_states, penv,
-                    retained=retained if self.config.retain_batches else None,
-                )
+                with tracer.span("block", block=block.block_id) as bl:
+                    stats = runtime.process_batch(
+                        i, batch, weights, slot_states, penv,
+                        retained=(
+                            retained if self.config.retain_batches else None
+                        ),
+                    )
+                    bl.set("rows_in", stats.rows_in)
+                    bl.set("rows_processed", stats.rows_processed)
+                    bl.set("uncertain", stats.uncertain_size)
+                    if stats.rebuilt:
+                        bl.set("rebuilt", True)
+                if phases is not None:
+                    phases["fold"] += bl.elapsed_s
                 rows_processed[block.block_id] = stats.rows_processed
                 uncertain_sizes[block.block_id] = stats.uncertain_size
                 if stats.rebuilt:
                     rebuilds.append(block.block_id)
                 if block.produces is not None:
-                    state = runtime.publish(penv, slot_states, scale)
+                    with tracer.span("phase:publish",
+                                     block=block.block_id) as pub:
+                        state = runtime.publish(penv, slot_states, scale)
+                    if phases is not None:
+                        phases["publish"] += pub.elapsed_s
                     slot_states[block.produces] = state
                     state.bind_point(penv)
 
-            out_table, col_replicas = self.main_runtime.snapshot_output(
-                penv, slot_states, scale
-            )
-            errors: Dict[str, ColumnErrors] = {}
-            for name, matrix in col_replicas.items():
-                lows, highs = percentile_intervals(
-                    matrix, self.config.confidence
+            with tracer.span("phase:snapshot") as snap_span:
+                out_table, col_replicas = self.main_runtime.snapshot_output(
+                    penv, slot_states, scale
                 )
-                errors[name] = ColumnErrors(
-                    lows=lows, highs=highs,
-                    rel_stdev=relative_stdevs(
-                        out_table.column(name).astype(np.float64), matrix
-                    ),
-                )
-            elapsed = time.perf_counter() - started
-            yield OnlineSnapshot(
-                batch_index=i, num_batches=k, table=out_table,
-                errors=errors, uncertain_sizes=uncertain_sizes,
-                rows_processed=rows_processed, rebuilds=rebuilds,
-                elapsed_s=elapsed, confidence=self.config.confidence,
-            )
-            if self._stopped:
-                return
+                errors: Dict[str, ColumnErrors] = {}
+                for name, matrix in col_replicas.items():
+                    lows, highs = percentile_intervals(
+                        matrix, self.config.confidence
+                    )
+                    errors[name] = ColumnErrors(
+                        lows=lows, highs=highs,
+                        rel_stdev=relative_stdevs(
+                            out_table.column(name).astype(np.float64),
+                            matrix,
+                        ),
+                    )
+            if phases is not None:
+                phases["snapshot"] += snap_span.elapsed_s
+            total_rows = sum(rows_processed.values())
+            total_uncertain = sum(uncertain_sizes.values())
+            bspan.set("rows_processed", total_rows)
+            bspan.set("uncertain", total_uncertain)
+            bspan.set("rebuilds", len(rebuilds))
+        elapsed = batch_timer.elapsed_s
+        metrics = tracer.metrics
+        if metrics.enabled:
+            metrics.counter("controller.batches").inc()
+            metrics.counter("controller.rows_processed").inc(total_rows)
+            metrics.counter("controller.rebuilds").inc(len(rebuilds))
+            metrics.gauge("controller.uncertain").set(total_uncertain)
+            metrics.histogram("controller.batch_seconds").observe(elapsed)
+        return OnlineSnapshot(
+            batch_index=i, num_batches=k, table=out_table,
+            errors=errors, uncertain_sizes=uncertain_sizes,
+            rows_processed=rows_processed, rebuilds=rebuilds,
+            elapsed_s=elapsed, confidence=self.config.confidence,
+            phase_seconds=phases,
+        )

@@ -21,14 +21,13 @@ Per batch the block touches ``O(|ΔD_i| + |U_{i-1}|)`` rows instead of
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from ..config import GolaConfig
 from ..engine.aggregates import (
-    AggregateCall,
     AggState,
     GroupIndex,
     UDAFRegistry,
@@ -48,6 +47,7 @@ from ..expr.expressions import (
     conjuncts,
     evaluate_mask,
 )
+from ..obs import NULL_TRACER
 from ..plan.lineage_blocks import LineageBlock
 from ..plan.logical import (
     Aggregate,
@@ -574,6 +574,8 @@ class BlockRuntime:
         self.guards: Dict[int, object] = {}  # fallback/set guards by slot
         self.stats_history: List[BlockBatchStats] = []
         self.recompute_count = 0
+        #: Observability hook; the controller installs its tracer here.
+        self.tracer = NULL_TRACER
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -683,15 +685,27 @@ class BlockRuntime:
     def check_guards(self, slot_states: Dict[int, object],
                      ienv: IntervalEnv) -> bool:
         """True when every folded decision is still valid."""
+        return self.guard_violation(slot_states, ienv) is None
+
+    def guard_violation(self, slot_states: Dict[int, object],
+                        ienv: IntervalEnv) -> Optional[str]:
+        """The first failing guard as a human-readable cause, or None.
+
+        The cause string is what rebuild trace events report, so a
+        profile can say *why* a block recomputed (which slot drifted,
+        under which guard strategy), not just that it did.
+        """
         for kind, guard in self.pred_guards:
             if kind == "decision":
                 if not guard.check(slot_states, ienv):
-                    return False
+                    return f"decision guard on slot#{guard.slot}"
         for slot, guard in self.guards.items():
             state = slot_states[slot]
             if not guard.check(state):
-                return False
-        return True
+                return (
+                    f"{type(guard).__name__.lstrip('_')} on slot#{slot}"
+                )
+        return None
 
     def _guard_for(self, slot: int, state) -> object:
         guard = self.guards.get(slot)
@@ -736,21 +750,30 @@ class BlockRuntime:
         current one) for the rebuild path; None disables recovery and a
         guard violation raises :class:`RangeViolation`.
         """
-        rebuilt = False
-        rebuild_rows = 0
+        tracer = self.tracer
         ienv = IntervalEnv(slots=slot_states, point=penv)
-        if not self.check_guards(slot_states, ienv):
+        with tracer.span("phase:guards", block=self.block.block_id) as gs:
+            violation = self.guard_violation(slot_states, ienv)
+            if violation is not None:
+                gs.set("violation", violation)
+        if violation is not None:
             if retained is None:
                 self._raise_violation(slot_states)
             self.reset()
             self.recompute_count += 1
-            rebuilt = True
             merged = Table.concat([t for t, _ in retained])
             merged_w = np.concatenate([w for _, w in retained])
             rebuild_rows = merged.num_rows
-            stats = self._ingest(
-                batch_index, merged, merged_w, slot_states, penv
-            )
+            with tracer.span("phase:rebuild", block=self.block.block_id,
+                             cause=violation, rows_in=rebuild_rows):
+                stats = self._ingest(
+                    batch_index, merged, merged_w, slot_states, penv
+                )
+            if tracer.metrics.enabled:
+                tracer.metrics.counter("delta.rebuilds").inc()
+                tracer.metrics.counter(
+                    "delta.rebuild_rows"
+                ).inc(rebuild_rows)
             stats = BlockBatchStats(
                 batch_index=batch_index,
                 rows_in=batch.num_rows,
@@ -764,6 +787,10 @@ class BlockRuntime:
         else:
             stats = self._ingest(batch_index, batch, weights, slot_states,
                                  penv)
+        if tracer.metrics.enabled:
+            tracer.metrics.histogram(
+                "delta.uncertain_size"
+            ).observe(stats.uncertain_size)
         self.stats_history.append(stats)
         return stats
 
@@ -786,12 +813,19 @@ class BlockRuntime:
     def _ingest(self, batch_index: int, batch: Table, weights: np.ndarray,
                 slot_states: Dict[int, object],
                 penv: Environment) -> BlockBatchStats:
+        tracer = self.tracer
         rows_in = batch.num_rows
         piped, piped_w = self._apply_certain(batch, weights, penv)
         incoming = self._prepare_rows(piped, piped_w, penv)
 
         if not self.pipeline.uncertain_predicates:
-            self._fold(incoming, None)
+            with tracer.span("phase:fold", block=self.block.block_id,
+                             rows_in=incoming.size):
+                self._fold(incoming, None)
+            if tracer.metrics.enabled:
+                tracer.metrics.counter(
+                    "delta.rows_folded"
+                ).inc(incoming.size)
             return BlockBatchStats(
                 batch_index=batch_index, rows_in=rows_in,
                 candidates=incoming.size, folded_pass=incoming.size,
@@ -799,31 +833,54 @@ class BlockRuntime:
                 rebuild_rows=0,
             )
 
+        cached_in = self.cache.size
         candidates = (
             CachedRows.concat([self.cache, incoming])
             if self.cache.size else incoming
         )
         ienv = IntervalEnv(slots=slot_states, point=penv)
-        p_tris = [
-            tri_eval(predicate, candidates.table, ienv)
-            for predicate in self.pipeline.uncertain_predicates
-        ]
-        tri = p_tris[0].copy()
-        for p_tri in p_tris[1:]:
-            tri = np.minimum(tri, p_tri)
-        self._commit_guards(candidates, p_tris, tri, slot_states, ienv)
+        with tracer.span("phase:classify", block=self.block.block_id,
+                         rows_in=candidates.size, cached_in=cached_in,
+                         incoming=incoming.size) as cls_span:
+            p_tris = [
+                tri_eval(predicate, candidates.table, ienv)
+                for predicate in self.pipeline.uncertain_predicates
+            ]
+            tri = p_tris[0].copy()
+            for p_tri in p_tris[1:]:
+                tri = np.minimum(tri, p_tri)
+            self._commit_guards(candidates, p_tris, tri, slot_states, ienv)
 
-        pass_mask = tri == TRI_TRUE
-        fail_mask = tri == TRI_FALSE
-        unknown_mask = tri == TRI_UNKNOWN
-        self._fold(candidates, pass_mask)
+            pass_mask = tri == TRI_TRUE
+            fail_mask = tri == TRI_FALSE
+            unknown_mask = tri == TRI_UNKNOWN
+            folded_pass = int(pass_mask.sum())
+            folded_fail = int(fail_mask.sum())
+            if tracer.enabled:
+                # Cache accounting: a cached row re-classified to a
+                # deterministic status is *resolved* (evicted from the
+                # uncertain set); the rest are retained another batch.
+                cache_retained = int(unknown_mask[:cached_in].sum())
+                cls_span.set("folded_pass", folded_pass)
+                cls_span.set("folded_fail", folded_fail)
+                cls_span.set("unknown", int(unknown_mask.sum()))
+                cls_span.set("cache_resolved", cached_in - cache_retained)
+                cls_span.set("cache_retained", cache_retained)
+        with tracer.span("phase:fold", block=self.block.block_id,
+                         rows_in=folded_pass):
+            self._fold(candidates, pass_mask)
         self.cache = candidates.take(unknown_mask)
+        if tracer.metrics.enabled:
+            tracer.metrics.counter("delta.rows_folded").inc(folded_pass)
+            tracer.metrics.counter(
+                "delta.rows_classified"
+            ).inc(candidates.size)
 
         return BlockBatchStats(
             batch_index=batch_index, rows_in=rows_in,
             candidates=candidates.size,
-            folded_pass=int(pass_mask.sum()),
-            folded_fail=int(fail_mask.sum()),
+            folded_pass=folded_pass,
+            folded_fail=folded_fail,
             uncertain_size=self.cache.size,
             rebuilt=False, rebuild_rows=0,
         )

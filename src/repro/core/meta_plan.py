@@ -20,7 +20,7 @@ Concretely, a :class:`MetaPlan` is:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..config import GolaConfig

@@ -8,8 +8,8 @@ rebuilds) that the benchmarks and the cluster simulator consume.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -40,6 +40,8 @@ class OnlineSnapshot:
             plus any rebuild work) — the quantity Figure 3(b) compares.
         rebuilds: block ids that recomputed due to a range violation.
         elapsed_s: Wall-clock seconds this batch took in this process.
+        phase_seconds: phase name (fold/publish/snapshot) -> wall-clock
+            seconds, populated when tracing is enabled (None otherwise).
     """
 
     batch_index: int
@@ -51,6 +53,7 @@ class OnlineSnapshot:
     rebuilds: List[str]
     elapsed_s: float
     confidence: float
+    phase_seconds: Optional[Dict[str, float]] = None
 
     @property
     def fraction(self) -> float:
@@ -90,11 +93,17 @@ class OnlineSnapshot:
 
     @property
     def relative_stdev(self) -> float:
-        """The scalar relative standard deviation, for single-cell results."""
+        """The scalar relative standard deviation, for single-cell results.
+
+        Returns ``nan`` when the column has no bootstrap replica support
+        (e.g. a non-replicable projection): "unknown error" must not
+        read as "fully converged", or ``rsd < target`` early-stop loops
+        would silently accept an answer with no error estimate.
+        """
         name = self._single_column()
         err = self.errors.get(name)
-        if err is None:
-            return 0.0
+        if err is None or len(err.rel_stdev) == 0:
+            return float("nan")
         return float(err.rel_stdev[0])
 
     @property
@@ -112,11 +121,25 @@ class OnlineSnapshot:
         try:
             parts.append(
                 f"estimate={self.estimate:.6g} {self.interval} "
-                f"rsd={self.relative_stdev:.3%}"
+                f"rsd={format_rsd(self.relative_stdev)}"
             )
         except ValueError:
             parts.append(f"{self.table.num_rows} rows")
         parts.append(f"uncertain={self.total_uncertain}")
         if self.rebuilds:
             parts.append(f"rebuilt={','.join(self.rebuilds)}")
+        if self.phase_seconds:
+            parts.append(
+                "phases[" + " ".join(
+                    f"{name}={seconds * 1e3:.1f}ms"
+                    for name, seconds in self.phase_seconds.items()
+                ) + "]"
+            )
         return "  ".join(parts)
+
+
+def format_rsd(value: float, digits: int = 3) -> str:
+    """Render a relative stdev; NaN (no replica support) reads ``n/a``."""
+    if value != value:  # NaN
+        return "n/a"
+    return f"{value:.{digits}%}"

@@ -19,13 +19,14 @@ Typical use::
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterator, List, Optional, Union
+from typing import Callable, Dict, Iterator, Optional, Union
 
 from ..config import GolaConfig
 from ..engine.aggregates import UDAFRegistry, UDAFSpec
 from ..engine.executor import BatchExecutor
 from ..errors import QueryStopped
 from ..expr.functions import FunctionRegistry
+from ..obs import Tracer
 from ..plan.binder import Binder
 from ..plan.logical import Query
 from ..plan.rewrite import rewrite_query
@@ -126,13 +127,21 @@ class OnlineQuery:
 
 
 class GolaSession:
-    """A FluoDB-style session: catalog + registries + execution services."""
+    """A FluoDB-style session: catalog + registries + execution services.
 
-    def __init__(self, config: Optional[GolaConfig] = None):
+    ``tracer`` injects an explicit :class:`repro.obs.Tracer` shared by
+    every controller and batch executor the session creates; when None,
+    each run builds one from the config's ``trace``/``trace_path``/
+    ``metrics`` knobs (a no-op tracer when those are off).
+    """
+
+    def __init__(self, config: Optional[GolaConfig] = None,
+                 tracer: Optional[Tracer] = None):
         self.config = config or GolaConfig()
         self.catalog = Catalog()
         self.functions = FunctionRegistry()
         self.udafs = UDAFRegistry()
+        self.tracer = tracer
 
     # -- catalog ---------------------------------------------------------
 
@@ -185,7 +194,8 @@ class GolaSession:
         if isinstance(query, str):
             query = self.sql(query)
         executor = BatchExecutor(
-            self._tables(), self.udafs, self.functions
+            self._tables(), self.udafs, self.functions,
+            tracer=self.tracer,
         )
         return executor.execute(query.query)
 
@@ -202,4 +212,5 @@ class GolaSession:
         return QueryController(
             query, self._tables(), streamed, config,
             udafs=self.udafs, functions=self.functions,
+            tracer=self.tracer,
         )

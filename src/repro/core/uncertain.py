@@ -9,7 +9,7 @@ and the replicas for their own failure checks.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional, Set
 
 import numpy as np

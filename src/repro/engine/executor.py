@@ -11,13 +11,13 @@ oracle every online answer is tested against for convergence.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Set
+from typing import Dict, Optional
 
-import numpy as np
 
 from ..errors import ExecutionError
 from ..expr.expressions import Environment
 from ..expr.functions import DEFAULT_FUNCTIONS, FunctionRegistry
+from ..obs import NULL_TRACER, Tracer
 from ..plan.logical import (
     Aggregate,
     Filter,
@@ -49,14 +49,18 @@ class BatchExecutor:
         tables: name -> Table bindings (usually from the session catalog).
         udafs: user-defined aggregate registry, if any.
         functions: scalar function registry for expression evaluation.
+        tracer: observability hook; when enabled, every operator records
+            an ``op:<Node>`` span with rows-in/rows-out and elapsed time.
     """
 
     def __init__(self, tables: Dict[str, Table],
                  udafs: Optional[UDAFRegistry] = None,
-                 functions: FunctionRegistry = DEFAULT_FUNCTIONS):
+                 functions: FunctionRegistry = DEFAULT_FUNCTIONS,
+                 tracer: Optional[Tracer] = None):
         self.tables = {name.lower(): t for name, t in tables.items()}
         self.udafs = udafs
         self.functions = functions
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     def execute(self, query: Query, scale: float = 1.0,
                 overrides: Optional[Dict[str, Table]] = None) -> Table:
@@ -122,29 +126,46 @@ class BatchExecutor:
 
     def _run_plan(self, plan: LogicalPlan, tables: Dict[str, Table],
                   env: Environment, scale: float, rows: list) -> Table:
+        if not self.tracer.enabled:
+            return self._run_node(plan, tables, env, scale, rows, None)
+        # Spans are inclusive of child operators (the hierarchy carries
+        # the breakdown); rows_in is set per-node below.
+        with self.tracer.span("op:" + type(plan).__name__) as span:
+            out = self._run_node(plan, tables, env, scale, rows, span)
+            span.set("rows_out", out.num_rows)
+        return out
+
+    def _run_node(self, plan: LogicalPlan, tables: Dict[str, Table],
+                  env: Environment, scale: float, rows: list,
+                  span) -> Table:
         if isinstance(plan, Scan):
             if plan.table_name not in tables:
                 raise ExecutionError(f"unbound table {plan.table_name!r}")
             table = tables[plan.table_name]
             rows[0] += table.num_rows
+            if span is not None:
+                span.set("table", plan.table_name)
+                span.set("rows_in", table.num_rows)
             return table
-        if isinstance(plan, Filter):
-            child = self._run_plan(plan.input, tables, env, scale, rows)
-            return run_filter(plan, child, env)
-        if isinstance(plan, Project):
-            child = self._run_plan(plan.input, tables, env, scale, rows)
-            return run_project(plan, child, env)
         if isinstance(plan, Join):
             left = self._run_plan(plan.left, tables, env, scale, rows)
             right = self._run_plan(plan.right, tables, env, scale, rows)
-            return hash_join(left, right, plan.keys, plan.how)
-        if isinstance(plan, Aggregate):
+            if span is not None:
+                span.set("rows_in", left.num_rows)
+                span.set("build_rows", right.num_rows)
+            return hash_join(left, right, plan.keys, plan.how, span=span)
+        if isinstance(plan, (Filter, Project, Aggregate, Sort, Limit)):
             child = self._run_plan(plan.input, tables, env, scale, rows)
-            return run_aggregate(plan, child, env, scale, self.udafs)
-        if isinstance(plan, Sort):
-            child = self._run_plan(plan.input, tables, env, scale, rows)
-            return run_sort(plan, child)
-        if isinstance(plan, Limit):
-            child = self._run_plan(plan.input, tables, env, scale, rows)
+            if span is not None:
+                span.set("rows_in", child.num_rows)
+            if isinstance(plan, Filter):
+                return run_filter(plan, child, env)
+            if isinstance(plan, Project):
+                return run_project(plan, child, env)
+            if isinstance(plan, Aggregate):
+                return run_aggregate(plan, child, env, scale, self.udafs,
+                                     span=span)
+            if isinstance(plan, Sort):
+                return run_sort(plan, child)
             return run_limit(plan, child)
         raise ExecutionError(f"unknown plan node {type(plan).__name__}")

@@ -15,10 +15,9 @@ import numpy as np
 
 from ..errors import ExecutionError
 from ..expr.expressions import Environment, Expression, evaluate_mask
-from ..plan.logical import Aggregate, Filter, Join, Limit, Project, Sort
-from ..storage.table import Column, ColumnType, Schema, Table
+from ..plan.logical import Aggregate, Filter, Limit, Project, Sort
+from ..storage.table import ColumnType, Schema, Table
 from .aggregates import (
-    AggregateCall,
     GroupIndex,
     UDAFRegistry,
     make_state,
@@ -50,12 +49,15 @@ def run_project(node: Project, table: Table, env: Environment) -> Table:
 
 
 def hash_join(left: Table, right: Table, keys: Sequence[Tuple[str, str]],
-              how: str = "inner") -> Table:
+              how: str = "inner", span=None) -> Table:
     """Hash equi-join; right side is the build side (dimension table).
 
     Right-side rows must be unique per key combination (dimension
     semantics); duplicate build keys raise because fan-out joins would
     break the online multiplicity accounting.
+
+    ``span`` is an optional observability span
+    (:class:`repro.obs.Span`); when given, the match count is recorded.
     """
     if how not in ("inner", "left"):
         raise ExecutionError(f"unsupported join type {how!r}")
@@ -73,6 +75,8 @@ def hash_join(left: Table, right: Table, keys: Sequence[Tuple[str, str]],
         (index.get(k, -1) for k in probe_keys), dtype=np.int64,
         count=left.num_rows,
     )
+    if span is not None:
+        span.set("matched", int((match >= 0).sum()))
     if how == "inner":
         keep = match >= 0
         left_out = left.take(keep)
@@ -153,14 +157,17 @@ def run_aggregate(node: Aggregate, table: Table, env: Environment,
                   scale: float = 1.0,
                   udafs: Optional[UDAFRegistry] = None,
                   quantile_capacity: int = 4096,
-                  seed: int = 0) -> Table:
+                  seed: int = 0, span=None) -> Table:
     """Exact one-shot aggregation (the batch path).
 
     ``scale`` implements the ``Q(D_i, k/i)`` multiset semantics when the
-    input is a prefix of the mini-batch stream.
+    input is a prefix of the mini-batch stream.  ``span`` is an optional
+    observability span; when given, the group count is recorded.
     """
     group_idx, index = group_indices(table, node.group_by, env)
     num_groups = max(index.num_groups, 1)
+    if span is not None:
+        span.set("groups", num_groups)
 
     agg_columns: Dict[str, np.ndarray] = {}
     for call in node.aggregates:

@@ -22,6 +22,7 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from ..obs import NULL_TRACER, Tracer
 from .random_source import derive_rng
 
 
@@ -29,21 +30,34 @@ class PoissonWeightSource:
     """Draws per-batch ``(n, B)`` Poisson(1) weight matrices.
 
     One source per query run; batches are drawn sequentially so the
-    stream is reproducible from the master seed.
+    stream is reproducible from the master seed.  Weight drawing is the
+    per-batch fixed cost of bootstrap error estimation, so the source
+    records a ``phase:weights`` span per draw when tracing is enabled —
+    the trial-state update cost downstream is proportional to the same
+    ``rows × trials`` volume.
     """
 
     def __init__(self, trials: int, master_seed: int,
-                 label: str = "bootstrap"):
+                 label: str = "bootstrap",
+                 tracer: Optional[Tracer] = None):
         if trials < 1:
             raise ValueError("trials must be >= 1")
         self.trials = trials
         self._rng = derive_rng(master_seed, label)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     def weights_for(self, num_rows: int) -> np.ndarray:
         """An ``(num_rows, trials)`` float64 Poisson(1) weight matrix."""
-        return self._rng.poisson(
-            1.0, size=(num_rows, self.trials)
-        ).astype(np.float64)
+        with self.tracer.span("phase:weights", rows_in=num_rows,
+                              trials=self.trials):
+            out = self._rng.poisson(
+                1.0, size=(num_rows, self.trials)
+            ).astype(np.float64)
+        if self.tracer.metrics.enabled:
+            self.tracer.metrics.counter(
+                "bootstrap.weights_drawn"
+            ).inc(num_rows * self.trials)
+        return out
 
 
 def multinomial_bootstrap(

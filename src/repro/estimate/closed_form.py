@@ -10,7 +10,6 @@ bootstrap against known ground truth.
 from __future__ import annotations
 
 import math
-from typing import Tuple
 
 import numpy as np
 

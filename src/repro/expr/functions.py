@@ -7,7 +7,7 @@ referenced by name from SQL or from hand-built expression trees.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Sequence
+from typing import Callable, Dict
 
 import numpy as np
 

@@ -8,13 +8,13 @@ on output and notebooks can display it.
 
 from __future__ import annotations
 
-import shutil
 import sys
-from typing import Iterable, Optional, TextIO
+from typing import Optional, TextIO
 
 import numpy as np
 
-from ..core.result import OnlineSnapshot
+from ..core.result import OnlineSnapshot, format_rsd
+from ..obs import AggregatingSink, Tracer
 from ..storage.table import Table
 
 
@@ -55,7 +55,7 @@ def render_snapshot(snapshot: OnlineSnapshot, max_rows: int = 10) -> str:
         ci = snapshot.interval
         lines.append(
             f"  estimate {est:,.4f}   {ci}   "
-            f"rel.stdev {snapshot.relative_stdev:.3%}"
+            f"rel.stdev {format_rsd(snapshot.relative_stdev)}"
         )
         lines.append(
             f"  {error_bar(ci.low, est, ci.high)}"
@@ -63,7 +63,7 @@ def render_snapshot(snapshot: OnlineSnapshot, max_rows: int = 10) -> str:
     except ValueError:
         lines.append(render_table(snapshot.table, max_rows))
         for name, err in snapshot.errors.items():
-            if len(err.rel_stdev):
+            if len(err.rel_stdev) and not np.isnan(err.rel_stdev).all():
                 worst = float(np.nanmax(err.rel_stdev))
                 lines.append(f"  {name}: worst rel.stdev {worst:.3%}")
     lines.append(
@@ -72,6 +72,13 @@ def render_snapshot(snapshot: OnlineSnapshot, max_rows: int = 10) -> str:
         + (f"   RECOMPUTED: {', '.join(snapshot.rebuilds)}"
            if snapshot.rebuilds else "")
     )
+    if snapshot.phase_seconds:
+        lines.append(
+            "  phases: " + "  ".join(
+                f"{name} {seconds * 1e3:.1f}ms"
+                for name, seconds in snapshot.phase_seconds.items()
+            )
+        )
     return "\n".join(lines)
 
 
@@ -105,18 +112,53 @@ def render_history(snapshots, max_width: int = 40) -> str:
     for snapshot in snapshots:
         try:
             estimates.append(snapshot.estimate)
-            stdevs.append(snapshot.relative_stdev)
+            rsd = snapshot.relative_stdev
         except ValueError:
             continue
+        if not np.isnan(rsd):  # nan = no replica support, nothing to plot
+            stdevs.append(rsd)
     if not estimates:
         return "(no scalar history)"
     lines = [
         f"estimate  {sparkline(estimates, max_width)}  "
         f"{estimates[0]:.4g} -> {estimates[-1]:.4g}",
-        f"rel.stdev {sparkline(stdevs, max_width)}  "
-        f"{stdevs[0]:.2%} -> {stdevs[-1]:.2%}",
     ]
+    if stdevs:
+        lines.append(
+            f"rel.stdev {sparkline(stdevs, max_width)}  "
+            f"{stdevs[0]:.2%} -> {stdevs[-1]:.2%}"
+        )
     return "\n".join(lines)
+
+
+def aggregating_sink_of(tracer: Tracer) -> Optional[AggregatingSink]:
+    """The tracer's in-memory AggregatingSink, if it has one (tees ok)."""
+    sink = tracer.sink
+    candidates = getattr(sink, "sinks", [sink])
+    for candidate in candidates:
+        if isinstance(candidate, AggregatingSink):
+            return candidate
+    return None
+
+
+def render_tracer_profile(tracer: Tracer) -> str:
+    """Per-span profile + metrics the tracer accumulated in memory.
+
+    Returns an empty string when the tracer collected nothing (no
+    aggregating sink and no metrics) so callers can print
+    unconditionally.
+    """
+    sections = []
+    agg = aggregating_sink_of(tracer)
+    if agg is not None and agg.spans:
+        sections.append("-- span profile " + "-" * 40)
+        sections.append(agg.render())
+    if tracer.metrics.enabled:
+        rendered = tracer.metrics.snapshot().describe()
+        if rendered:
+            sections.append("-- metrics " + "-" * 45)
+            sections.append(rendered)
+    return "\n".join(sections)
 
 
 class ProgressConsole:
@@ -128,11 +170,16 @@ class ProgressConsole:
         for snapshot in query.run_online():
             console.update(snapshot)
         console.finish()
+
+    With a tracer attached, ``finish()`` also prints the accumulated
+    span profile and metrics (the in-memory aggregating sink's view).
     """
 
-    def __init__(self, sink: Optional[TextIO] = None, max_rows: int = 10):
+    def __init__(self, sink: Optional[TextIO] = None, max_rows: int = 10,
+                 tracer: Optional[Tracer] = None):
         self.sink = sink or sys.stdout
         self.max_rows = max_rows
+        self.tracer = tracer
         self._count = 0
 
     def update(self, snapshot: OnlineSnapshot) -> None:
@@ -143,4 +190,8 @@ class ProgressConsole:
 
     def finish(self) -> None:
         self.sink.write(f"done after {self._count} snapshot(s)\n")
+        if self.tracer is not None:
+            profile = render_tracer_profile(self.tracer)
+            if profile:
+                self.sink.write(profile + "\n")
         self.sink.flush()

@@ -12,9 +12,9 @@ and diff-able in tests.
 from __future__ import annotations
 
 import html
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
-from ..core.result import OnlineSnapshot
+from ..core.result import OnlineSnapshot, format_rsd
 from ..storage.table import Table
 
 _STYLE = """
@@ -121,7 +121,7 @@ def render_html_report(snapshots: Sequence[OnlineSnapshot],
         css = ' class="rebuild"' if snapshot.rebuilds else ""
         try:
             value = f"{snapshot.estimate:,.4f}"
-            rsd = f"{snapshot.relative_stdev:.2%}"
+            rsd = format_rsd(snapshot.relative_stdev, digits=2)
         except ValueError:
             value = f"{snapshot.table.num_rows} rows"
             rsd = "—"

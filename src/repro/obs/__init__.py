@@ -1,0 +1,61 @@
+"""Observability: structured tracing, metrics and profiling hooks.
+
+The online-execution claims of the paper — per-batch latency, the size
+of the uncertain set, the cost of guard-violation rebuilds — are claims
+about *where time and rows go per mini-batch*.  This package gives every
+engine component one cheap, injectable instrumentation surface:
+
+* :class:`Tracer` — hierarchical wall-clock spans (query → batch →
+  lineage-block → phase) plus point events, fanned out to a
+  :class:`TraceSink`;
+* :class:`MetricsRegistry` — counters, gauges and histograms with
+  mergeable snapshots;
+* three sinks behind one interface: :class:`NullSink` (the default;
+  near-zero overhead — every record site is guarded by a cheap
+  ``enabled`` check), :class:`JsonlSink` (an event log for
+  ``python -m repro report``), and :class:`AggregatingSink` (in-memory
+  per-span statistics the console renders live);
+* :func:`load_events` / :func:`render_profile` — turn a JSONL event log
+  back into per-phase / per-operator profile tables.
+
+A process-wide default tracer exists (:func:`get_tracer` /
+:func:`set_tracer`) but every consumer also accepts an explicit
+instance, so tests and concurrent sessions can stay isolated.
+"""
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot
+from .report import ProfileReport, build_profile, load_events, render_profile
+from .sinks import AggregatingSink, JsonlSink, NullSink, TeeSink, TraceSink
+from .tracer import (
+    NULL_TRACER,
+    Span,
+    Timer,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    tracer_from_config,
+)
+
+__all__ = [
+    "AggregatingSink",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonlSink",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "NULL_TRACER",
+    "NullSink",
+    "ProfileReport",
+    "Span",
+    "TeeSink",
+    "Timer",
+    "TraceSink",
+    "Tracer",
+    "build_profile",
+    "get_tracer",
+    "load_events",
+    "render_profile",
+    "set_tracer",
+    "tracer_from_config",
+]

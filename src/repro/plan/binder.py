@@ -20,7 +20,7 @@ order).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..engine.aggregates import AggregateCall, UDAFRegistry, is_aggregate_name
 from ..errors import BindError, UnsupportedQueryError

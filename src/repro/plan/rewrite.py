@@ -17,7 +17,7 @@ against the originals on random data.
 
 from __future__ import annotations
 
-from typing import List, Optional, Set
+from typing import List
 
 from ..expr.expressions import (
     Between,

@@ -7,8 +7,8 @@ results without a catalog.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import Optional, Tuple
 
 
 class SqlExpr:

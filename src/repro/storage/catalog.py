@@ -9,7 +9,7 @@ table) while small dimension tables are read in entirety (paper section 2).
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List
 
 from ..errors import CatalogError
 from .table import Schema, Table

@@ -15,7 +15,7 @@ shuffled) table into ``k`` batches of uniform size.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Sequence
+from typing import Iterator, List
 
 import numpy as np
 

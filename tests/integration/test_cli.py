@@ -38,6 +38,30 @@ class TestCli:
         proc = run_module()
         assert proc.returncode != 0
 
+    def test_trace_and_report(self, tmp_path):
+        trace_file = tmp_path / "trace.jsonl"
+        proc = run_module(
+            "trace", "--rows", "4000", "--batches", "3",
+            "--trace-out", str(trace_file),
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "span profile" in proc.stdout
+        assert "controller.rows_processed" in proc.stdout
+        assert trace_file.exists()
+
+        report = run_module("report", str(trace_file))
+        assert report.returncode == 0, report.stderr
+        assert "per-phase profile" in report.stdout
+        assert "phase:fold" in report.stdout
+        assert "batches: 3" in report.stdout
+
+    def test_report_missing_events(self, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        proc = run_module("report", str(empty))
+        assert proc.returncode == 1
+        assert "no trace events" in proc.stdout
+
 
 class TestDashboardExample:
     def test_dashboard(self):

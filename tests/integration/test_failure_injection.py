@@ -7,7 +7,6 @@ detects the failure and recomputes from the data seen so far; a larger
 tests force both regimes and verify answers stay exact either way.
 """
 
-import numpy as np
 import pytest
 
 from repro import GolaConfig, GolaSession

@@ -1,0 +1,149 @@
+"""End-to-end observability: trace events reconcile with snapshots.
+
+Runs the SBI query with a zero-width guard epsilon so at least one batch
+violates a variation-range guard and rebuilds, then checks that the
+JSONL event log, the in-memory metrics and the ``OnlineSnapshot`` series
+all tell the same story — per-batch row counts, uncertain-set sizes and
+rebuild accounting agree exactly across the three views.
+"""
+
+import pytest
+
+from repro import GolaConfig, GolaSession
+from repro.obs import (
+    AggregatingSink,
+    JsonlSink,
+    MetricsRegistry,
+    TeeSink,
+    Tracer,
+    build_profile,
+    load_events,
+    render_profile,
+)
+from repro.workloads.sessions import SBI_QUERY, generate_sessions
+
+
+@pytest.fixture(scope="module")
+def traced_run(tmp_path_factory):
+    """One traced SBI run with >=1 guard-violation rebuild."""
+    path = tmp_path_factory.mktemp("obs") / "trace.jsonl"
+    agg = AggregatingSink()
+    tracer = Tracer(TeeSink(agg, JsonlSink(str(path))),
+                    metrics=MetricsRegistry(enabled=True))
+    session = GolaSession(
+        GolaConfig(num_batches=30, bootstrap_trials=24, seed=31,
+                   epsilon_multiplier=0.0),
+        tracer=tracer,
+    )
+    session.register_table("sessions", generate_sessions(3000, seed=7))
+    snapshots = list(session.sql(SBI_QUERY).run_online())
+    tracer.close()
+    return snapshots, load_events(str(path)), agg, tracer
+
+
+def batch_spans(records):
+    return sorted(
+        (r for r in records
+         if r["type"] == "span" and r["name"] == "batch"),
+        key=lambda r: r["attrs"]["batch_index"],
+    )
+
+
+class TestTraceSnapshotReconciliation:
+    def test_run_rebuilt_at_least_once(self, traced_run):
+        snapshots, _, _, _ = traced_run
+        assert sum(len(s.rebuilds) for s in snapshots) >= 1
+
+    def test_per_batch_rows_match_snapshots(self, traced_run):
+        snapshots, records, _, _ = traced_run
+        spans = batch_spans(records)
+        assert len(spans) == len(snapshots) == 30
+        traced = [s["attrs"]["rows_processed"] for s in spans]
+        assert traced == [s.total_rows_processed for s in snapshots]
+        assert [s["attrs"]["uncertain"] for s in spans] == \
+            [s.total_uncertain for s in snapshots]
+        assert [s["attrs"]["rebuilds"] for s in spans] == \
+            [len(s.rebuilds) for s in snapshots]
+
+    def test_block_spans_sum_to_batch_totals(self, traced_run):
+        snapshots, records, _, _ = traced_run
+        blocks = [r for r in records
+                  if r["type"] == "span" and r["name"] == "block"]
+        total = sum(r["attrs"]["rows_processed"] for r in blocks)
+        assert total == sum(s.total_rows_processed for s in snapshots)
+
+    def test_rebuild_spans_carry_cause_and_cost(self, traced_run):
+        snapshots, records, _, _ = traced_run
+        rebuilds = [r for r in records
+                    if r["type"] == "span" and r["name"] == "phase:rebuild"]
+        assert len(rebuilds) == sum(len(s.rebuilds) for s in snapshots)
+        for r in rebuilds:
+            assert "guard" in r["attrs"]["cause"].lower()
+            assert r["attrs"]["rows_in"] > 0
+        # A guard violation shows up on the guard-check span too.
+        violated = [r for r in records
+                    if r["type"] == "span" and r["name"] == "phase:guards"
+                    and "violation" in r["attrs"]]
+        assert len(violated) == len(rebuilds)
+
+    def test_metrics_agree_with_snapshots(self, traced_run):
+        snapshots, _, _, tracer = traced_run
+        snap = tracer.metrics.snapshot()
+        assert snap.counters["controller.batches"] == len(snapshots)
+        assert snap.counters["controller.rows_processed"] == \
+            sum(s.total_rows_processed for s in snapshots)
+        assert snap.counters["controller.rebuilds"] == \
+            sum(len(s.rebuilds) for s in snapshots)
+        assert snap.counters["delta.rebuilds"] == \
+            snap.counters["controller.rebuilds"]
+        assert snap.gauges["controller.uncertain"] == \
+            snapshots[-1].total_uncertain
+        assert snap.histograms["controller.batch_seconds"].count == \
+            len(snapshots)
+
+    def test_aggregating_sink_matches_event_log(self, traced_run):
+        snapshots, records, agg, _ = traced_run
+        report = build_profile(records)
+        assert agg.spans["batch"].count == \
+            report.span_stats("batch").count == len(snapshots)
+        assert agg.spans["block"].attr_totals["rows_processed"] == \
+            report.span_stats("block").attr_totals["rows_processed"]
+
+    def test_profile_renders(self, traced_run):
+        snapshots, records, _, _ = traced_run
+        text = render_profile(build_profile(records))
+        assert "per-phase profile" in text
+        assert "phase:fold" in text and "phase:classify" in text
+        total = sum(s.total_rows_processed for s in snapshots)
+        assert f"rows processed: {total:,}" in text
+        assert "rebuilds: 1" in text or "rebuilds:" in text
+
+    def test_snapshot_phase_seconds_populated(self, traced_run):
+        snapshots, _, _, _ = traced_run
+        for s in snapshots:
+            assert s.phase_seconds is not None
+            assert set(s.phase_seconds) == {"fold", "publish", "snapshot"}
+            assert all(v >= 0.0 for v in s.phase_seconds.values())
+
+
+class TestDisabledTracingUnchanged:
+    def test_untraced_run_identical_results(self):
+        """Tracing must not perturb the computation itself."""
+        def run(tracer):
+            session = GolaSession(
+                GolaConfig(num_batches=5, bootstrap_trials=16, seed=3),
+                tracer=tracer,
+            )
+            session.register_table(
+                "sessions", generate_sessions(1500, seed=5)
+            )
+            return list(session.sql(SBI_QUERY).run_online())
+
+        plain = run(None)
+        traced = run(Tracer(AggregatingSink(),
+                            metrics=MetricsRegistry(enabled=True)))
+        assert [s.estimate for s in plain] == [s.estimate for s in traced]
+        assert [s.total_rows_processed for s in plain] == \
+            [s.total_rows_processed for s in traced]
+        assert plain[-1].phase_seconds is None
+        assert traced[-1].phase_seconds is not None

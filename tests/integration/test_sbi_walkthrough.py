@@ -13,11 +13,10 @@ import pytest
 
 from repro import GolaConfig
 from repro.core.delta import BlockRuntime
-from repro.core.uncertain import TRI_UNKNOWN
 from repro.expr.expressions import Environment
 from repro.plan import bind_statement, lineage_blocks
 from repro.sql import parse_sql
-from repro.storage import Catalog, Table
+from repro.storage import Catalog
 from repro.workloads import SBI_QUERY, figure1_table
 
 

@@ -8,7 +8,6 @@ optimization, never an approximation of the final result.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

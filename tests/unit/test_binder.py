@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import BindError, UnsupportedQueryError
-from repro.expr.expressions import ColumnRef, InSubquery, SubqueryRef
+from repro.expr.expressions import SubqueryRef
 from repro.plan import (
     Aggregate,
     Filter,

@@ -6,7 +6,6 @@ import pytest
 from repro.errors import CatalogError, SchemaError
 from repro.storage import (
     Catalog,
-    Table,
     read_csv,
     read_jsonl,
     write_csv,

@@ -10,7 +10,6 @@ from repro import (
     Table,
     UnsupportedQueryError,
 )
-from repro.core.controller import QueryController
 
 
 class TestSessionBasics:

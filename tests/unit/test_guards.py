@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.core.delta import (
-    _DecisionGuard,
     _SetGuard,
     _analyze_guard,
 )

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.storage import Column, ColumnType, Schema, Table, read_csv, write_csv
+from repro.storage import Column, ColumnType, Schema, read_csv, write_csv
 from repro.storage.table import _coerce
 from repro.errors import SchemaError
 

@@ -94,7 +94,9 @@ class TestSnapshot:
     def test_missing_errors_degenerate_interval(self):
         snap = make_snapshot([3.0])
         assert snap.interval.width == 0.0
-        assert snap.relative_stdev == 0.0
+        # No replica support -> the error is unknown, not zero.
+        assert np.isnan(snap.relative_stdev)
+        assert "rsd=n/a" in snap.describe()
 
     def test_describe(self):
         snap = make_snapshot([10.0], [9.0], [11.0], [0.05])

@@ -21,7 +21,7 @@ from repro.expr.expressions import (
     Literal,
 )
 from repro.plan.logical import Aggregate, Filter, Limit, Project, Scan, Sort
-from repro.storage import Column, ColumnType, Schema, Table
+from repro.storage import Table
 
 
 @pytest.fixture

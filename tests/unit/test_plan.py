@@ -1,6 +1,5 @@
 """Unit tests for logical plan nodes and lineage-block analysis."""
 
-import numpy as np
 import pytest
 
 from repro.engine.aggregates import AggregateCall
