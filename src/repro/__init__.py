@@ -23,13 +23,15 @@ Quickstart::
         print(snapshot.describe())
 """
 
-from .config import ClusterConfig, GolaConfig
+from .config import ClusterConfig, FaultsConfig, GolaConfig
 from .core.result import OnlineSnapshot
 from .core.session import GolaSession, OnlineQuery
 from .errors import (
     BindError,
     CatalogError,
+    CheckpointError,
     ExecutionError,
+    InjectedFault,
     ParseError,
     PlanError,
     QueryStopped,
@@ -38,6 +40,7 @@ from .errors import (
     SchemaError,
     UnsupportedQueryError,
 )
+from .faults import RunCheckpoint
 from .storage.table import Column, ColumnType, Schema, Table
 
 __version__ = "1.0.0"
@@ -45,12 +48,15 @@ __version__ = "1.0.0"
 __all__ = [
     "BindError",
     "CatalogError",
+    "CheckpointError",
     "ClusterConfig",
     "Column",
     "ColumnType",
     "ExecutionError",
+    "FaultsConfig",
     "GolaConfig",
     "GolaSession",
+    "InjectedFault",
     "OnlineQuery",
     "OnlineSnapshot",
     "ParseError",
@@ -58,6 +64,7 @@ __all__ = [
     "QueryStopped",
     "RangeViolation",
     "ReproError",
+    "RunCheckpoint",
     "Schema",
     "SchemaError",
     "Table",

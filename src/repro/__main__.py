@@ -14,15 +14,43 @@ import argparse
 import sys
 
 
+def _parse_faults(spec):
+    """``--faults`` spec -> FaultsConfig (default when not given)."""
+    from .config import FaultsConfig
+
+    return FaultsConfig.parse(spec) if spec else FaultsConfig()
+
+
+def _print_recovery(metrics) -> None:
+    """Print the run's ``faults.*`` counters, if any fired."""
+    counters = metrics.snapshot().counters
+    recovery = {
+        name: value for name, value in counters.items()
+        if name.startswith("faults.")
+    }
+    if not recovery:
+        return
+    print("recovery:")
+    for name in sorted(recovery):
+        print(f"  {name:<28} {recovery[name]:>10,}")
+
+
 def _demo(args) -> int:
     from .config import GolaConfig
     from .core.session import GolaSession
     from .frontends.console import ProgressConsole
     from .workloads.sessions import SBI_QUERY, generate_sessions
 
+    faults = _parse_faults(args.faults)
+    tracer = None
+    if faults.enabled:
+        from .obs import MetricsRegistry, Tracer
+
+        tracer = Tracer(metrics=MetricsRegistry(enabled=True))
     session = GolaSession(
         GolaConfig(num_batches=args.batches, bootstrap_trials=80,
-                   seed=args.seed)
+                   seed=args.seed, faults=faults),
+        tracer=tracer,
     )
     print(f"generating {args.rows:,} session rows ...")
     session.register_table(
@@ -34,6 +62,8 @@ def _demo(args) -> int:
     for snapshot in query.run_online():
         console.update(snapshot)
     console.finish()
+    if tracer is not None:
+        _print_recovery(tracer.metrics)
     return 0
 
 
@@ -100,7 +130,7 @@ def _trace(args) -> int:
 
     session = GolaSession(
         GolaConfig(num_batches=args.batches, bootstrap_trials=80,
-                   seed=args.seed),
+                   seed=args.seed, faults=_parse_faults(args.faults)),
         tracer=tracer,
     )
     print(f"generating {args.rows:,} rows ...")
@@ -122,6 +152,7 @@ def _trace(args) -> int:
         return 1
     finally:
         tracer.close()
+    _print_recovery(tracer.metrics)
     if args.trace_out:
         print(f"trace written to {args.trace_out}")
     return 0
@@ -175,10 +206,17 @@ def main(argv=None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    faults_help = (
+        "enable fault injection: 'key=value,...' over FaultsConfig "
+        "fields, e.g. 'batch_failure_prob=0.3,max_retries=1,seed=7'"
+    )
+
     demo = sub.add_parser("demo", help="run the SBI quickstart online")
     demo.add_argument("--rows", type=int, default=100_000)
     demo.add_argument("--batches", type=int, default=10)
     demo.add_argument("--seed", type=int, default=2015)
+    demo.add_argument("--faults", default=None, metavar="SPEC",
+                      help=faults_help)
     demo.set_defaults(fn=_demo)
 
     console = sub.add_parser("console", help="interactive SQL console")
@@ -203,6 +241,8 @@ def main(argv=None) -> int:
         "--trace-out", default=None, metavar="PATH",
         help="write the JSONL event log here (e.g. trace.jsonl)",
     )
+    trace.add_argument("--faults", default=None, metavar="SPEC",
+                       help=faults_help)
     trace.set_defaults(fn=_trace)
 
     report = sub.add_parser(

@@ -2,7 +2,12 @@
 
 from .cost import StageCost, broadcast_cost, task_durations
 from .events import EventLoop, WorkerPool
-from .simulator import ClusterSimulator, SimulatedBatch, SimulatedRun
+from .simulator import (
+    ClusterSimulator,
+    SimulatedBatch,
+    SimulatedRun,
+    StageRecovery,
+)
 
 __all__ = [
     "ClusterSimulator",
@@ -10,6 +15,7 @@ __all__ = [
     "SimulatedBatch",
     "SimulatedRun",
     "StageCost",
+    "StageRecovery",
     "WorkerPool",
     "broadcast_cost",
     "task_durations",

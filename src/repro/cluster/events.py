@@ -30,8 +30,16 @@ class EventLoop:
         )
 
     def schedule_at(self, when: float, action: Callable[[], None]) -> None:
-        """Run ``action`` at absolute simulated time ``when``."""
-        self.schedule(when - self.now, action)
+        """Run ``action`` at absolute simulated time ``when``.
+
+        ``when`` is often computed by accumulating float durations, so it
+        can land a few ULPs before ``now``; such deltas in ``[-1e-9, 0)``
+        are clamped to "immediately" rather than rejected.
+        """
+        delta = when - self.now
+        if -1e-9 <= delta < 0.0:
+            delta = 0.0
+        self.schedule(delta, action)
 
     def run(self) -> float:
         """Drain all events; returns the final simulated time."""
@@ -51,18 +59,29 @@ class WorkerPool:
     Models a homogeneous executor pool: ``submit`` places a task of the
     given duration on the worker that frees up first and returns its
     completion time.  ``makespan`` is when the last task finishes.
+
+    Workers live in a ``(free_at, worker_id)`` heap so each submit is
+    O(log W) — a linear min-scan made large simulated pools quadratic in
+    the task count.  The ``worker_id`` tie-break preserves the old
+    lowest-index-first placement exactly.
     """
 
     def __init__(self, num_workers: int):
         if num_workers < 1:
             raise ValueError("need at least one worker")
-        self._free_at = [0.0] * num_workers
+        self.num_workers = num_workers
+        self._heap: List[Tuple[float, int]] = [
+            (0.0, wid) for wid in range(num_workers)
+        ]
+        self._makespan = 0.0
 
     def submit(self, duration: float, not_before: float = 0.0) -> float:
-        start = max(min(self._free_at), not_before)
-        worker = self._free_at.index(min(self._free_at))
+        free_at, worker = heapq.heappop(self._heap)
+        start = max(free_at, not_before)
         finish = start + duration
-        self._free_at[worker] = finish
+        heapq.heappush(self._heap, (finish, worker))
+        if finish > self._makespan:
+            self._makespan = finish
         return finish
 
     def submit_all(self, durations, not_before: float = 0.0) -> float:
@@ -74,7 +93,8 @@ class WorkerPool:
 
     @property
     def makespan(self) -> float:
-        return max(self._free_at)
+        return self._makespan
 
     def reset(self) -> None:
-        self._free_at = [0.0] * len(self._free_at)
+        self._heap = [(0.0, wid) for wid in range(self.num_workers)]
+        self._makespan = 0.0

@@ -14,9 +14,31 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from ..config import ClusterConfig
+from ..faults import NULL_INJECTOR, FaultInjector, RetryPolicy
 from ..obs import NULL_TRACER, Tracer
 from .cost import broadcast_cost, task_durations
 from .events import EventLoop, WorkerPool
+
+
+@dataclass
+class StageRecovery:
+    """Recovery accounting for one simulated stage."""
+
+    retries: int = 0
+    speculations: int = 0
+    timeouts: int = 0
+    permanent_failures: int = 0
+
+    def merge(self, other: "StageRecovery") -> None:
+        self.retries += other.retries
+        self.speculations += other.speculations
+        self.timeouts += other.timeouts
+        self.permanent_failures += other.permanent_failures
+
+    @property
+    def any(self) -> bool:
+        return bool(self.retries or self.speculations
+                    or self.permanent_failures)
 
 
 @dataclass
@@ -27,6 +49,9 @@ class SimulatedBatch:
     stage_seconds: Dict[str, float]
     broadcast_seconds: float
     overhead_seconds: float
+    retries: int = 0
+    speculations: int = 0
+    failed: bool = False
 
     @property
     def total_seconds(self) -> float:
@@ -60,6 +85,18 @@ class SimulatedRun:
     def total_seconds(self) -> float:
         return sum(self.batch_seconds)
 
+    @property
+    def total_retries(self) -> int:
+        return sum(b.retries for b in self.batches)
+
+    @property
+    def total_speculations(self) -> int:
+        return sum(b.speculations for b in self.batches)
+
+    @property
+    def failed_batches(self) -> List[int]:
+        return [b.batch_index for b in self.batches if b.failed]
+
 
 class ClusterSimulator:
     """Maps execution traces (rows per block per batch) to latencies.
@@ -71,15 +108,98 @@ class ClusterSimulator:
     """
 
     def __init__(self, config: Optional[ClusterConfig] = None,
-                 tracer: Optional[Tracer] = None):
+                 tracer: Optional[Tracer] = None,
+                 injector: Optional[FaultInjector] = None):
         self.config = config or ClusterConfig()
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.injector = injector if injector is not None else NULL_INJECTOR
+        self.retry_policy = RetryPolicy.from_faults(self.injector.config)
 
     def stage_seconds(self, rows: int, bootstrap: bool = True) -> float:
         """Makespan of one stage over the worker pool."""
         pool = WorkerPool(self.config.num_workers)
         durations = task_durations(rows, self.config, bootstrap)
+        durations, _ = self._recovered_durations(durations)
         return pool.submit_all(durations)
+
+    # ------------------------------------------------------------------
+    # Fault-aware task execution
+    # ------------------------------------------------------------------
+
+    def _recovered_durations(self, durations: List[float]):
+        """Per-task effective durations including recovery cost.
+
+        The execution model per task attempt:
+
+        * a *failed* attempt hangs and is detected at its timeout
+          (``task_timeout_factor`` × nominal duration); after an
+          exponential-backoff pause the task is retried, up to
+          ``max_retries`` times — beyond that the task (and hence the
+          stage) fails permanently;
+        * a *straggler* runs at ``straggler_factor`` × nominal; once it
+          exceeds its timeout a speculative copy is launched, so the
+          task completes at ``min(straggler finish, timeout + nominal)``
+          (the paper's Spark testbed speculates exactly this way).
+
+        Returns ``(effective_durations, StageRecovery)``.  Effective
+        durations feed the worker pool, so simulated latency curves
+        include the cost of recovery, not just clean execution.
+        """
+        injector = self.injector
+        if not injector.enabled:
+            return durations, StageRecovery()
+        faults = injector.config
+        policy = self.retry_policy
+        n = len(durations)
+        failures = injector.task_failures("cluster.task", n)
+        factors = injector.straggler_factors("cluster.straggler", n)
+        recovery = StageRecovery()
+        effective: List[float] = []
+        tracer = self.tracer
+        for i, nominal in enumerate(durations):
+            timeout = faults.task_timeout_factor * nominal
+            spent = 0.0
+            fails = int(failures[i])
+            attempts = min(fails, policy.max_retries + 1)
+            for attempt in range(attempts):
+                spent += timeout
+                recovery.timeouts += 1
+                if attempt < policy.max_retries:
+                    spent += policy.delay(attempt)
+            if policy.gives_up_after(fails):
+                recovery.permanent_failures += 1
+                recovery.retries += policy.max_retries
+                if tracer.enabled:
+                    tracer.event("fault.task_failed", task=i,
+                                 attempts=attempts,
+                                 elapsed_s=round(spent, 9))
+                effective.append(spent)
+                continue
+            recovery.retries += fails
+            if tracer.enabled and fails:
+                tracer.event("fault.task_retry", task=i, attempts=fails,
+                             backoff_s=round(policy.total_delay(fails), 9))
+            run = nominal * float(factors[i])
+            if factors[i] > 1.0 and faults.speculate and run > timeout:
+                run = min(run, timeout + nominal)
+                recovery.speculations += 1
+                if tracer.enabled:
+                    tracer.event("fault.speculation", task=i,
+                                 launched_at_s=round(timeout, 9))
+            effective.append(spent + run)
+        if tracer.metrics.enabled:
+            metrics = tracer.metrics
+            if recovery.retries:
+                metrics.counter("faults.task_retries").inc(recovery.retries)
+            if recovery.speculations:
+                metrics.counter(
+                    "faults.speculations"
+                ).inc(recovery.speculations)
+            if recovery.permanent_failures:
+                metrics.counter(
+                    "faults.task_failures"
+                ).inc(recovery.permanent_failures)
+        return effective, recovery
 
     def simulate_batch(self, batch_index: int,
                        rows_by_block: Dict[str, int],
@@ -95,6 +215,7 @@ class ClusterSimulator:
         """
         loop = EventLoop()
         stage_seconds: Dict[str, float] = {}
+        recovery = StageRecovery()
 
         def run_stage(block_ids: List[str]) -> None:
             if not block_ids:
@@ -104,8 +225,16 @@ class ClusterSimulator:
             durations = task_durations(
                 rows_by_block[block_id], self.config, bootstrap
             )
+            durations, stage_recovery = self._recovered_durations(durations)
+            recovery.merge(stage_recovery)
             finish = pool.submit_all(durations)
             stage_seconds[block_id] = finish
+            if stage_recovery.permanent_failures:
+                # A task exhausted its retry budget: the stage — and with
+                # it the whole mini-batch — fails permanently.  Latency
+                # up to the detection point is still charged; downstream
+                # stages never run.
+                return
             loop.schedule(finish, lambda: run_stage(block_ids[1:]))
 
         loop.schedule(0.0, lambda: run_stage(list(rows_by_block)))
@@ -114,12 +243,21 @@ class ClusterSimulator:
             broadcasts if broadcasts is not None
             else max(len(rows_by_block) - 1, 0)
         )
+        failed = recovery.permanent_failures > 0
         out = SimulatedBatch(
             batch_index=batch_index,
             stage_seconds=stage_seconds,
             broadcast_seconds=broadcast_cost(num_broadcasts, self.config),
             overhead_seconds=self.config.batch_overhead_s,
+            retries=recovery.retries,
+            speculations=recovery.speculations,
+            failed=failed,
         )
+        if failed and self.tracer.enabled:
+            self.tracer.event(
+                "fault.batch_failed", batch_index=batch_index,
+                clock="simulated",
+            )
         if self.tracer.enabled:
             for block_id, seconds in stage_seconds.items():
                 self.tracer.record_span(
@@ -127,11 +265,18 @@ class ClusterSimulator:
                     batch_index=batch_index,
                     rows_in=rows_by_block[block_id],
                 )
-            self.tracer.record_span(
-                "batch", out.total_seconds, clock="simulated",
+            attrs = dict(
                 batch_index=batch_index,
                 rows_in=sum(rows_by_block.values()),
                 broadcast_s=out.broadcast_seconds,
+            )
+            if recovery.any:
+                attrs.update(retries=recovery.retries,
+                             speculations=recovery.speculations)
+            if failed:
+                attrs["failed"] = True
+            self.tracer.record_span(
+                "batch", out.total_seconds, clock="simulated", **attrs
             )
         return out
 

@@ -7,8 +7,120 @@ by its configuration plus the input data.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, fields, replace
 from typing import Optional
+
+
+@dataclass(frozen=True)
+class FaultsConfig:
+    """Deterministic fault injection and recovery policy (``repro.faults``).
+
+    All injection is driven by per-fault-point RNG streams derived from
+    ``seed`` (defaulting to the master :attr:`GolaConfig.seed`), so two
+    runs with the same configuration inject byte-identical fault
+    sequences.  With ``enabled=False`` (the default) every fault point is
+    a no-op and the engine's outputs are bit-identical to a build without
+    the subsystem.
+
+    Attributes:
+        enabled: Master switch; when False no RNG stream is ever drawn.
+        seed: Seed for the injection streams (None = the master seed).
+        task_failure_prob: Per-attempt probability that a simulated
+            cluster task fails (detected at its timeout, then retried).
+        straggler_prob: Probability that a simulated task runs at
+            ``straggler_factor`` × its nominal duration.
+        straggler_factor: Slowdown multiplier for straggler tasks.
+        task_timeout_factor: A task attempt is declared failed/straggling
+            when it exceeds ``factor`` × its nominal duration.
+        batch_failure_prob: Per-attempt probability that loading a
+            mini-batch fails in the controller.  Failures within
+            ``max_retries`` are retried; beyond that the batch is dropped
+            and the run degrades (skip-and-reweight).
+        row_corruption_prob: Probability that a CSV input row is
+            corrupted at load time (exercises the quarantine path).
+        max_retries: Bounded retry budget for tasks and batch loads.
+        retry_backoff_s: Base delay before the first retry.
+        retry_backoff_factor: Exponential backoff multiplier per retry.
+        speculate: Launch a speculative copy of a straggler task once it
+            exceeds its timeout; the task finishes at whichever copy
+            completes first (simulated-latency model only).
+        row_error_budget: Maximum tolerated fraction of quarantined rows
+            per loaded file before the load is aborted with SchemaError.
+        checkpoint_every: Auto-checkpoint the online run every N batches
+            (0 disables; requires ``checkpoint_path``).
+        checkpoint_path: Where auto-checkpoints are pickled.
+    """
+
+    enabled: bool = False
+    seed: Optional[int] = None
+    task_failure_prob: float = 0.0
+    straggler_prob: float = 0.0
+    straggler_factor: float = 8.0
+    task_timeout_factor: float = 3.0
+    batch_failure_prob: float = 0.0
+    row_corruption_prob: float = 0.0
+    max_retries: int = 3
+    retry_backoff_s: float = 0.05
+    retry_backoff_factor: float = 2.0
+    speculate: bool = True
+    row_error_budget: float = 0.05
+    checkpoint_every: int = 0
+    checkpoint_path: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        for name in ("task_failure_prob", "straggler_prob",
+                     "batch_failure_prob", "row_corruption_prob"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+        if self.straggler_factor < 1.0:
+            raise ValueError("straggler_factor must be >= 1")
+        if self.task_timeout_factor < 1.0:
+            raise ValueError("task_timeout_factor must be >= 1")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.retry_backoff_s < 0.0:
+            raise ValueError("retry_backoff_s must be >= 0")
+        if self.retry_backoff_factor < 1.0:
+            raise ValueError("retry_backoff_factor must be >= 1")
+        if not 0.0 <= self.row_error_budget <= 1.0:
+            raise ValueError("row_error_budget must be in [0, 1]")
+        if self.checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be >= 0")
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultsConfig":
+        """Build a config from a ``key=value,key=value`` CLI string.
+
+        An empty spec yields the enabled default profile; unknown keys
+        raise ValueError.  Example::
+
+            FaultsConfig.parse("batch_failure_prob=0.3,max_retries=1")
+        """
+        known = {f.name: f.type for f in fields(cls)}
+        kwargs: dict = {"enabled": True}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            key, sep, value = part.partition("=")
+            key = key.strip()
+            if not sep or key not in known:
+                raise ValueError(
+                    f"unknown --faults key {key!r}; valid keys: "
+                    + ", ".join(sorted(known))
+                )
+            value = value.strip()
+            ftype = known[key]
+            if "bool" in str(ftype):
+                kwargs[key] = value.lower() in ("1", "true", "t", "yes")
+            elif "int" in str(ftype):
+                kwargs[key] = int(value)
+            elif "float" in str(ftype):
+                kwargs[key] = float(value)
+            else:
+                kwargs[key] = value
+        return cls(**kwargs)
 
 
 @dataclass(frozen=True)
@@ -55,6 +167,10 @@ class GolaConfig:
         metrics: Collect counters/gauges/histograms in the tracer's
             :class:`~repro.obs.MetricsRegistry` even when span tracing
             is off.  Tracing implies metrics.
+        faults: Deterministic fault injection and recovery policy (see
+            :class:`FaultsConfig`).  Disabled by default; with injection
+            off the engine's outputs are bit-identical to a faultless
+            build.
     """
 
     num_batches: int = 10
@@ -69,6 +185,7 @@ class GolaConfig:
     trace: bool = False
     trace_path: Optional[str] = None
     metrics: bool = False
+    faults: FaultsConfig = field(default_factory=FaultsConfig)
 
     def __post_init__(self) -> None:
         if self.num_batches < 1:

@@ -18,18 +18,27 @@ Drives one online query end to end:
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Tuple
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
 from ..config import GolaConfig
 from ..engine.aggregates import GroupIndex, UDAFRegistry
 from ..engine.executor import BatchExecutor
+from ..errors import CheckpointError
 from ..estimate.bootstrap import PoissonWeightSource
 from ..estimate.intervals import percentile_intervals, relative_stdevs
 from ..estimate.variation import VariationRange
 from ..expr.expressions import Environment
 from ..expr.functions import DEFAULT_FUNCTIONS, FunctionRegistry
+from ..faults import (
+    FaultInjector,
+    RetryPolicy,
+    RunCheckpoint,
+    config_fingerprint,
+    query_fingerprint,
+)
 from ..obs import Timer, Tracer, tracer_from_config
 from ..plan.logical import Query
 from ..storage.partition import MiniBatchPartitioner
@@ -76,6 +85,9 @@ class QueryController:
             for spec in self.meta_plan.static_specs
         }
         self.main_runtime = self.meta_plan.main_runtime
+        self.injector = FaultInjector.from_config(config, tracer=self.tracer)
+        self._retry_policy = RetryPolicy.from_faults(config.faults)
+        self._run_state: Optional[dict] = None
         self._stopped = False
 
     # ------------------------------------------------------------------
@@ -124,8 +136,21 @@ class QueryController:
         """Stop after the current batch (the user is satisfied)."""
         self._stopped = True
 
-    def run(self) -> Iterator[OnlineSnapshot]:
-        """Process mini-batches, yielding one snapshot per batch."""
+    def run(self, resume_from: Union[RunCheckpoint, str, Path, None] = None,
+            ) -> Iterator[OnlineSnapshot]:
+        """Process mini-batches, yielding one snapshot per batch.
+
+        With faults enabled, a batch whose load keeps failing past the
+        retry budget is *skipped and reweighted*: it is dropped for good,
+        the multiplicity scale becomes ``k / folded`` (sound because the
+        uniform random batches are exchangeable), and every snapshot from
+        then on is flagged ``degraded``.  On the clean path ``folded == i``
+        so the output is bit-identical to a run without the subsystem.
+
+        ``resume_from`` (a :class:`RunCheckpoint` or a path to one saved
+        by :meth:`checkpoint`) continues the run after the checkpointed
+        batch instead of from scratch.
+        """
         self._stopped = False
         tracer = self.tracer
         table = self.tables[self.streamed_table]
@@ -141,6 +166,29 @@ class QueryController:
         )
         retained: List[Tuple[Table, np.ndarray]] = []
         k = self.config.num_batches
+        faults = self.config.faults
+        folded = 0
+        skipped: List[int] = []
+        lost_rows = 0
+        start_at = 1
+        if resume_from is not None:
+            ck = (
+                resume_from if isinstance(resume_from, RunCheckpoint)
+                else RunCheckpoint.load(resume_from)
+            )
+            ck.verify(self.query, self.config)
+            weight_source.restore_state(ck.weights_rng_state)
+            self.injector.restore(ck.injector_state)
+            for block_id, state in ck.copy_block_states().items():
+                self.runtimes[block_id].restore_checkpoint(state)
+            retained = list(ck.retained)
+            folded = ck.folded_count
+            skipped = list(ck.skipped_batches)
+            lost_rows = ck.lost_rows
+            start_at = ck.batch_index + 1
+            if tracer.enabled:
+                tracer.event("checkpoint.resumed",
+                             batch_index=ck.batch_index, folded=folded)
 
         # The query span stays open across yields, so its elapsed time
         # includes consumer think time between snapshots; per-batch work
@@ -148,17 +196,155 @@ class QueryController:
         with tracer.span("query", streamed_table=self.streamed_table,
                          num_batches=k, blocks=len(self._online_blocks)):
             for i, batch in enumerate(batches, start=1):
-                snapshot = self._run_batch(
-                    i, batch, weight_source, retained, k
+                if i < start_at:
+                    continue
+                failures = self.injector.batch_load_failures(
+                    "controller.batch_load"
                 )
+                if self._retry_policy.gives_up_after(failures):
+                    skipped.append(i)
+                    lost_rows += batch.num_rows
+                    snapshot = self._skip_batch(
+                        i, batch, k, folded, skipped, lost_rows
+                    )
+                else:
+                    if failures:
+                        if tracer.enabled:
+                            tracer.event(
+                                "fault.batch_retry", batch_index=i,
+                                attempts=failures,
+                                backoff_s=round(
+                                    self._retry_policy.total_delay(failures),
+                                    9,
+                                ),
+                            )
+                        if tracer.metrics.enabled:
+                            tracer.metrics.counter(
+                                "faults.batch_retries"
+                            ).inc(failures)
+                    folded += 1
+                    snapshot = self._run_batch(
+                        i, batch, weight_source, retained, k,
+                        folded, skipped, lost_rows,
+                    )
+                self._run_state = {
+                    "batch_index": i, "folded": folded,
+                    "skipped": list(skipped), "lost_rows": lost_rows,
+                    "weight_source": weight_source,
+                    "retained": retained,
+                }
+                if (faults.checkpoint_every
+                        and faults.checkpoint_path is not None
+                        and i % faults.checkpoint_every == 0):
+                    self.checkpoint().save(faults.checkpoint_path)
+                    if tracer.enabled:
+                        tracer.event("checkpoint.saved", batch_index=i)
                 yield snapshot
                 if self._stopped:
                     return
 
+    def checkpoint(self) -> RunCheckpoint:
+        """Snapshot the run's resumable state after the latest batch.
+
+        Valid between batches of an active :meth:`run` iteration (or
+        after it ends); raises if no batch has been processed yet.
+        """
+        state = self._run_state
+        if state is None:
+            raise CheckpointError(
+                "no batches processed yet; nothing to checkpoint"
+            )
+        return RunCheckpoint(
+            query_fp=query_fingerprint(self.query),
+            config_fp=config_fingerprint(self.config),
+            batch_index=state["batch_index"],
+            folded_count=state["folded"],
+            skipped_batches=list(state["skipped"]),
+            lost_rows=state["lost_rows"],
+            weights_rng_state=state["weight_source"].state_dict(),
+            injector_state=self.injector.state_dict(),
+            block_states={
+                block_id: runtime.state_checkpoint()
+                for block_id, runtime in self.runtimes.items()
+            },
+            retained=list(state["retained"]),
+        )
+
+    # ------------------------------------------------------------------
+
+    def _publish_chain(self, slot_states: Dict[int, object],
+                       penv: Environment, scale: float):
+        """Re-publish every block's current state and snapshot the main
+        block — without folding anything (used for skipped batches)."""
+        for block in self._online_blocks:
+            if block.produces is None:
+                continue
+            runtime = self.runtimes[block.block_id]
+            state = runtime.publish(penv, slot_states, scale)
+            slot_states[block.produces] = state
+            state.bind_point(penv)
+        return self.main_runtime.snapshot_output(penv, slot_states, scale)
+
+    def _column_errors(self, out_table: Table,
+                       col_replicas: Dict[str, np.ndarray],
+                       ) -> Dict[str, ColumnErrors]:
+        errors: Dict[str, ColumnErrors] = {}
+        for name, matrix in col_replicas.items():
+            lows, highs = percentile_intervals(
+                matrix, self.config.confidence
+            )
+            errors[name] = ColumnErrors(
+                lows=lows, highs=highs,
+                rel_stdev=relative_stdevs(
+                    out_table.column(name).astype(np.float64), matrix,
+                ),
+            )
+        return errors
+
+    def _skip_batch(self, i: int, batch: Table, k: int, folded: int,
+                    skipped: List[int], lost_rows: int) -> OnlineSnapshot:
+        """Drop a permanently failed batch; snapshot without folding it.
+
+        The estimate is re-derived from the ``folded`` batches actually
+        seen with scale ``k / folded`` — the same uniform-random-sample
+        estimator, just over one fewer batch.  Publishing is
+        side-effect-free, so re-publishing here does not disturb the
+        delta state the next folded batch builds on.
+        """
+        tracer = self.tracer
+        with tracer.span("batch", batch_index=i, rows_in=batch.num_rows,
+                         skipped=True) as bspan, Timer() as batch_timer:
+            if tracer.enabled:
+                tracer.event("fault.batch_skipped", batch_index=i,
+                             rows_lost=batch.num_rows)
+            scale = k / max(folded, 1)
+            slot_states: Dict[int, object] = dict(self.static_states)
+            penv = Environment(functions=self.functions)
+            for state in slot_states.values():
+                state.bind_point(penv)
+            out_table, col_replicas = self._publish_chain(
+                slot_states, penv, scale
+            )
+            errors = self._column_errors(out_table, col_replicas)
+            bspan.set("rows_processed", 0)
+        metrics = tracer.metrics
+        if metrics.enabled:
+            metrics.counter("faults.batches_skipped").inc()
+            metrics.counter("faults.rows_lost").inc(batch.num_rows)
+        return OnlineSnapshot(
+            batch_index=i, num_batches=k, table=out_table,
+            errors=errors, uncertain_sizes={}, rows_processed={},
+            rebuilds=[], elapsed_s=batch_timer.elapsed_s,
+            confidence=self.config.confidence,
+            degraded=True, skipped_batches=list(skipped),
+            lost_rows=lost_rows,
+        )
+
     def _run_batch(self, i: int, batch: Table,
                    weight_source: PoissonWeightSource,
                    retained: List[Tuple[Table, np.ndarray]],
-                   k: int) -> OnlineSnapshot:
+                   k: int, folded: int, skipped: List[int],
+                   lost_rows: int) -> OnlineSnapshot:
         """Fold one mini-batch into every block and snapshot the result."""
         tracer = self.tracer
         phases: Optional[Dict[str, float]] = (
@@ -171,7 +357,9 @@ class QueryController:
             weights = weight_source.weights_for(batch.num_rows)
             if self.config.retain_batches:
                 retained.append((batch, weights))
-            scale = k / i
+            # Multiplicity over batches actually folded: k/i on the clean
+            # path, k/folded after a skip (skip-and-reweight).
+            scale = k / folded
 
             slot_states: Dict[int, object] = dict(self.static_states)
             penv = Environment(functions=self.functions)
@@ -215,18 +403,7 @@ class QueryController:
                 out_table, col_replicas = self.main_runtime.snapshot_output(
                     penv, slot_states, scale
                 )
-                errors: Dict[str, ColumnErrors] = {}
-                for name, matrix in col_replicas.items():
-                    lows, highs = percentile_intervals(
-                        matrix, self.config.confidence
-                    )
-                    errors[name] = ColumnErrors(
-                        lows=lows, highs=highs,
-                        rel_stdev=relative_stdevs(
-                            out_table.column(name).astype(np.float64),
-                            matrix,
-                        ),
-                    )
+                errors = self._column_errors(out_table, col_replicas)
             if phases is not None:
                 phases["snapshot"] += snap_span.elapsed_s
             total_rows = sum(rows_processed.values())
@@ -248,4 +425,7 @@ class QueryController:
             rows_processed=rows_processed, rebuilds=rebuilds,
             elapsed_s=elapsed, confidence=self.config.confidence,
             phase_seconds=phases,
+            degraded=bool(skipped),
+            skipped_batches=list(skipped) if skipped else None,
+            lost_rows=lost_rows,
         )

@@ -21,6 +21,7 @@ Per batch the block touches ``O(|ΔD_i| + |U_{i-1}|)`` rows instead of
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -718,6 +719,37 @@ class BlockRuntime:
                 guard = _SetGuard()
             self.guards[slot] = guard
         return guard
+
+    # -- checkpoint / resume -------------------------------------------
+
+    #: The mutable per-run state a checkpoint must capture.  Derived
+    #: caches (join indices) and construction-time structure (pipeline,
+    #: dimension tables, tracer) are rebuilt/re-injected on resume.
+    _CHECKPOINT_FIELDS = (
+        "exact_states", "boot_states", "presence_counts", "group_index",
+        "cache", "pred_guards", "guards", "stats_history",
+        "recompute_count", "_cache_schema_ready",
+    )
+
+    def state_checkpoint(self) -> dict:
+        """Deep-copied folded state + uncertain cache + guards.
+
+        The copy is detached from the live run: checkpointing between
+        batches and continuing does not alias any mutable state.
+        """
+        return copy.deepcopy(
+            {name: getattr(self, name) for name in self._CHECKPOINT_FIELDS}
+        )
+
+    def restore_checkpoint(self, state: dict) -> None:
+        """Install state captured by :meth:`state_checkpoint`.
+
+        The incoming dict is deep-copied again so one checkpoint can
+        seed several resumed runs.
+        """
+        state = copy.deepcopy(state)
+        for name in self._CHECKPOINT_FIELDS:
+            setattr(self, name, state[name])
 
     def reset(self) -> None:
         """Drop all folded state (the rebuild entry point)."""

@@ -26,6 +26,7 @@ from ..engine.aggregates import UDAFRegistry, UDAFSpec
 from ..engine.executor import BatchExecutor
 from ..errors import QueryStopped
 from ..expr.functions import FunctionRegistry
+from ..faults import FaultInjector, RowQuarantine, RunCheckpoint
 from ..obs import Tracer
 from ..plan.binder import Binder
 from ..plan.logical import Query
@@ -74,24 +75,40 @@ class OnlineQuery:
             + meta.describe()
         )
 
-    def run_online(self, config: Optional[GolaConfig] = None
+    def run_online(self, config: Optional[GolaConfig] = None,
+                   resume_from: Optional[Union[RunCheckpoint, str]] = None,
                    ) -> Iterator[OnlineSnapshot]:
         """Process mini-batches, yielding one snapshot per batch.
 
         The iterator stops early after :meth:`stop` is called (the user's
         accuracy is met) or runs to the final batch, whose snapshot equals
         the exact answer up to bootstrap error bars collapsing.
+
+        ``resume_from`` — a :class:`~repro.faults.RunCheckpoint` (from
+        :meth:`checkpoint`) or a path to a saved one — continues a prior
+        run from its last checkpointed batch instead of from scratch.
         """
         self._controller = self.session._make_controller(
             self.query, config or self.session.config
         )
-        return self._controller.run()
+        return self._controller.run(resume_from=resume_from)
 
     def stop(self) -> None:
         """Stop the online run after the batch currently in flight."""
         if self._controller is None:
             raise QueryStopped("query is not running")
         self._controller.stop()
+
+    def checkpoint(self) -> RunCheckpoint:
+        """Checkpoint the active run's state after its latest batch.
+
+        Feed the result (or a path it was :meth:`~repro.faults.
+        RunCheckpoint.save`-d to) back via ``run_online(resume_from=...)``
+        to continue where the run left off.
+        """
+        if self._controller is None:
+            raise QueryStopped("query is not running")
+        return self._controller.checkpoint()
 
     def run_until(self, relative_stdev: float,
                   config: Optional[GolaConfig] = None) -> OnlineSnapshot:
@@ -142,6 +159,7 @@ class GolaSession:
         self.functions = FunctionRegistry()
         self.udafs = UDAFRegistry()
         self.tracer = tracer
+        self.last_quarantine: Optional[RowQuarantine] = None
 
     # -- catalog ---------------------------------------------------------
 
@@ -157,8 +175,28 @@ class GolaSession:
         self.catalog.register(name, table, streamed=streamed, replace=replace)
 
     def load_csv(self, name: str, path, streamed: bool = True) -> Table:
-        """Load a CSV file and register it under ``name``."""
-        table = read_csv(path)
+        """Load a CSV file and register it under ``name``.
+
+        With faults enabled in the session config, malformed rows are
+        quarantined (up to ``faults.row_error_budget``) instead of
+        aborting the load; the collected rows are kept on
+        ``session.last_quarantine`` for inspection.
+        """
+        faults = self.config.faults
+        quarantine = None
+        injector = None
+        if faults.enabled:
+            quarantine = RowQuarantine(
+                error_budget=faults.row_error_budget, label=name,
+            )
+            if self.tracer is not None:
+                quarantine.tracer = self.tracer
+            if faults.row_corruption_prob > 0.0:
+                injector = FaultInjector.from_config(
+                    self.config, tracer=self.tracer
+                )
+        table = read_csv(path, quarantine=quarantine, injector=injector)
+        self.last_quarantine = quarantine
         self.register_table(name, table, streamed=streamed)
         return table
 

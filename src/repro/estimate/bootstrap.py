@@ -59,6 +59,14 @@ class PoissonWeightSource:
             ).inc(num_rows * self.trials)
         return out
 
+    def state_dict(self) -> dict:
+        """The generator's resumable state (run checkpointing)."""
+        return self._rng.bit_generator.state
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a state captured by :meth:`state_dict`."""
+        self._rng.bit_generator.state = state
+
 
 def multinomial_bootstrap(
     values: np.ndarray,

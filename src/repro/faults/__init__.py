@@ -1,0 +1,58 @@
+"""Fault injection, retry/speculation, and graceful degradation.
+
+The paper's prototype runs on a 100-node Spark/EC2 cluster where task
+failures, stragglers and lost partitions are routine; an online system
+that aborts on the first hiccup never reaches its final batch.  This
+package makes misbehavior a *first-class, deterministic* input:
+
+* :class:`FaultInjector` — seeded per-fault-point RNG streams inject
+  task failures, stragglers, batch-load errors and malformed rows at
+  named fault points registered throughout the stack
+  (:func:`register_fault_point` / :func:`fault_points`);
+* :class:`RetryPolicy` — the shared bounded-retry/exponential-backoff
+  policy (cluster tasks, controller batch loads);
+* :class:`RowQuarantine` — collect malformed input rows up to an error
+  budget instead of aborting the load;
+* :class:`RunCheckpoint` — checkpoint/resume of online-run state
+  (folded batches, uncertain-set caches, RNG streams).
+
+Recovery semantics live in the layers themselves: the cluster simulator
+re-executes failed/straggling tasks (latency curves include recovery
+cost), and the controller degrades gracefully — a permanently failed
+mini-batch is dropped and multiplicities/CIs are re-derived from the
+batches actually folded (sound because batches are uniform random,
+hence exchangeable), with snapshots flagged ``degraded``.
+"""
+
+from .checkpoint import (
+    RunCheckpoint,
+    config_fingerprint,
+    query_fingerprint,
+)
+from .injector import (
+    FAULT_KINDS,
+    NULL_INJECTOR,
+    FaultInjector,
+    FaultPoint,
+    describe_fault_points,
+    fault_points,
+    register_fault_point,
+)
+from .policy import RetryPolicy
+from .quarantine import QuarantinedRow, RowQuarantine
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultPoint",
+    "NULL_INJECTOR",
+    "QuarantinedRow",
+    "RetryPolicy",
+    "RowQuarantine",
+    "RunCheckpoint",
+    "config_fingerprint",
+    "describe_fault_points",
+    "fault_points",
+    "query_fingerprint",
+    "register_fault_point",
+]

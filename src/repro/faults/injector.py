@@ -1,0 +1,199 @@
+"""Seeded, deterministic fault injection.
+
+The injector is the single source of "what goes wrong" for the whole
+stack.  Components declare *named fault points* (``cluster.task``,
+``controller.batch_load``, ``storage.row``, ...) in a process-wide
+registry; at runtime each point draws from its own RNG stream derived
+from the fault seed through the point's name, so
+
+* two runs with the same :class:`~repro.config.FaultsConfig` inject
+  identical fault sequences (the determinism the acceptance tests pin);
+* adding draws at one point never perturbs another point's stream.
+
+A disabled injector (the default) never touches an RNG and answers every
+query with "no fault" — the hot paths stay bit-identical to a build
+without the subsystem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..config import FaultsConfig
+from ..estimate.random_source import derive_rng
+from ..obs import NULL_TRACER, Tracer
+
+#: The fault kinds a point may declare.
+FAULT_KINDS = ("task", "straggler", "batch", "row")
+
+
+@dataclass(frozen=True)
+class FaultPoint:
+    """One named site in the stack where faults may be injected."""
+
+    name: str
+    kind: str
+    description: str = ""
+
+
+_REGISTRY: Dict[str, FaultPoint] = {}
+
+
+def register_fault_point(name: str, kind: str,
+                         description: str = "") -> FaultPoint:
+    """Declare (idempotently) a named fault point.
+
+    Registration is documentation plus validation: the injector refuses
+    draws for unregistered points, so the set of places faults can occur
+    is enumerable (``fault_points()``) rather than scattered.
+    """
+    if kind not in FAULT_KINDS:
+        raise ValueError(f"unknown fault kind {kind!r}; one of {FAULT_KINDS}")
+    existing = _REGISTRY.get(name)
+    if existing is not None:
+        if existing.kind != kind:
+            raise ValueError(
+                f"fault point {name!r} already registered with kind "
+                f"{existing.kind!r}"
+            )
+        return existing
+    point = FaultPoint(name=name, kind=kind, description=description)
+    _REGISTRY[name] = point
+    return point
+
+
+def fault_points() -> Dict[str, FaultPoint]:
+    """A copy of the fault-point registry (name -> point)."""
+    return dict(_REGISTRY)
+
+
+# The built-in fault points, one per layer the subsystem cuts across.
+register_fault_point(
+    "cluster.task", "task",
+    "a simulated cluster task fails and is retried with backoff",
+)
+register_fault_point(
+    "cluster.straggler", "straggler",
+    "a simulated cluster task runs straggler_factor x slower",
+)
+register_fault_point(
+    "controller.batch_load", "batch",
+    "loading a mini-batch fails; retried, then skipped-and-reweighted",
+)
+register_fault_point(
+    "storage.row", "row",
+    "an input row is corrupted at load time and quarantined",
+)
+
+
+class FaultInjector:
+    """Draws deterministic fault decisions for registered fault points.
+
+    One injector per run; its per-point RNG streams are part of the
+    run's checkpointable state (:meth:`state_dict` / :meth:`restore`)
+    so a resumed run injects exactly the faults the uninterrupted run
+    would have.
+    """
+
+    def __init__(self, config: Optional[FaultsConfig] = None,
+                 master_seed: int = 0,
+                 tracer: Optional[Tracer] = None):
+        self.config = config if config is not None else FaultsConfig()
+        self.enabled = self.config.enabled
+        self.seed = (
+            self.config.seed if self.config.seed is not None else master_seed
+        )
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._rngs: Dict[str, np.random.Generator] = {}
+
+    @classmethod
+    def from_config(cls, config, tracer: Optional[Tracer] = None
+                    ) -> "FaultInjector":
+        """Build from a :class:`~repro.config.GolaConfig`."""
+        return cls(getattr(config, "faults", None),
+                   master_seed=getattr(config, "seed", 0), tracer=tracer)
+
+    # -- streams ---------------------------------------------------------
+
+    def _rng(self, point: str) -> np.random.Generator:
+        if point not in _REGISTRY:
+            raise ValueError(f"unregistered fault point {point!r}")
+        rng = self._rngs.get(point)
+        if rng is None:
+            rng = self._rngs[point] = derive_rng(self.seed, f"faults:{point}")
+        return rng
+
+    def _failures(self, rng: np.random.Generator, prob: float,
+                  size: int) -> np.ndarray:
+        """Consecutive failed attempts before the first success, per draw."""
+        if prob >= 1.0:
+            # Never succeeds; report one more failure than any retry
+            # budget could absorb.
+            return np.full(size, self.config.max_retries + 1, dtype=np.int64)
+        return rng.geometric(1.0 - prob, size=size).astype(np.int64) - 1
+
+    # -- decision API ----------------------------------------------------
+
+    def task_failures(self, point: str, num_tasks: int) -> np.ndarray:
+        """Failed attempts per task before it would succeed (0 = clean)."""
+        if not self.enabled or self.config.task_failure_prob <= 0.0 \
+                or num_tasks <= 0:
+            return np.zeros(max(num_tasks, 0), dtype=np.int64)
+        return self._failures(
+            self._rng(point), self.config.task_failure_prob, num_tasks
+        )
+
+    def straggler_factors(self, point: str, num_tasks: int) -> np.ndarray:
+        """Per-task slowdown factors (1.0 = nominal speed)."""
+        if not self.enabled or self.config.straggler_prob <= 0.0 \
+                or num_tasks <= 0:
+            return np.ones(max(num_tasks, 0))
+        rng = self._rng(point)
+        slow = rng.random(num_tasks) < self.config.straggler_prob
+        return np.where(slow, self.config.straggler_factor, 1.0)
+
+    def batch_load_failures(self, point: str) -> int:
+        """Failed attempts before a mini-batch load would succeed."""
+        if not self.enabled or self.config.batch_failure_prob <= 0.0:
+            return 0
+        return int(self._failures(
+            self._rng(point), self.config.batch_failure_prob, 1
+        )[0])
+
+    def corrupted_rows(self, point: str, num_rows: int) -> np.ndarray:
+        """Boolean mask of input rows to corrupt at load time."""
+        if not self.enabled or self.config.row_corruption_prob <= 0.0 \
+                or num_rows <= 0:
+            return np.zeros(max(num_rows, 0), dtype=bool)
+        rng = self._rng(point)
+        return rng.random(num_rows) < self.config.row_corruption_prob
+
+    # -- checkpointing ---------------------------------------------------
+
+    def state_dict(self) -> Dict[str, dict]:
+        """Per-point RNG states (resume restores the exact streams)."""
+        return {
+            point: rng.bit_generator.state
+            for point, rng in self._rngs.items()
+        }
+
+    def restore(self, state: Dict[str, dict]) -> None:
+        for point, rng_state in state.items():
+            rng = self._rng(point)
+            rng.bit_generator.state = rng_state
+
+
+#: Shared always-disabled injector (the default wherever none is given).
+NULL_INJECTOR = FaultInjector(FaultsConfig(), master_seed=0)
+
+
+def describe_fault_points() -> str:
+    """Human-readable listing of every registered fault point."""
+    lines = []
+    for name in sorted(_REGISTRY):
+        point = _REGISTRY[name]
+        lines.append(f"{name:<26} [{point.kind}]  {point.description}")
+    return "\n".join(lines)

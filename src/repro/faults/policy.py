@@ -1,0 +1,50 @@
+"""Recovery policies: bounded retry with exponential backoff.
+
+One policy object is shared by every layer that retries — the cluster
+simulator's task re-execution and the controller's mini-batch reloads —
+so "how patient is the system" is a single configuration surface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import FaultsConfig
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with exponential backoff.
+
+    ``delay(attempt)`` is the pause before retry ``attempt`` (0-based):
+    ``backoff_s * backoff_factor ** attempt``.  An operation that fails
+    more than ``max_retries`` times is permanently failed and handed to
+    the caller's degradation path (skip-and-reweight for batches, stage
+    failure for simulated tasks).
+    """
+
+    max_retries: int = 3
+    backoff_s: float = 0.05
+    backoff_factor: float = 2.0
+
+    @classmethod
+    def from_faults(cls, faults: FaultsConfig) -> "RetryPolicy":
+        return cls(
+            max_retries=faults.max_retries,
+            backoff_s=faults.retry_backoff_s,
+            backoff_factor=faults.retry_backoff_factor,
+        )
+
+    def delay(self, attempt: int) -> float:
+        """Backoff pause before 0-based retry ``attempt``."""
+        if attempt < 0:
+            raise ValueError("attempt must be >= 0")
+        return self.backoff_s * self.backoff_factor ** attempt
+
+    def total_delay(self, attempts: int) -> float:
+        """Summed backoff across the first ``attempts`` retries."""
+        return sum(self.delay(a) for a in range(attempts))
+
+    def gives_up_after(self, failures: int) -> bool:
+        """Does ``failures`` consecutive failures exhaust the budget?"""
+        return failures > self.max_retries

@@ -1,0 +1,93 @@
+"""Row quarantine: tolerate messy inputs instead of aborting on them.
+
+In-situ OLA (OLA-RAW) must process raw files where a fraction of rows is
+malformed; aborting a 100-node scan on the first bad row is how the
+reproduction *used* to behave.  A :class:`RowQuarantine` collects the bad
+rows (with their position and reason) up to a configurable error budget;
+exceeding the budget still aborts, because a file that is mostly garbage
+is a schema problem, not a data-quality blip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..errors import SchemaError
+from ..obs import NULL_TRACER, Tracer
+
+
+@dataclass
+class QuarantinedRow:
+    """One rejected input row and why it was rejected."""
+
+    line_number: int  # 1-based line in the source file (header = line 1)
+    column: str
+    value: str
+    reason: str
+
+
+@dataclass
+class RowQuarantine:
+    """Collects malformed rows during a load, bounded by an error budget.
+
+    ``error_budget`` is the maximum tolerated *fraction* of quarantined
+    rows; :meth:`check_budget` raises :class:`~repro.errors.SchemaError`
+    beyond it.  Every quarantined row is also emitted as a
+    ``fault.row_quarantined`` trace event so the recovery report can
+    account for lost input.
+    """
+
+    error_budget: float = 0.05
+    label: str = "rows"
+    tracer: Tracer = field(default_factory=lambda: NULL_TRACER)
+    rows: List[QuarantinedRow] = field(default_factory=list)
+    total_seen: int = 0
+
+    @property
+    def count(self) -> int:
+        return len(self.rows)
+
+    @property
+    def fraction(self) -> float:
+        if self.total_seen <= 0:
+            return 0.0
+        return self.count / self.total_seen
+
+    def add(self, line_number: int, column: str, value: str,
+            reason: str) -> None:
+        self.rows.append(QuarantinedRow(
+            line_number=line_number, column=column, value=value,
+            reason=reason,
+        ))
+        if self.tracer.enabled:
+            self.tracer.event(
+                "fault.row_quarantined", source=self.label,
+                line=line_number, column=column, reason=reason,
+            )
+        if self.tracer.metrics.enabled:
+            self.tracer.metrics.counter("faults.rows_quarantined").inc()
+
+    def check_budget(self, total_rows: int, source: str = "") -> None:
+        """Abort the load when quarantined rows exceed the budget."""
+        self.total_seen = total_rows
+        if total_rows <= 0:
+            return
+        if self.count > self.error_budget * total_rows:
+            where = source or self.label
+            first = self.rows[0]
+            raise SchemaError(
+                f"{where}: {self.count}/{total_rows} rows quarantined, "
+                f"over the {self.error_budget:.1%} error budget (first: "
+                f"line {first.line_number}, column {first.column!r}: "
+                f"{first.reason})"
+            )
+
+    def summary(self) -> Optional[str]:
+        """One line for consoles, or None when nothing was quarantined."""
+        if not self.rows:
+            return None
+        return (
+            f"quarantined {self.count}/{self.total_seen} rows "
+            f"({self.fraction:.2%}, budget {self.error_budget:.1%})"
+        )

@@ -24,7 +24,13 @@ instance, so tests and concurrent sessions can stay isolated.
 """
 
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot
-from .report import ProfileReport, build_profile, load_events, render_profile
+from .report import (
+    ProfileReport,
+    build_profile,
+    load_events,
+    render_profile,
+    render_recovery,
+)
 from .sinks import AggregatingSink, JsonlSink, NullSink, TeeSink, TraceSink
 from .tracer import (
     NULL_TRACER,
@@ -56,6 +62,7 @@ __all__ = [
     "get_tracer",
     "load_events",
     "render_profile",
+    "render_recovery",
     "set_tracer",
     "tracer_from_config",
 ]

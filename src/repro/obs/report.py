@@ -135,6 +135,51 @@ def _render_operator_table(ops: Dict[str, SpanStats],
     return "\n".join(lines)
 
 
+#: Recovery-event names in display order, with console labels.
+_RECOVERY_LABELS = (
+    ("fault.task_retry", "task retries"),
+    ("fault.task_failed", "permanent task failures"),
+    ("fault.speculation", "speculative re-executions"),
+    ("fault.batch_retry", "batch-load retries"),
+    ("fault.batch_skipped", "batches skipped (reweighted)"),
+    ("fault.batch_failed", "simulated batch failures"),
+    ("fault.row_quarantined", "rows quarantined"),
+    ("checkpoint.saved", "checkpoints saved"),
+    ("checkpoint.resumed", "runs resumed"),
+)
+
+
+def render_recovery(report: ProfileReport) -> Optional[str]:
+    """The recovery section, or None when the run had no faults.
+
+    Summarizes every ``fault.*``/``checkpoint.*`` event the fault
+    subsystem emitted, plus batch spans flagged skipped/failed, so a
+    degraded run is visible from its trace alone.
+    """
+    recovery = {
+        name: count for name, count in report.events.items()
+        if name.startswith("fault.") or name.startswith("checkpoint.")
+    }
+    skipped = sum(1 for b in report.batches if b.get("skipped"))
+    failed = sum(1 for b in report.batches if b.get("failed"))
+    if not recovery and not skipped and not failed:
+        return None
+    lines = ["== recovery =="]
+    known = set()
+    for name, label in _RECOVERY_LABELS:
+        known.add(name)
+        if name in recovery:
+            lines.append(f"{label:<30} {recovery[name]:>7}")
+    for name in sorted(recovery):
+        if name not in known:
+            lines.append(f"{name:<30} {recovery[name]:>7}")
+    if skipped or failed:
+        lines.append(
+            f"{'degraded batch spans':<30} {skipped + failed:>7}"
+        )
+    return "\n".join(lines)
+
+
 def render_profile(report: ProfileReport) -> str:
     """The full multi-section profile ``python -m repro report`` prints."""
     sections = []
@@ -162,6 +207,10 @@ def render_profile(report: ProfileReport) -> str:
             f"batches: {len(report.batches)}   rows processed: "
             f"{total_rows:,}   rebuilds: {rebuilds}"
         )
+    recovery = render_recovery(report)
+    if recovery is not None:
+        sections.append("")
+        sections.append(recovery)
     if report.events:
         sections.append("events: " + ", ".join(
             f"{name}={count}" for name, count in sorted(

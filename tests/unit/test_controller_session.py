@@ -138,6 +138,73 @@ class TestOnlineRuns:
         assert snap.errors[name].lows.shape == (1,)
 
 
+class TestMidRunCancellation:
+    """stop()/run_until mid-run: clean termination, consistent last
+    snapshot, and a session/query that stays fully reusable."""
+
+    def test_stop_mid_run_last_snapshot_consistent(self, session, sbi_sql):
+        query = session.sql(sbi_sql)
+        snaps = []
+        for snapshot in query.run_online():
+            snaps.append(snapshot)
+            if snapshot.batch_index == 3:
+                query.stop()
+        assert [s.batch_index for s in snaps] == [1, 2, 3]
+        last = snaps[-1]
+        assert not last.is_final
+        assert last.fraction == pytest.approx(3 / 5)
+        # The stopped snapshot is a full, usable answer with error bars.
+        assert np.isfinite(last.estimate)
+        assert last.interval.low <= last.estimate <= last.interval.high
+
+    def test_stop_mid_run_matches_uninterrupted_prefix(
+        self, session, sbi_sql
+    ):
+        """Stopping must not perturb what was already computed."""
+        full = [s.estimate for s in session.sql(sbi_sql).run_online()]
+        query = session.sql(sbi_sql)
+        stopped = []
+        for snapshot in query.run_online():
+            stopped.append(snapshot.estimate)
+            if len(stopped) == 2:
+                query.stop()
+        assert stopped == full[:2]
+
+    def test_session_reusable_after_stop(self, session, sbi_sql):
+        query = session.sql(sbi_sql)
+        for snapshot in query.run_online():
+            query.stop()
+        # Same query object, fresh run: starts over from batch 1 and
+        # reproduces the full sequence.
+        rerun = list(query.run_online())
+        assert [s.batch_index for s in rerun] == [1, 2, 3, 4, 5]
+        # And the session still serves other queries.
+        out = session.execute_batch("SELECT COUNT(*) AS n FROM sessions")
+        assert out.to_pylist()[0]["n"] == 5000
+
+    def test_run_until_stops_iterator_cleanly(self, session, sbi_sql):
+        query = session.sql(sbi_sql)
+        snap = query.run_until(relative_stdev=0.5)
+        assert snap.relative_stdev <= 0.5
+        assert not snap.is_final
+        # The controller's generator was exhausted, not abandoned:
+        # another run_until on the same query works from scratch.
+        again = query.run_until(relative_stdev=0.5)
+        assert again.batch_index == snap.batch_index
+        assert again.estimate == snap.estimate
+
+    def test_generator_close_midway_leaves_session_usable(
+        self, session, sbi_sql
+    ):
+        query = session.sql(sbi_sql)
+        it = query.run_online()
+        first = next(it)
+        it.close()  # abandon the run (GeneratorExit inside the query span)
+        assert first.batch_index == 1
+        rerun = [s.estimate for s in query.run_online()]
+        assert len(rerun) == 5
+
+
 class TestControllerValidation:
     def test_requires_streamed_relation(self, sessions_table, sbi_sql):
         session = GolaSession(GolaConfig(num_batches=2, bootstrap_trials=8))
