@@ -3,6 +3,20 @@
 Not a paper figure: these track the substrate's raw throughput so
 regressions in the vectorized operators, the bootstrap update path and
 the classifier show up independently of the end-to-end figures.
+
+Standalone mode (no pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py --json BENCH_engine.json
+
+benchmarks the bootstrap maintenance path — per-(batch, trial) weight
+generation + trial-state folding — serial and at several ``--workers``
+settings against a seed-faithful baseline (one sequential RNG stream
+drawing the dense matrix + in-place ``np.add.at`` updates), asserts the
+parallel results are bit-identical to serial, runs the TPC-H/SBI online
+queries for per-query rows/sec and per-batch latency, and writes it all
+to the ``--json`` path.  Exits non-zero when parallel output diverges
+from serial (always) or when the workers=4 bootstrap path fails the 2x
+throughput target (skipped under ``--smoke``).
 """
 
 import numpy as np
@@ -128,3 +142,352 @@ def test_nested_query_executor(benchmark, table):
     executor = BatchExecutor({"t": table})
     out = benchmark(executor.execute, query)
     assert out.num_rows == 1
+
+
+# ---------------------------------------------------------------------------
+# Standalone bootstrap-path benchmark (python benchmarks/bench_engine.py)
+# ---------------------------------------------------------------------------
+
+def _tpch_fold_inputs(rows, seed):
+    """Group indices and aggregate arguments from the TPC-H fact table."""
+    from repro.engine.aggregates import GroupIndex
+    from repro.workloads import generate_tpch
+
+    table = generate_tpch(rows, seed=seed)
+    index = GroupIndex()
+    group_idx = index.encode(table.column("l_partkey"))
+    values = {
+        "sum_price": table.column("l_extendedprice").astype(np.float64),
+        "avg_qty": table.column("l_quantity").astype(np.float64),
+        "cnt": np.ones(table.num_rows),
+    }
+    return group_idx, values, index.num_groups
+
+
+def _bench_baseline(group_idx, values, num_groups, trials, batches, seed):
+    """The seed implementation of the bootstrap path, kept verbatim for
+    comparison: one sequential RNG stream draws each batch's dense
+    (n, B) matrix and the states update in place via np.add.at."""
+    import time
+
+    from repro.estimate.random_source import derive_rng
+
+    n = len(group_idx)
+    rng = derive_rng(seed, "bench-baseline")
+    wsum = {a: np.zeros((num_groups, trials)) for a in ("sum_price", "avg_qty")}
+    wcount = np.zeros((num_groups, trials))
+    start = time.perf_counter()
+    for _ in range(batches):
+        weights = rng.poisson(1.0, size=(n, trials)).astype(np.float64)
+        for alias in ("sum_price", "avg_qty"):
+            np.add.at(wsum[alias], group_idx, values[alias][:, None] * weights)
+        np.add.at(wcount, group_idx, weights)
+    return time.perf_counter() - start
+
+
+def _bench_gola_fold(group_idx, values, trials, batches, seed, workers,
+                     backend="thread"):
+    """The optimized path: lazy per-(batch, trial) weight handles folded
+    through the ParallelExecutor (serial when workers == 0)."""
+    import time
+
+    from repro.config import ParallelConfig
+    from repro.engine.aggregates import AvgState, CountState, SumState
+    from repro.estimate.bootstrap import PoissonWeightSource
+    from repro.parallel import ParallelExecutor
+
+    config = ParallelConfig(workers=workers, backend=backend) if workers \
+        else ParallelConfig()
+    executor = ParallelExecutor(config)
+    states = {
+        "sum_price": SumState(trials=trials),
+        "avg_qty": AvgState(trials=trials),
+        "cnt": CountState(trials=trials),
+    }
+    source = PoissonWeightSource(trials, seed, label="bench")
+    start = time.perf_counter()
+    try:
+        for _ in range(batches):
+            handle = source.batch_weights(len(group_idx))
+            executor.fold_boot_states(states, group_idx, values, handle)
+        elapsed = time.perf_counter() - start
+    finally:
+        executor.close()
+    replicas = {a: s.finalize() for a, s in states.items()}
+    return elapsed, replicas
+
+
+def _bench_bootstrap_path(rows, trials, batches, workers_list, seed,
+                          backend="thread"):
+    group_idx, values, num_groups = _tpch_fold_inputs(rows, seed)
+    total_rows = rows * batches
+    baseline_s = _bench_baseline(
+        group_idx, values, num_groups, trials, batches, seed
+    )
+    result = {
+        "workload": "tpch",
+        "rows": rows,
+        "trials": trials,
+        "batches": batches,
+        "groups": num_groups,
+        "baseline_seconds": round(baseline_s, 4),
+        "baseline_rows_per_s": round(total_rows / baseline_s, 1),
+        "backend": backend,
+        "modes": [],
+    }
+    reference = None
+    diverged = False
+    for workers in workers_list:
+        elapsed, replicas = _bench_gola_fold(
+            group_idx, values, trials, batches, seed, workers,
+            backend=backend,
+        )
+        if reference is None:
+            reference = replicas
+            identical = True
+        else:
+            identical = all(
+                np.array_equal(reference[a], replicas[a]) for a in reference
+            )
+        diverged = diverged or not identical
+        result["modes"].append({
+            "mode": "serial" if workers == 0 else f"workers={workers}",
+            "workers": workers,
+            "seconds": round(elapsed, 4),
+            "rows_per_s": round(total_rows / elapsed, 1),
+            "speedup_vs_baseline": round(baseline_s / elapsed, 3),
+            "identical_to_serial": identical,
+        })
+    result["diverged"] = diverged
+    return result
+
+
+def _bench_queries(rows, trials, batches, workers, seed,
+                   backend="thread"):
+    """Per-query rows/sec and per-batch latency, serial vs parallel.
+
+    Each query runs once serial and once with the given worker count;
+    snapshots must be numerically identical between the two runs.
+    """
+    import time
+
+    from repro import GolaConfig, GolaSession
+    from repro.config import ParallelConfig
+    from repro.workloads import (
+        SBI_QUERY,
+        TPCH_QUERIES,
+        generate_sessions,
+        generate_tpch,
+    )
+
+    jobs = [
+        ("SBI", "sessions", generate_sessions(rows, seed=seed), SBI_QUERY),
+        ("Q17", "tpch", generate_tpch(rows, seed=seed),
+         TPCH_QUERIES["Q17"]),
+    ]
+    out = []
+    for name, table_name, table, sql in jobs:
+        runs = {}
+        for label, parallel in (
+            ("serial", ParallelConfig()),
+            (f"workers={workers}",
+             ParallelConfig(workers=workers, backend=backend)),
+        ):
+            session = GolaSession(
+                GolaConfig(num_batches=batches, bootstrap_trials=trials,
+                           seed=seed, parallel=parallel)
+            )
+            session.register_table(table_name, table)
+            start = time.perf_counter()
+            snaps = list(session.sql(sql).run_online())
+            elapsed = time.perf_counter() - start
+            runs[label] = (elapsed, snaps)
+        (serial_s, serial_snaps), = [runs["serial"]]
+        par_s, par_snaps = runs[f"workers={workers}"]
+        identical = all(
+            a.table.column(c).tobytes() == b.table.column(c).tobytes()
+            for a, b in zip(serial_snaps, par_snaps)
+            for c in a.table.schema.names
+        )
+        entry = {
+            "query": name,
+            "rows": table.num_rows,
+            "batches": batches,
+            "trials": trials,
+            "identical": identical,
+        }
+        for label, (elapsed, snaps) in runs.items():
+            batch_s = [round(s.elapsed_s, 6) for s in snaps]
+            entry[label] = {
+                "seconds": round(elapsed, 4),
+                "rows_per_s": round(table.num_rows / elapsed, 1),
+                "batch_seconds": batch_s,
+                "mean_batch_s": round(float(np.mean(batch_s)), 6),
+                "max_batch_s": round(float(np.max(batch_s)), 6),
+            }
+        out.append(entry)
+    return out
+
+
+def _bench_bootstrap_overhead(rows, trials, batches, seed):
+    """Bootstrap error-estimation overhead: the same online query with
+    full trials vs the 2-trial minimum (near-zero bootstrap work)."""
+    import time
+
+    from repro import GolaConfig, GolaSession
+    from repro.workloads import SBI_QUERY, generate_sessions
+
+    def run_with(n_trials):
+        session = GolaSession(
+            GolaConfig(num_batches=batches, bootstrap_trials=n_trials,
+                       seed=seed)
+        )
+        session.register_table(
+            "sessions", generate_sessions(rows, seed=seed)
+        )
+        start = time.perf_counter()
+        list(session.sql(SBI_QUERY).run_online())
+        return time.perf_counter() - start
+
+    full_s = run_with(trials)
+    minimal_s = run_with(2)
+    return {
+        "query": "SBI",
+        "rows": rows,
+        "trials": trials,
+        "with_bootstrap_s": round(full_s, 4),
+        "minimal_bootstrap_s": round(minimal_s, 4),
+        "overhead_ratio": round(full_s / minimal_s, 3),
+    }
+
+
+def main(argv=None):
+    import argparse
+    import json
+    import os
+    import sys
+
+    parser = argparse.ArgumentParser(
+        description="bootstrap-path + online-query benchmark"
+    )
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="write results here (e.g. BENCH_engine.json)")
+    parser.add_argument("--rows", type=int, default=200_000)
+    parser.add_argument("--trials", type=int, default=96)
+    parser.add_argument("--batches", type=int, default=4)
+    parser.add_argument("--query-rows", type=int, default=40_000)
+    parser.add_argument("--query-trials", type=int, default=32)
+    parser.add_argument("--query-batches", type=int, default=8)
+    parser.add_argument("--workers", type=int, nargs="*",
+                        default=[0, 1, 2, 4],
+                        help="worker counts for the fold benchmark "
+                             "(0 = serial)")
+    parser.add_argument("--target-speedup", type=float, default=2.0,
+                        help="required workers=4 speedup vs the seed "
+                             "baseline")
+    parser.add_argument("--backend", default="auto",
+                        choices=("auto", "process", "thread", "serial"),
+                        help="shard-pool backend for the parallel modes; "
+                             "'auto' picks process pools on multi-core "
+                             "hosts and threads on single-core ones "
+                             "(where process IPC is pure overhead). "
+                             "Outputs are bit-identical either way.")
+    parser.add_argument("--seed", type=int, default=2015)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small sizes, no speedup gate (CI)")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        args.rows = min(args.rows, 30_000)
+        args.trials = min(args.trials, 24)
+        args.batches = min(args.batches, 2)
+        args.query_rows = min(args.query_rows, 8_000)
+        args.query_trials = min(args.query_trials, 16)
+        args.query_batches = min(args.query_batches, 4)
+
+    backend = args.backend
+    if backend == "auto":
+        backend = "process" if (os.cpu_count() or 1) > 1 else "thread"
+
+    print(f"bootstrap path: {args.rows:,} rows x {args.trials} trials "
+          f"x {args.batches} batches, workers {args.workers}, "
+          f"backend {backend}")
+    boot = _bench_bootstrap_path(
+        args.rows, args.trials, args.batches, args.workers, args.seed,
+        backend=backend,
+    )
+    print(f"  baseline (seed impl):  {boot['baseline_seconds']:>8.3f}s  "
+          f"{boot['baseline_rows_per_s']:>12,.0f} rows/s")
+    for mode in boot["modes"]:
+        print(f"  {mode['mode']:<22} {mode['seconds']:>8.3f}s  "
+              f"{mode['rows_per_s']:>12,.0f} rows/s  "
+              f"{mode['speedup_vs_baseline']:>5.2f}x  "
+              f"identical={mode['identical_to_serial']}")
+
+    print(f"online queries: {args.query_rows:,} rows x "
+          f"{args.query_trials} trials x {args.query_batches} batches")
+    queries = _bench_queries(
+        args.query_rows, args.query_trials, args.query_batches,
+        workers=4, seed=args.seed, backend=backend,
+    )
+    for entry in queries:
+        for label in ("serial", "workers=4"):
+            row = entry[label]
+            print(f"  {entry['query']:<4} {label:<10} "
+                  f"{row['seconds']:>8.3f}s  "
+                  f"{row['rows_per_s']:>12,.0f} rows/s  "
+                  f"mean batch {row['mean_batch_s'] * 1e3:8.1f} ms")
+        print(f"  {entry['query']:<4} identical={entry['identical']}")
+
+    overhead = _bench_bootstrap_overhead(
+        args.query_rows, args.query_trials, args.query_batches, args.seed
+    )
+    print(f"bootstrap overhead (SBI, {overhead['trials']} trials vs 2): "
+          f"{overhead['overhead_ratio']:.2f}x")
+
+    results = {
+        "benchmark": "bench_engine",
+        "smoke": args.smoke,
+        "cpu_count": os.cpu_count(),
+        "bootstrap_path": boot,
+        "queries": queries,
+        "bootstrap_overhead": overhead,
+    }
+
+    failures = []
+    if boot["diverged"]:
+        failures.append("parallel fold diverged from serial")
+    for entry in queries:
+        if not entry["identical"]:
+            failures.append(
+                f"query {entry['query']} diverged under workers=4"
+            )
+    gate = None
+    if not args.smoke:
+        four = [m for m in boot["modes"] if m["workers"] == 4]
+        if four:
+            gate = four[0]["speedup_vs_baseline"]
+            if gate < args.target_speedup:
+                failures.append(
+                    f"workers=4 speedup {gate:.2f}x < "
+                    f"{args.target_speedup:.1f}x target"
+                )
+    results["target_speedup"] = None if args.smoke else args.target_speedup
+    results["failures"] = failures
+
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(results, fh, indent=2)
+            fh.write("\n")
+        print(f"results written to {args.json}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -5,10 +5,13 @@ Usage:
     python benchmarks/harness.py --all
     python benchmarks/harness.py fig3a fig3b uncertain epsilon overhead \
         convergence
+    python benchmarks/harness.py --all --json harness.json
 
 Each experiment prints the series the paper plots (and the claims around
 them), using the real engines for execution traces and the cluster
-simulator for latencies.  Output is what EXPERIMENTS.md records.
+simulator for latencies.  Output is what EXPERIMENTS.md records; with
+``--json`` the same series are also written as one machine-readable
+document (keyed by experiment name).
 """
 
 from __future__ import annotations
@@ -47,7 +50,7 @@ def trace_path(label: str) -> str:
     return str(TRACE_DIR / f"{label}.jsonl")
 
 
-def fig3a() -> None:
+def fig3a() -> dict:
     print("=" * 72)
     print("Figure 3(a): relative stdev vs query time, TPC-H Q17, k=100")
     print("=" * 72)
@@ -83,9 +86,19 @@ def fig3a() -> None:
           "(paper: ~1.6x)")
     print(f"rebuild batches: {trace.rebuild_batches or 'none'}")
     print(f"engine wall-clock (this process): {trace.wall_seconds:.2f} s\n")
+    return {
+        "query": "Q17",
+        "cumulative_seconds": [round(float(s), 3) for s in cumulative],
+        "relative_stdev": [round(float(r), 6) for r in rsd],
+        "batch_engine_seconds": round(float(batch_seconds), 3),
+        "first_answer_seconds": round(float(cumulative[0]), 3),
+        "refinement_cadence_s": round(float(cadence), 3),
+        "rebuild_batches": list(trace.rebuild_batches),
+        "wall_seconds": round(trace.wall_seconds, 3),
+    }
 
 
-def fig3b() -> None:
+def fig3b() -> dict:
     print("=" * 72)
     print("Figure 3(b): CDM / G-OLA per-batch time ratio, first 10 batches")
     print("=" * 72)
@@ -111,9 +124,15 @@ def fig3b() -> None:
         print(row)
     print("\nratio grows with the batch index for every query (paper: "
           "\"grows linearly with the number of iterations\")\n")
+    return {
+        "cdm_over_gola_ratio": {
+            name: [round(float(r), 4) for r in series[:10]]
+            for name, series in ratios.items()
+        },
+    }
 
 
-def uncertain() -> None:
+def uncertain() -> dict:
     print("=" * 72)
     print("Section 3.2: uncertain-set sizes per batch (k=10, 30k rows)")
     print("=" * 72)
@@ -134,14 +153,21 @@ def uncertain() -> None:
         ))
     print("\n(fractions of the 30,000-row dataset; the paper claims the "
           "uncertain sets are 'very small in practice')\n")
+    return {
+        "rows": 30_000,
+        "uncertain_sizes": {
+            name: [int(s) for s in series] for name, series in sizes.items()
+        },
+    }
 
 
-def epsilon() -> None:
+def epsilon() -> dict:
     print("=" * 72)
     print("Section 3.2 ablation: epsilon sweep on SBI (k=30, 3k rows)")
     print("=" * 72)
     print(f"{'epsilon':>8} {'rebuilds':>9} {'mean |U|':>9} "
           f"{'final estimate':>15}")
+    rows = []
     for eps in (0.0, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0):
         session = GolaSession(
             GolaConfig(num_batches=30, bootstrap_trials=24, seed=31,
@@ -155,12 +181,19 @@ def epsilon() -> None:
         mean_u = sum(s.total_uncertain for s in snaps) / len(snaps)
         print(f"{eps:>8.2f} {rebuilds:>9} {mean_u:>9.1f} "
               f"{snaps[-1].estimate:>15.4f}")
+        rows.append({
+            "epsilon": eps,
+            "rebuilds": rebuilds,
+            "mean_uncertain": round(mean_u, 2),
+            "final_estimate": round(float(snaps[-1].estimate), 6),
+        })
     print("\nsmaller epsilon -> recomputation risk; larger epsilon -> "
           "bigger uncertain sets; answers identical (paper: epsilon = "
           "stdev balances the two)\n")
+    return {"sweep": rows}
 
 
-def overhead() -> None:
+def overhead() -> dict:
     print("=" * 72)
     print("Section 5: error-estimation overhead decomposition (Q17, k=10)")
     print("=" * 72)
@@ -182,9 +215,18 @@ def overhead() -> None:
           f"{with_boot.total_seconds:>8.1f} s "
           f"({with_boot.total_seconds / batch_seconds:.2f}x; paper ~1.6x)")
     print()
+    return {
+        "query": "Q17",
+        "batch_engine_seconds": round(float(batch_seconds), 3),
+        "online_seconds": round(float(without.total_seconds), 3),
+        "online_bootstrap_seconds": round(float(with_boot.total_seconds), 3),
+        "bootstrap_overhead_ratio": round(
+            float(with_boot.total_seconds / without.total_seconds), 4
+        ),
+    }
 
 
-def convergence() -> None:
+def convergence() -> dict:
     print("=" * 72)
     print("Section 2.2: estimator convergence & CI coverage (SBI, 10 seeds)")
     print("=" * 72)
@@ -211,6 +253,12 @@ def convergence() -> None:
     print(f"mean |error|, first batch:  {np.mean(first_errors):.3f}")
     print(f"mean |error|, batch k-1:    {np.mean(last_errors):.3f}")
     print("final snapshots equal the exact answers by construction\n")
+    return {
+        "snapshots": total,
+        "ci_coverage": round(hits / total, 4),
+        "mean_error_first_batch": round(float(np.mean(first_errors)), 4),
+        "mean_error_last_batch": round(float(np.mean(last_errors)), 4),
+    }
 
 
 EXPERIMENTS = {
@@ -232,6 +280,9 @@ def main() -> None:
                         help="run every experiment")
     parser.add_argument("--trace-dir", default=None, metavar="DIR",
                         help="write one JSONL trace per G-OLA run here")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="also write every experiment's series as one "
+                             "JSON document")
     args = parser.parse_args()
     if args.trace_dir:
         global TRACE_DIR
@@ -239,8 +290,21 @@ def main() -> None:
     names = list(EXPERIMENTS) if args.all or not args.experiments \
         else args.experiments
     print(f"(laptop rows -> simulated cluster rows scale: {ROW_SCALE:,})\n")
+    results = {}
     for name in names:
-        EXPERIMENTS[name]()
+        results[name] = EXPERIMENTS[name]()
+    if args.json:
+        import json
+
+        document = {
+            "benchmark": "harness",
+            "row_scale": ROW_SCALE,
+            "experiments": results,
+        }
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(document, fh, indent=2)
+            fh.write("\n")
+        print(f"results written to {args.json}")
 
 
 if __name__ == "__main__":

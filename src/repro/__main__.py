@@ -21,6 +21,13 @@ def _parse_faults(spec):
     return FaultsConfig.parse(spec) if spec else FaultsConfig()
 
 
+def _parse_workers(spec):
+    """``--workers`` spec -> ParallelConfig (serial when not given)."""
+    from .config import ParallelConfig
+
+    return ParallelConfig.parse(spec) if spec else ParallelConfig()
+
+
 def _print_recovery(metrics) -> None:
     """Print the run's ``faults.*`` counters, if any fired."""
     counters = metrics.snapshot().counters
@@ -49,7 +56,8 @@ def _demo(args) -> int:
         tracer = Tracer(metrics=MetricsRegistry(enabled=True))
     session = GolaSession(
         GolaConfig(num_batches=args.batches, bootstrap_trials=80,
-                   seed=args.seed, faults=faults),
+                   seed=args.seed, faults=faults,
+                   parallel=_parse_workers(args.workers)),
         tracer=tracer,
     )
     print(f"generating {args.rows:,} session rows ...")
@@ -130,7 +138,8 @@ def _trace(args) -> int:
 
     session = GolaSession(
         GolaConfig(num_batches=args.batches, bootstrap_trials=80,
-                   seed=args.seed, faults=_parse_faults(args.faults)),
+                   seed=args.seed, faults=_parse_faults(args.faults),
+                   parallel=_parse_workers(args.workers)),
         tracer=tracer,
     )
     print(f"generating {args.rows:,} rows ...")
@@ -210,6 +219,11 @@ def main(argv=None) -> int:
         "enable fault injection: 'key=value,...' over FaultsConfig "
         "fields, e.g. 'batch_failure_prob=0.3,max_retries=1,seed=7'"
     )
+    workers_help = (
+        "parallel execution: a worker count ('4') or 'key=value,...' "
+        "over ParallelConfig fields, e.g. 'workers=4,backend=thread'; "
+        "results are bit-identical to the serial default"
+    )
 
     demo = sub.add_parser("demo", help="run the SBI quickstart online")
     demo.add_argument("--rows", type=int, default=100_000)
@@ -217,6 +231,8 @@ def main(argv=None) -> int:
     demo.add_argument("--seed", type=int, default=2015)
     demo.add_argument("--faults", default=None, metavar="SPEC",
                       help=faults_help)
+    demo.add_argument("--workers", default=None, metavar="SPEC",
+                      help=workers_help)
     demo.set_defaults(fn=_demo)
 
     console = sub.add_parser("console", help="interactive SQL console")
@@ -243,6 +259,8 @@ def main(argv=None) -> int:
     )
     trace.add_argument("--faults", default=None, metavar="SPEC",
                        help=faults_help)
+    trace.add_argument("--workers", default=None, metavar="SPEC",
+                       help=workers_help)
     trace.set_defaults(fn=_trace)
 
     report = sub.add_parser(

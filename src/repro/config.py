@@ -124,6 +124,87 @@ class FaultsConfig:
 
 
 @dataclass(frozen=True)
+class ParallelConfig:
+    """Worker-pool knobs for ``repro.parallel``.
+
+    Parallel execution is a pure throughput optimization: for any setting
+    of these knobs (including serial) the engine's outputs are
+    bit-identical, because bootstrap trial shards draw from per-(batch,
+    trial) RNG streams and merge into disjoint state columns.  That is
+    also why none of these fields participate in checkpoint fingerprints —
+    a run checkpointed at one worker count may resume at another.
+
+    Attributes:
+        workers: Number of pool workers.  0 (default) disables the pool
+            entirely and runs the classic serial path; 1 still exercises
+            the full shard/merge machinery on a single worker (useful for
+            testing the parallel path deterministically).
+        backend: ``"process"`` (default) for a fork-based process pool,
+            ``"thread"`` for a thread pool (no pickling; numpy releases
+            the GIL in the hot kernels), or ``"serial"`` to run shard
+            tasks inline while keeping the shard/merge code path.
+        block_fanout: Also fan independent lineage blocks (same
+            dependency level of the meta-plan) out across a thread pool.
+        min_shard_rows: Batches smaller than this skip sharding — the
+            per-task overhead would exceed the kernel time.
+    """
+
+    workers: int = 0
+    backend: str = "process"
+    block_fanout: bool = True
+    min_shard_rows: int = 2048
+
+    def __post_init__(self) -> None:
+        if self.workers < 0:
+            raise ValueError("workers must be >= 0")
+        if self.backend not in ("process", "thread", "serial"):
+            raise ValueError(
+                "backend must be one of 'process', 'thread', 'serial'"
+            )
+        if self.min_shard_rows < 0:
+            raise ValueError("min_shard_rows must be >= 0")
+
+    @property
+    def enabled(self) -> bool:
+        return self.workers > 0
+
+    @classmethod
+    def parse(cls, spec: str) -> "ParallelConfig":
+        """Build a config from a ``key=value,key=value`` CLI string.
+
+        A bare integer is shorthand for ``workers=N``.  Example::
+
+            ParallelConfig.parse("4")
+            ParallelConfig.parse("workers=4,backend=thread")
+        """
+        spec = spec.strip()
+        if spec.isdigit():
+            return cls(workers=int(spec))
+        known = {f.name: f.type for f in fields(cls)}
+        kwargs: dict = {}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            key, sep, value = part.partition("=")
+            key = key.strip()
+            if not sep or key not in known:
+                raise ValueError(
+                    f"unknown --workers key {key!r}; valid keys: "
+                    + ", ".join(sorted(known))
+                )
+            value = value.strip()
+            ftype = known[key]
+            if "bool" in str(ftype):
+                kwargs[key] = value.lower() in ("1", "true", "t", "yes")
+            elif "int" in str(ftype):
+                kwargs[key] = int(value)
+            else:
+                kwargs[key] = value
+        return cls(**kwargs)
+
+
+@dataclass(frozen=True)
 class GolaConfig:
     """Tuning knobs for the G-OLA execution model.
 
@@ -171,6 +252,9 @@ class GolaConfig:
             :class:`FaultsConfig`).  Disabled by default; with injection
             off the engine's outputs are bit-identical to a faultless
             build.
+        parallel: Worker-pool configuration (see :class:`ParallelConfig`).
+            Serial by default; any worker count yields bit-identical
+            output.
     """
 
     num_batches: int = 10
@@ -186,6 +270,7 @@ class GolaConfig:
     trace_path: Optional[str] = None
     metrics: bool = False
     faults: FaultsConfig = field(default_factory=FaultsConfig)
+    parallel: ParallelConfig = field(default_factory=ParallelConfig)
 
     def __post_init__(self) -> None:
         if self.num_batches < 1:

@@ -40,6 +40,7 @@ from ..faults import (
     query_fingerprint,
 )
 from ..obs import Timer, Tracer, tracer_from_config
+from ..parallel import ParallelExecutor
 from ..plan.logical import Query
 from ..storage.partition import MiniBatchPartitioner
 from ..storage.table import Table
@@ -77,9 +78,16 @@ class QueryController:
         )
         self.streamed_table = self.meta_plan.streamed_table
         self.runtimes = self.meta_plan.runtimes
+        self.parallel = ParallelExecutor.from_config(config,
+                                                     tracer=self.tracer)
         for runtime in self.runtimes.values():
             runtime.tracer = self.tracer
+            runtime.executor = self.parallel
         self._online_blocks = self.meta_plan.online_blocks
+        #: Blocks grouped by dependency level: blocks in one level
+        #: neither produce nor consume each other's slots, so they can
+        #: fold a batch concurrently (publish stays sequential).
+        self._block_levels = _block_levels(self._online_blocks)
         self.static_states: Dict[int, object] = {
             spec.slot: self._run_static(spec)
             for spec in self.meta_plan.static_specs
@@ -166,7 +174,6 @@ class QueryController:
         )
         retained: List[Tuple[Table, np.ndarray]] = []
         k = self.config.num_batches
-        faults = self.config.faults
         folded = 0
         skipped: List[int] = []
         lost_rows = 0
@@ -190,6 +197,21 @@ class QueryController:
                 tracer.event("checkpoint.resumed",
                              batch_index=ck.batch_index, folded=folded)
 
+        try:
+            yield from self._run_batches(
+                batches, weight_source, retained, k, folded, skipped,
+                lost_rows, start_at,
+            )
+        finally:
+            # Pools restart lazily, so closing here keeps the controller
+            # reusable while releasing workers between runs.
+            self.parallel.close()
+
+    def _run_batches(self, batches, weight_source, retained, k: int,
+                     folded: int, skipped: List[int], lost_rows: int,
+                     start_at: int) -> Iterator[OnlineSnapshot]:
+        tracer = self.tracer
+        faults = self.config.faults
         # The query span stays open across yields, so its elapsed time
         # includes consumer think time between snapshots; per-batch work
         # is what the child batch spans measure.
@@ -340,6 +362,30 @@ class QueryController:
             lost_rows=lost_rows,
         )
 
+    def _process_block(self, block, i: int, batch: Table, weights,
+                       slot_states: Dict[int, object], penv: Environment,
+                       retained, parent_id: Optional[int]):
+        """Fold one batch into one block (possibly on a worker thread).
+
+        Only this block's own runtime state is mutated; ``slot_states``,
+        ``penv`` and ``retained`` are read-only here, which is what makes
+        same-level fan-out safe.  Spans are re-parented under the batch
+        span so concurrent block traces nest correctly.
+        """
+        tracer = self.tracer
+        with tracer.scoped_parent(parent_id):
+            with tracer.span("block", block=block.block_id) as bl:
+                stats = self.runtimes[block.block_id].process_batch(
+                    i, batch, weights, slot_states, penv,
+                    retained=retained,
+                )
+                bl.set("rows_in", stats.rows_in)
+                bl.set("rows_processed", stats.rows_processed)
+                bl.set("uncertain", stats.uncertain_size)
+                if stats.rebuilt:
+                    bl.set("rebuilt", True)
+        return stats, bl.elapsed_s
+
     def _run_batch(self, i: int, batch: Table,
                    weight_source: PoissonWeightSource,
                    retained: List[Tuple[Table, np.ndarray]],
@@ -354,7 +400,7 @@ class QueryController:
         with tracer.span("batch", batch_index=i,
                          rows_in=batch.num_rows) as bspan, \
                 Timer() as batch_timer:
-            weights = weight_source.weights_for(batch.num_rows)
+            weights = weight_source.batch_weights(batch.num_rows)
             if self.config.retain_batches:
                 retained.append((batch, weights))
             # Multiplicity over batches actually folded: k/i on the clean
@@ -369,28 +415,32 @@ class QueryController:
             rows_processed: Dict[str, int] = {}
             uncertain_sizes: Dict[str, int] = {}
             rebuilds: List[str] = []
+            retained_arg = retained if self.config.retain_batches else None
+            parent_id = getattr(bspan, "span_id", None)
 
-            for block in self._online_blocks:
-                runtime = self.runtimes[block.block_id]
-                with tracer.span("block", block=block.block_id) as bl:
-                    stats = runtime.process_batch(
-                        i, batch, weights, slot_states, penv,
-                        retained=(
-                            retained if self.config.retain_batches else None
-                        ),
-                    )
-                    bl.set("rows_in", stats.rows_in)
-                    bl.set("rows_processed", stats.rows_processed)
-                    bl.set("uncertain", stats.uncertain_size)
+            # Blocks within one level are independent (they only consume
+            # slots published by earlier levels), so the level can fan
+            # out across threads.  Publishing stays sequential, in block
+            # order, so the environment each later level sees is exactly
+            # what the serial loop would have produced.
+            for level in self._block_levels:
+                results = self.parallel.map_block_tasks([
+                    (lambda b=block: self._process_block(
+                        b, i, batch, weights, slot_states, penv,
+                        retained_arg, parent_id))
+                    for block in level
+                ])
+                for block, (stats, elapsed_s) in zip(level, results):
+                    if phases is not None:
+                        phases["fold"] += elapsed_s
+                    rows_processed[block.block_id] = stats.rows_processed
+                    uncertain_sizes[block.block_id] = stats.uncertain_size
                     if stats.rebuilt:
-                        bl.set("rebuilt", True)
-                if phases is not None:
-                    phases["fold"] += bl.elapsed_s
-                rows_processed[block.block_id] = stats.rows_processed
-                uncertain_sizes[block.block_id] = stats.uncertain_size
-                if stats.rebuilt:
-                    rebuilds.append(block.block_id)
-                if block.produces is not None:
+                        rebuilds.append(block.block_id)
+                for block in level:
+                    if block.produces is None:
+                        continue
+                    runtime = self.runtimes[block.block_id]
                     with tracer.span("phase:publish",
                                      block=block.block_id) as pub:
                         state = runtime.publish(penv, slot_states, scale)
@@ -429,3 +479,29 @@ class QueryController:
             skipped_batches=list(skipped) if skipped else None,
             lost_rows=lost_rows,
         )
+
+
+def _block_levels(blocks) -> List[List]:
+    """Group topologically ordered lineage blocks into dependency levels.
+
+    A block lands one level below the deepest producer it consumes from;
+    blocks that only consume static slots (produced by no online block)
+    land at level 0.  Blocks sharing a level neither produce nor consume
+    each other's slots, so one batch can be folded into all of them
+    concurrently.  Within a level the original block order is kept, which
+    keeps sequential publishing (and thus the output) identical to the
+    plain topological loop.
+    """
+    placed: Dict[int, int] = {}
+    levels: List[List] = []
+    for block in blocks:
+        level = 0
+        for slot in block.consumes:
+            if slot in placed:
+                level = max(level, placed[slot] + 1)
+        if level == len(levels):
+            levels.append([])
+        levels[level].append(block)
+        if block.produces is not None:
+            placed[block.produces] = level
+    return levels

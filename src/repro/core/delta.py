@@ -35,6 +35,7 @@ from ..engine.aggregates import (
     make_state,
 )
 from ..errors import ExecutionError, RangeViolation, UnsupportedQueryError
+from ..estimate.bootstrap import as_batch_weights
 from ..estimate.variation import (
     VariationRange,
     range_from_replicas,
@@ -49,6 +50,7 @@ from ..expr.expressions import (
     evaluate_mask,
 )
 from ..obs import NULL_TRACER
+from ..parallel import SERIAL_EXECUTOR
 from ..plan.lineage_blocks import LineageBlock
 from ..plan.logical import (
     Aggregate,
@@ -577,6 +579,10 @@ class BlockRuntime:
         self.recompute_count = 0
         #: Observability hook; the controller installs its tracer here.
         self.tracer = NULL_TRACER
+        #: Bootstrap-fold executor; the controller installs a configured
+        #: :class:`~repro.parallel.ParallelExecutor` here.  The default
+        #: runs everything inline with identical results.
+        self.executor = SERIAL_EXECUTOR
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -623,21 +629,27 @@ class BlockRuntime:
     # Certain pipeline
     # ------------------------------------------------------------------
 
-    def _apply_certain(self, table: Table, weights: np.ndarray,
-                       penv: Environment) -> Tuple[Table, np.ndarray]:
-        """Run the stable (slot-free) filters and dimension joins."""
+    def _apply_certain(self, table: Table, penv: Environment,
+                       ) -> Tuple[Table, Optional[np.ndarray]]:
+        """Run the stable (slot-free) filters and dimension joins.
+
+        Returns the surviving rows plus their positions in the original
+        batch (None when every row survived) — the indirection that lets
+        bootstrap weights stay lazy until a kernel actually needs them.
+        """
+        pos: Optional[np.ndarray] = None
         for step_id, (kind, step) in enumerate(self.pipeline.certain_steps):
             if table.num_rows == 0:
                 break
             if kind == "filter":
                 mask = evaluate_mask(step, table, penv)
                 table = table.take(mask)
-                weights = weights[mask]
+                pos = np.nonzero(mask)[0] if pos is None else pos[mask]
             else:
                 table, keep = self._join_step(step_id, step, table)
                 if keep is not None:
-                    weights = weights[keep]
-        return table, weights
+                    pos = np.nonzero(keep)[0] if pos is None else pos[keep]
+        return table, pos
 
     def _join_step(self, step_id: int, join: Join, table: Table):
         right = self.dimension_tables.get(join.right.table_name)
@@ -771,18 +783,22 @@ class BlockRuntime:
     # ------------------------------------------------------------------
 
     def process_batch(self, batch_index: int, batch: Table,
-                      weights: np.ndarray,
+                      weights,
                       slot_states: Dict[int, object],
                       penv: Environment,
                       retained: Optional[Sequence[Tuple[Table, np.ndarray]]] = None,
                       ) -> BlockBatchStats:
         """Fold one mini-batch, reclassify the uncertain set, update guards.
 
-        ``retained`` supplies the raw batches seen so far (including the
-        current one) for the rebuild path; None disables recovery and a
-        guard violation raises :class:`RangeViolation`.
+        ``weights`` is the batch's ``(n, B)`` Poisson matrix or a lazy
+        :class:`~repro.estimate.bootstrap.BatchWeights` handle (the
+        controller passes handles so sharded folds never materialize the
+        dense matrix).  ``retained`` supplies the raw batches seen so far
+        (including the current one) for the rebuild path; None disables
+        recovery and a guard violation raises :class:`RangeViolation`.
         """
         tracer = self.tracer
+        wsrc = as_batch_weights(weights)
         ienv = IntervalEnv(slots=slot_states, point=penv)
         with tracer.span("phase:guards", block=self.block.block_id) as gs:
             violation = self.guard_violation(slot_states, ienv)
@@ -794,12 +810,15 @@ class BlockRuntime:
             self.reset()
             self.recompute_count += 1
             merged = Table.concat([t for t, _ in retained])
-            merged_w = np.concatenate([w for _, w in retained])
+            merged_w = np.concatenate(
+                [as_batch_weights(w).dense() for _, w in retained]
+            )
             rebuild_rows = merged.num_rows
             with tracer.span("phase:rebuild", block=self.block.block_id,
                              cause=violation, rows_in=rebuild_rows):
                 stats = self._ingest(
-                    batch_index, merged, merged_w, slot_states, penv
+                    batch_index, merged, as_batch_weights(merged_w),
+                    slot_states, penv,
                 )
             if tracer.metrics.enabled:
                 tracer.metrics.counter("delta.rebuilds").inc()
@@ -817,7 +836,7 @@ class BlockRuntime:
                 rebuild_rows=rebuild_rows,
             )
         else:
-            stats = self._ingest(batch_index, batch, weights, slot_states,
+            stats = self._ingest(batch_index, batch, wsrc, slot_states,
                                  penv)
         if tracer.metrics.enabled:
             tracer.metrics.histogram(
@@ -842,18 +861,22 @@ class BlockRuntime:
             float("nan"),
         )
 
-    def _ingest(self, batch_index: int, batch: Table, weights: np.ndarray,
+    def _ingest(self, batch_index: int, batch: Table, wsrc,
                 slot_states: Dict[int, object],
                 penv: Environment) -> BlockBatchStats:
         tracer = self.tracer
         rows_in = batch.num_rows
-        piped, piped_w = self._apply_certain(batch, weights, penv)
-        incoming = self._prepare_rows(piped, piped_w, penv)
+        piped, pos = self._apply_certain(batch, penv)
+        incoming = self._prepare_rows(piped, penv)
 
         if not self.pipeline.uncertain_predicates:
+            # No uncertain set: rows fold immediately, so the bootstrap
+            # update can stream lazily — trial shards regenerate their
+            # own weight columns and the dense (n, B) matrix is never
+            # built when the executor shards.
             with tracer.span("phase:fold", block=self.block.block_id,
                              rows_in=incoming.size):
-                self._fold(incoming, None)
+                self._fold_delta(incoming, wsrc, pos)
             if tracer.metrics.enabled:
                 tracer.metrics.counter(
                     "delta.rows_folded"
@@ -865,6 +888,10 @@ class BlockRuntime:
                 rebuild_rows=0,
             )
 
+        # Uncertain path: cached rows carry their weight rows densely
+        # (they may be re-folded under any future classification), so
+        # materialize the incoming rows' weights now.
+        incoming.weights = wsrc.rows(pos)
         cached_in = self.cache.size
         candidates = (
             CachedRows.concat([self.cache, incoming])
@@ -961,9 +988,13 @@ class BlockRuntime:
                         continue  # handled above
                     self._guard_for(slot, state).commit(state)
 
-    def _prepare_rows(self, table: Table, weights: np.ndarray,
+    def _prepare_rows(self, table: Table,
                       penv: Environment) -> CachedRows:
-        """Precompute group indices and aggregate args for new rows."""
+        """Precompute group indices and aggregate args for new rows.
+
+        The returned rows carry no weights (``weights=None``); callers
+        that need dense weight rows assign them afterwards.
+        """
         agg = self.pipeline.aggregate
         n = table.num_rows
         if agg.group_by:
@@ -1002,7 +1033,7 @@ class BlockRuntime:
             )
             self._cache_schema_ready = True
         return CachedRows(
-            table=lineage, weights=weights, group_idx=group_idx,
+            table=lineage, weights=None, group_idx=group_idx,
             values=values,
         )
 
@@ -1018,8 +1049,30 @@ class BlockRuntime:
         )
         for alias, state in self.exact_states.items():
             state.update(rows.group_idx, rows.values[alias])
-        for alias, state in self.boot_states.items():
-            state.update(rows.group_idx, rows.values[alias], rows.weights)
+        self.executor.fold_boot_states(
+            self.boot_states, rows.group_idx, rows.values, rows.weights
+        )
+
+    def _fold_delta(self, rows: CachedRows, wsrc,
+                    pos: Optional[np.ndarray]) -> None:
+        """Fold freshly-arrived rows whose weights are still lazy.
+
+        ``pos`` indexes the surviving rows into the batch's weight
+        matrix; the executor either shards weight generation across
+        workers or materializes the dense rows inline — bit-identical
+        either way.
+        """
+        if rows.size == 0:
+            return
+        self.presence_counts = _bump_counts(
+            self.presence_counts, rows.group_idx
+        )
+        for alias, state in self.exact_states.items():
+            state.update(rows.group_idx, rows.values[alias])
+        self.executor.fold_boot_states(
+            self.boot_states, rows.group_idx, rows.values, wsrc,
+            row_idx=pos,
+        )
 
     # ------------------------------------------------------------------
     # Snapshots and publishing

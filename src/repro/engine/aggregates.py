@@ -21,6 +21,7 @@ and quantiles invariant.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
@@ -66,6 +67,11 @@ class GroupIndex:
     def __init__(self) -> None:
         self._lookup: Dict = {}
         self._keys: List = []
+        #: Bumped whenever a new key is inserted; part of the encode memo
+        #: token so cached encodings are dropped once the mapping grows.
+        self._version = 0
+        self._memo_token_cache = None
+        self._memo_result: Optional[np.ndarray] = None
 
     @property
     def num_groups(self) -> int:
@@ -81,35 +87,88 @@ class GroupIndex:
         """Dense index of ``key``; -1 when unseen."""
         return self._lookup.get(key, -1)
 
+    def _memo_token(self, keys: np.ndarray, add_new: bool):
+        """Cheap content token for ``keys``, or None when not memoizable."""
+        if keys.dtype == object:
+            return None
+        digest = hashlib.blake2b(
+            np.ascontiguousarray(keys).tobytes(), digest_size=16
+        ).digest()
+        return (keys.dtype.str, keys.shape, digest, add_new, self._version)
+
     def encode(self, keys: np.ndarray, add_new: bool = True) -> np.ndarray:
         """Vector-encode ``keys`` to dense indices.
 
         New keys are appended when ``add_new``; otherwise they encode to -1.
         Uses ``np.unique`` so the python-dict work is proportional to the
-        number of *distinct* incoming keys, not the batch size.
+        number of *distinct* incoming keys, not the batch size, and only
+        keys missing from the lookup pay dict-insertion cost.  A one-slot
+        digest memo short-circuits re-encoding the exact key array the
+        index saw last (per-trial re-evaluation, unchanged key sets across
+        batches).
         """
         keys = np.asarray(keys)
         if keys.size == 0:
             return np.empty(0, dtype=np.int64)
+        token = self._memo_token(keys, add_new)
+        if token is not None and token == self._memo_token_cache:
+            return self._memo_result.copy()
         uniq, inverse = np.unique(keys, return_inverse=True)
-        mapped = np.empty(len(uniq), dtype=np.int64)
-        for i, key in enumerate(uniq.tolist()):
-            idx = self._lookup.get(key, -1)
-            if idx < 0 and add_new:
-                idx = len(self._keys)
-                self._lookup[key] = idx
-                self._keys.append(key)
-            mapped[i] = idx
-        return mapped[inverse]
+        uniq_list = uniq.tolist()
+        get = self._lookup.get
+        mapped = np.fromiter(
+            (get(key, -1) for key in uniq_list),
+            count=len(uniq_list), dtype=np.int64,
+        )
+        if add_new:
+            missing = np.nonzero(mapped < 0)[0]
+            if missing.size:
+                for i in missing.tolist():
+                    idx = len(self._keys)
+                    key = uniq_list[i]
+                    self._lookup[key] = idx
+                    self._keys.append(key)
+                    mapped[i] = idx
+                self._version += 1
+                token = self._memo_token(keys, add_new)
+        result = mapped[inverse.reshape(keys.shape)]
+        if token is not None:
+            self._memo_token_cache = token
+            self._memo_result = result.copy()
+        return result
 
     def copy(self) -> "GroupIndex":
         out = GroupIndex()
         out._lookup = dict(self._lookup)
         out._keys = list(self._keys)
+        out._version = self._version
         return out
 
 
 GLOBAL_GROUP = None  # sentinel meaning "no GROUP BY": a single implicit group
+
+
+def _grouped_sum(group_idx: np.ndarray, weights: np.ndarray, groups: int,
+                 values: Optional[np.ndarray] = None) -> np.ndarray:
+    """Per-(group, column) sums of ``values * weights`` rows: the batch delta.
+
+    One ``bincount`` per trial column; the optional ``values`` vector is
+    multiplied in per column so no ``(n, width)`` contribution matrix is
+    ever materialized.  ``bincount`` accumulates every cell's
+    contributions in row order, so the result is bit-identical however
+    the columns are chunked or sharded across workers — the property the
+    parallel bootstrap path relies on.
+    """
+    n, width = weights.shape
+    out = np.zeros((groups, width))
+    if n == 0 or groups == 0 or width == 0:
+        return out
+    for c in range(width):
+        col = weights[:, c]
+        contrib = col if values is None else values * col
+        out[:, c] = np.bincount(group_idx, weights=contrib,
+                                minlength=groups)
+    return out
 
 
 def _as_weight_matrix(weights, n: int, width: int) -> np.ndarray:
@@ -135,7 +194,16 @@ class AggState:
     for exact states and the number of bootstrap trials otherwise.
     ``finalize`` returns ``(G,)`` for exact states and ``(G, W)`` for trial
     states.
+
+    States whose per-trial cells are independent along the trial axis set
+    ``supports_column_merge`` and implement ``_merge_columns``: a shard
+    state of width ``w`` built from trial columns ``[o, o+w)`` folds back
+    into the full-width state via :meth:`merge_columns`.  Reservoir and
+    user-defined states (cross-trial shared structure) keep the default
+    False and take the dense path.
     """
+
+    supports_column_merge = False
 
     def __init__(self, trials: Optional[int] = None):
         self.trials = trials
@@ -152,6 +220,9 @@ class AggState:
         raise NotImplementedError
 
     def _merge(self, other: "AggState") -> None:
+        raise NotImplementedError
+
+    def _merge_columns(self, other: "AggState", cols: slice) -> None:
         raise NotImplementedError
 
     def _finalize(self, scale: float) -> np.ndarray:
@@ -197,6 +268,31 @@ class AggState:
         self.ensure_groups(other.num_groups)
         self._merge(other)
 
+    def merge_columns(self, other: "AggState", col_offset: int) -> None:
+        """Fold a trial-shard state into columns ``[o, o + other.width)``.
+
+        ``other`` must be the same state type, built from exactly the
+        trial-weight columns starting at ``col_offset`` of this state's
+        width.  The result is bit-identical to having updated this state
+        with the full-width weight matrix (see ``_grouped_sum``).
+        """
+        if not self.supports_column_merge:
+            raise ExecutionError(
+                f"{type(self).__name__} does not support column merges"
+            )
+        if type(other) is not type(self):
+            raise ExecutionError(
+                f"cannot column-merge {type(other).__name__} into "
+                f"{type(self).__name__}"
+            )
+        if col_offset < 0 or col_offset + other.width > self.width:
+            raise ExecutionError(
+                f"column shard [{col_offset}, {col_offset + other.width}) "
+                f"outside width {self.width}"
+            )
+        self.ensure_groups(other.num_groups)
+        self._merge_columns(other, slice(col_offset, col_offset + other.width))
+
     def finalize(self, scale: float = 1.0) -> np.ndarray:
         """The aggregate value(s): ``(G,)`` exact or ``(G, W)`` per trial."""
         out = self._finalize(float(scale))
@@ -211,6 +307,8 @@ class AggState:
 class SumState(AggState):
     """Weighted SUM.  Estimate of the population sum scales by ``k/i``."""
 
+    supports_column_merge = True
+
     def __init__(self, trials=None):
         super().__init__(trials)
         self.wsum = np.zeros((0, self.width))
@@ -221,10 +319,17 @@ class SumState(AggState):
         self.wsum = grown
 
     def _update(self, group_idx, values, weights):
-        np.add.at(self.wsum, group_idx, values[:, None] * weights)
+        # Batch delta first, then one += — the same per-cell accumulation
+        # order whether the trial columns arrive whole or as shards.
+        self.wsum += _grouped_sum(
+            group_idx, weights, self.num_groups, values=values
+        )
 
     def _merge(self, other):
         self.wsum[: other.num_groups] += other.wsum
+
+    def _merge_columns(self, other, cols):
+        self.wsum[: other.num_groups, cols] += other.wsum
 
     def _finalize(self, scale):
         return self.wsum * scale
@@ -239,6 +344,8 @@ class SumState(AggState):
 class CountState(AggState):
     """Weighted COUNT (argument, if any, is ignored: the engine has no NULLs)."""
 
+    supports_column_merge = True
+
     def __init__(self, trials=None):
         super().__init__(trials)
         self.wcount = np.zeros((0, self.width))
@@ -249,10 +356,13 @@ class CountState(AggState):
         self.wcount = grown
 
     def _update(self, group_idx, values, weights):
-        np.add.at(self.wcount, group_idx, weights)
+        self.wcount += _grouped_sum(group_idx, weights, self.num_groups)
 
     def _merge(self, other):
         self.wcount[: other.num_groups] += other.wcount
+
+    def _merge_columns(self, other, cols):
+        self.wcount[: other.num_groups, cols] += other.wcount
 
     def _finalize(self, scale):
         return self.wcount * scale
@@ -267,6 +377,8 @@ class CountState(AggState):
 class AvgState(AggState):
     """Weighted AVG = weighted sum / weighted count.  Scale-invariant."""
 
+    supports_column_merge = True
+
     def __init__(self, trials=None):
         super().__init__(trials)
         self.wsum = np.zeros((0, self.width))
@@ -280,12 +392,18 @@ class AvgState(AggState):
             setattr(self, name, grown)
 
     def _update(self, group_idx, values, weights):
-        np.add.at(self.wsum, group_idx, values[:, None] * weights)
-        np.add.at(self.wcount, group_idx, weights)
+        self.wsum += _grouped_sum(
+            group_idx, weights, self.num_groups, values=values
+        )
+        self.wcount += _grouped_sum(group_idx, weights, self.num_groups)
 
     def _merge(self, other):
         self.wsum[: other.num_groups] += other.wsum
         self.wcount[: other.num_groups] += other.wcount
+
+    def _merge_columns(self, other, cols):
+        self.wsum[: other.num_groups, cols] += other.wsum
+        self.wcount[: other.num_groups, cols] += other.wcount
 
     def _finalize(self, scale):
         out = np.zeros_like(self.wsum)
@@ -308,6 +426,8 @@ class VarState(AggState):
     variance regardless of how the data was split across batches.
     """
 
+    supports_column_merge = True
+
     def __init__(self, trials=None):
         super().__init__(trials)
         self.wcount = np.zeros((0, self.width))
@@ -322,30 +442,35 @@ class VarState(AggState):
             setattr(self, name, grown)
 
     def _update(self, group_idx, values, weights):
-        shape = (self.num_groups, self.width)
-        bw = np.zeros(shape)
-        np.add.at(bw, group_idx, weights)
-        bwv = np.zeros(shape)
-        np.add.at(bwv, group_idx, values[:, None] * weights)
-        bmean = np.zeros(shape)
+        groups = self.num_groups
+        bw = _grouped_sum(group_idx, weights, groups)
+        bwv = _grouped_sum(group_idx, weights, groups, values=values)
+        bmean = np.zeros((groups, self.width))
         np.divide(bwv, bw, out=bmean, where=bw > 0)
         deviation = values[:, None] - bmean[group_idx]
-        bm2 = np.zeros(shape)
-        np.add.at(bm2, group_idx, weights * deviation ** 2)
+        bm2 = _grouped_sum(group_idx, weights * deviation ** 2, groups)
         self._combine(bw, bmean, bm2)
 
-    def _combine(self, bw, bmean, bm2):
+    def _combine(self, bw, bmean, bm2, cols=slice(None)):
+        # Chan's pairwise combine over the columns selected by ``cols``.
+        # Every expression is per-(group, column) independent, so a shard
+        # combined into its own column range matches the full-width path
+        # bit for bit.
         g = len(bw)
-        total = self.wcount[:g] + bw
-        delta = bmean - self.mean[:g]
+        old_count = self.wcount[:g, cols]
+        total = old_count + bw
+        delta = bmean - self.mean[:g, cols]
         ratio = np.zeros_like(total)
         np.divide(bw, total, out=ratio, where=total > 0)
-        self.mean[:g] += delta * ratio
-        self.m2[:g] += bm2 + delta ** 2 * self.wcount[:g] * ratio
-        self.wcount[:g] = total
+        self.mean[:g, cols] += delta * ratio
+        self.m2[:g, cols] += bm2 + delta ** 2 * old_count * ratio
+        self.wcount[:g, cols] = total
 
     def _merge(self, other):
         self._combine(other.wcount, other.mean, other.m2)
+
+    def _merge_columns(self, other, cols):
+        self._combine(other.wcount, other.mean, other.m2, cols)
 
     def _finalize(self, scale):
         var = np.zeros_like(self.m2)
@@ -372,6 +497,7 @@ class StdevState(VarState):
 class MinState(AggState):
     """MIN.  Weights only matter as presence (weight 0 = absent)."""
 
+    supports_column_merge = True
     _fill = np.inf
     _ufunc = np.minimum
 
@@ -391,17 +517,26 @@ class MinState(AggState):
                 self.extreme[:, 0], group_idx[present], values[present]
             )
             return
-        # Per-trial masked extreme; W is small (bootstrap trials) so the
-        # python loop is over trials, not rows.
-        for t in range(self.width):
-            present = weights[:, t] > 0
-            self._ufunc.at(
-                self.extreme[:, t], group_idx[present], values[present]
-            )
+        # One flattened scatter over every present (row, trial) cell
+        # instead of a python loop per trial.  min/max is order-free, so
+        # this matches any per-trial or sharded evaluation exactly.
+        rows, cols = np.nonzero(weights > 0)
+        if rows.size == 0:
+            return
+        flat_idx = group_idx[rows] * self.width + cols
+        flat = self.extreme.view()
+        flat.shape = (-1,)  # raises (never copies) if non-contiguous
+        self._ufunc.at(flat, flat_idx, values[rows])
 
     def _merge(self, other):
         g = other.num_groups
         self.extreme[:g] = self._ufunc(self.extreme[:g], other.extreme)
+
+    def _merge_columns(self, other, cols):
+        g = other.num_groups
+        self.extreme[:g, cols] = self._ufunc(
+            self.extreme[:g, cols], other.extreme
+        )
 
     def _finalize(self, scale):
         return self.extreme
@@ -479,12 +614,12 @@ class QuantileState(AggState):
         w = self.weights[order]
         cum = np.cumsum(w, axis=0)
         total = cum[-1]
-        for t in range(self.width):
-            if total[t] <= 0:
-                continue
-            target = self.q * total[t]
-            pos = int(np.searchsorted(cum[:, t], target, side="left"))
-            out[0, t] = vals[min(pos, len(vals) - 1)]
+        # Batched left-searchsorted of each column's target into its own
+        # cumulative column: count of entries strictly below the target.
+        targets = self.q * total
+        pos = np.count_nonzero(cum < targets[None, :], axis=0)
+        est = vals[np.minimum(pos, len(vals) - 1)]
+        out[0] = np.where(total > 0, est, 0.0)
         return out
 
     def copy(self):

@@ -10,20 +10,27 @@ introspection in a parallel OLA framework.
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import dataclass, field
 from typing import Dict
 
 
 class Counter:
-    """A monotonically increasing count (rows folded, rebuilds, ...)."""
+    """A monotonically increasing count (rows folded, rebuilds, ...).
 
-    __slots__ = ("value",)
+    Increments are serialized behind a lock so concurrent worker threads
+    (block fan-out in ``repro.parallel``) never lose updates.
+    """
+
+    __slots__ = ("value", "_lock")
 
     def __init__(self) -> None:
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, n: int = 1) -> None:
-        self.value += n
+        with self._lock:
+            self.value += n
 
 
 class Gauge:
@@ -45,7 +52,7 @@ class Histogram:
     mean and standard deviation; all five merge associatively.
     """
 
-    __slots__ = ("count", "total", "sq_total", "min", "max")
+    __slots__ = ("count", "total", "sq_total", "min", "max", "_lock")
 
     def __init__(self) -> None:
         self.count = 0
@@ -53,16 +60,18 @@ class Histogram:
         self.sq_total = 0.0
         self.min = math.inf
         self.max = -math.inf
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         value = float(value)
-        self.count += 1
-        self.total += value
-        self.sq_total += value * value
-        if value < self.min:
-            self.min = value
-        if value > self.max:
-            self.max = value
+        with self._lock:
+            self.count += 1
+            self.total += value
+            self.sq_total += value * value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
 
     @property
     def mean(self) -> float:

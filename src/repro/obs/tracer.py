@@ -13,7 +13,9 @@ measurement discipline rather than ad-hoc ``perf_counter()`` bracketing.
 
 from __future__ import annotations
 
+import threading
 import time
+from contextlib import contextmanager
 from typing import List, Optional
 
 from .metrics import MetricsRegistry
@@ -81,8 +83,7 @@ class Span:
 
     def __enter__(self) -> "Span":
         tracer = self.tracer
-        tracer._next_id += 1
-        self.span_id = tracer._next_id
+        self.span_id = tracer._alloc_id()
         stack = tracer._stack
         self.parent_id = stack[-1] if stack else None
         stack.append(self.span_id)
@@ -94,9 +95,10 @@ class Span:
         self.elapsed_s = (
             time.perf_counter() - tracer.origin - self.start_ts
         )
-        if tracer._stack and tracer._stack[-1] == self.span_id:
-            tracer._stack.pop()
-        tracer.sink.emit({
+        stack = tracer._stack
+        if stack and stack[-1] == self.span_id:
+            stack.pop()
+        tracer._emit({
             "type": "span",
             "name": self.name,
             "id": self.span_id,
@@ -133,6 +135,12 @@ class Tracer:
     ``tracer.enabled`` is the one cheap check every record site guards
     with; when False, :meth:`span` returns a shared no-op and
     :meth:`event` returns immediately.
+
+    Thread-aware: the open-span stack is thread-local (each worker
+    thread nests its own spans), while id allocation and sink emission
+    are serialized behind one lock so concurrent spans interleave
+    safely in the event stream.  Worker threads parent their spans
+    under a coordinator span via :meth:`scoped_parent`.
     """
 
     def __init__(self, sink: Optional[TraceSink] = None,
@@ -145,7 +153,40 @@ class Tracer:
         )
         self.origin = time.perf_counter()
         self._next_id = 0
-        self._stack: List[int] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    @property
+    def _stack(self) -> List[int]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _alloc_id(self) -> int:
+        with self._lock:
+            self._next_id += 1
+            return self._next_id
+
+    def _emit(self, record: dict) -> None:
+        with self._lock:
+            self.sink.emit(record)
+
+    @contextmanager
+    def scoped_parent(self, parent_id: Optional[int]):
+        """Run this thread's spans as children of ``parent_id``.
+
+        Used when work is fanned out to worker threads: each worker
+        enters the scope so its spans nest under the coordinator's span
+        instead of floating at top level.
+        """
+        stack = self._stack
+        saved = list(stack)
+        stack[:] = [parent_id] if parent_id is not None else []
+        try:
+            yield
+        finally:
+            stack[:] = saved
 
     # -- recording -------------------------------------------------------
 
@@ -159,10 +200,11 @@ class Tracer:
         """A point-in-time record under the currently open span."""
         if not self.enabled:
             return
-        self.sink.emit({
+        stack = self._stack
+        self._emit({
             "type": "event",
             "name": name,
-            "parent": self._stack[-1] if self._stack else None,
+            "parent": stack[-1] if stack else None,
             "ts": round(time.perf_counter() - self.origin, 9),
             "attrs": attrs,
         })
@@ -177,12 +219,12 @@ class Tracer:
         """
         if not self.enabled:
             return
-        self._next_id += 1
-        self.sink.emit({
+        stack = self._stack
+        self._emit({
             "type": "span",
             "name": name,
-            "id": self._next_id,
-            "parent": self._stack[-1] if self._stack else None,
+            "id": self._alloc_id(),
+            "parent": stack[-1] if stack else None,
             "ts": round(time.perf_counter() - self.origin, 9),
             "elapsed_s": float(elapsed_s),
             "clock": clock,

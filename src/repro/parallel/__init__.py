@@ -1,0 +1,22 @@
+"""Parallel bootstrap & delta maintenance (``repro.parallel``).
+
+A process/thread worker pool that shards each mini-batch's bootstrap
+trial columns across workers and fans independent lineage blocks out
+across threads, merging partial aggregate states on the coordinator.
+Bit-identical to serial execution for any worker count — see
+``docs/architecture.md`` ("Parallel execution") for the sharding model,
+seed derivation and merge semantics.
+"""
+
+from .executor import SERIAL_EXECUTOR, ParallelExecutor
+from .pool import WorkerPool
+from .shards import make_shard_payloads, run_fold_shard, shard_ranges
+
+__all__ = [
+    "SERIAL_EXECUTOR",
+    "ParallelExecutor",
+    "WorkerPool",
+    "make_shard_payloads",
+    "run_fold_shard",
+    "shard_ranges",
+]

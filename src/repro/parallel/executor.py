@@ -1,0 +1,202 @@
+"""The coordinator side of parallel bootstrap & block execution.
+
+:class:`ParallelExecutor` is injected into every
+:class:`~repro.core.delta.BlockRuntime` by the controller (the default is
+the disabled :data:`SERIAL_EXECUTOR`).  It owns two pools:
+
+* a **shard pool** (process/thread/serial per
+  :class:`~repro.config.ParallelConfig`) that fans a batch's bootstrap
+  trial columns out as independent shard tasks and merges the returned
+  partial states column-wise — PF-OLA's partial-state parallelism applied
+  to the trial axis;
+* a **block pool** (always threads — block runtimes are stateful and must
+  mutate in place) that runs independent lineage blocks of one
+  dependency level concurrently.
+
+Everything here is a pure throughput optimization: outputs are
+bit-identical for any worker count because weight columns come from
+per-(batch, trial) RNG streams and per-cell accumulation order is fixed
+by ``_grouped_sum`` (see ``repro.parallel.shards``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..config import ParallelConfig
+from ..engine.aggregates import AggState
+from ..estimate.bootstrap import as_batch_weights
+from ..obs import NULL_TRACER
+from .pool import WorkerPool
+from .shards import make_shard_payloads, run_fold_shard, shard_ranges
+
+
+#: Trial columns folded per inline chunk on the streamed serial path:
+#: small enough that a chunk's weights stay cache-resident, large enough
+#: that per-chunk state setup is noise.
+STREAM_CHUNK_COLS = 8
+
+
+class ParallelExecutor:
+    """Shards bootstrap folds and fans out block tasks."""
+
+    def __init__(self, config: Optional[ParallelConfig] = None,
+                 tracer=None):
+        self.config = config if config is not None else ParallelConfig()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._shard_pool: Optional[WorkerPool] = None
+        self._block_pool: Optional[WorkerPool] = None
+
+    @classmethod
+    def from_config(cls, config, tracer=None) -> "ParallelExecutor":
+        """Build from a :class:`~repro.config.GolaConfig` (or a
+        :class:`~repro.config.ParallelConfig` directly)."""
+        parallel = getattr(config, "parallel", config)
+        return cls(parallel, tracer=tracer)
+
+    @property
+    def enabled(self) -> bool:
+        return self.config.workers > 0
+
+    # -- bootstrap trial sharding ---------------------------------------
+
+    def fold_boot_states(self, boot_states: Dict[str, AggState],
+                         group_idx: np.ndarray,
+                         values: Dict[str, np.ndarray],
+                         weights,
+                         row_idx: Optional[np.ndarray] = None) -> None:
+        """Fold one batch's rows into every bootstrap state.
+
+        ``weights`` is an ``(n, B)`` array or a batch-weight handle over
+        the *original* batch rows; ``row_idx`` selects the rows that
+        survived the certain pipeline (None = all).  Column-mergeable
+        states are sharded along the trial axis across the pool; the
+        rest (reservoir quantiles, UDAFs) take the dense path.  Both
+        paths produce bit-identical states.
+        """
+        weights = as_batch_weights(weights)
+        n = len(group_idx)
+        if n == 0:
+            return
+        shardable = [
+            (alias, type(state)) for alias, state in boot_states.items()
+            if state.supports_column_merge and state.width > 1
+        ]
+        cfg = self.config
+        pooled = self.enabled and shardable and n >= cfg.min_shard_rows
+        # Serial runs stream trial-column chunks through the same
+        # fold-and-merge kernel when the weights are lazily generated:
+        # each chunk is drawn, folded while cache-hot and discarded, so
+        # the dense (n, B) rectangle is never materialized.  Chunk
+        # boundaries cannot change results — per-(group, trial) cells
+        # never span chunks (see shards.run_fold_shard).
+        streamed = (
+            not pooled and shardable and n >= cfg.min_shard_rows
+            and weights.spec() is not None
+            and getattr(weights, "_dense", None) is None
+        )
+        if not pooled and not streamed:
+            dense = weights.rows(row_idx)
+            for alias, state in boot_states.items():
+                state.update(group_idx, values[alias], dense)
+            return
+
+        dense_aliases = [
+            alias for alias in boot_states
+            if alias not in {a for a, _ in shardable}
+        ]
+        if dense_aliases:
+            dense = weights.rows(row_idx)
+            for alias in dense_aliases:
+                boot_states[alias].update(group_idx, values[alias], dense)
+
+        trials = boot_states[shardable[0][0]].width
+        if pooled:
+            ranges = shard_ranges(trials, cfg.workers)
+        else:
+            ranges = [
+                (lo, min(trials, lo + STREAM_CHUNK_COLS))
+                for lo in range(0, trials, STREAM_CHUNK_COLS)
+            ]
+        tracer = self.tracer
+        shard_values = {alias: values[alias] for alias, _ in shardable}
+        backend = cfg.backend if pooled else "stream"
+        with tracer.span("parallel.shard", rows_in=n, trials=trials,
+                         shards=len(ranges), backend=backend):
+            payloads = make_shard_payloads(
+                shardable, group_idx, shard_values, weights, ranges,
+                row_idx=row_idx,
+            )
+            if pooled:
+                results = self._ensure_shard_pool().map(
+                    run_fold_shard, payloads
+                )
+            else:
+                results = [run_fold_shard(p) for p in payloads]
+        with tracer.span("parallel.merge", shards=len(results)):
+            for (lo, _hi), shard_states in zip(ranges, results):
+                for alias, shard_state in shard_states:
+                    boot_states[alias].merge_columns(shard_state, lo)
+        if tracer.metrics.enabled:
+            tracer.metrics.counter("parallel.shard_tasks").inc(len(ranges))
+            tracer.metrics.counter("parallel.sharded_cells").inc(n * trials)
+
+    # -- block fan-out ---------------------------------------------------
+
+    def map_block_tasks(self, thunks: Sequence[Callable[[], object]],
+                        ) -> List:
+        """Run independent block tasks, in order, possibly concurrently.
+
+        Block runtimes mutate their own state in place, so fan-out is
+        thread-based regardless of the shard backend; each thunk must
+        already carry its tracing scope (see the controller).
+        """
+        thunks = list(thunks)
+        if (
+            not self.enabled or not self.config.block_fanout
+            or len(thunks) <= 1
+        ):
+            return [thunk() for thunk in thunks]
+        if self._block_pool is None:
+            self._block_pool = WorkerPool(
+                min(self.config.workers, len(thunks)), backend="thread"
+            )
+        if self.tracer.metrics.enabled:
+            self.tracer.metrics.counter(
+                "parallel.block_tasks"
+            ).inc(len(thunks))
+        return self._block_pool.map(_call, thunks)
+
+    # -- lifecycle -------------------------------------------------------
+
+    def _ensure_shard_pool(self) -> WorkerPool:
+        if self._shard_pool is None:
+            self._shard_pool = WorkerPool(
+                self.config.workers, backend=self.config.backend
+            )
+        return self._shard_pool
+
+    def close(self) -> None:
+        """Release both pools (idempotent; pools restart lazily)."""
+        if self._shard_pool is not None:
+            self._shard_pool.close()
+            self._shard_pool = None
+        if self._block_pool is not None:
+            self._block_pool.close()
+            self._block_pool = None
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _call(thunk: Callable[[], object]):
+    return thunk()
+
+
+#: Shared disabled executor: the default wiring of every BlockRuntime.
+SERIAL_EXECUTOR = ParallelExecutor(ParallelConfig())

@@ -1,0 +1,90 @@
+"""Worker pools behind one tiny ordered-``map`` interface.
+
+Three interchangeable backends:
+
+* ``process`` — a :class:`concurrent.futures.ProcessPoolExecutor` using
+  the ``fork`` start method (cheap worker startup, no import replay).
+  Task functions must be module-level and payloads picklable.
+* ``thread`` — a :class:`concurrent.futures.ThreadPoolExecutor`; no
+  pickling, relies on numpy releasing the GIL in the hot kernels.
+* ``serial`` — runs tasks inline.  Same code path, zero concurrency;
+  exists so the shard/merge machinery can be exercised deterministically
+  in tests and as the graceful fallback when process pools are
+  unavailable (restricted environments).
+
+Pools are created lazily on first use and must be released with
+:meth:`WorkerPool.close` (the controller does this when a run finishes).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import Executor, ProcessPoolExecutor, \
+    ThreadPoolExecutor
+from typing import Callable, List, Optional, Sequence
+
+
+class WorkerPool:
+    """A lazily-started pool of ``workers`` executing ordered maps."""
+
+    def __init__(self, workers: int, backend: str = "process"):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if backend not in ("process", "thread", "serial"):
+            raise ValueError(f"unknown pool backend {backend!r}")
+        self.workers = workers
+        self.backend = backend
+        self._executor: Optional[Executor] = None
+
+    def _ensure_executor(self) -> Optional[Executor]:
+        if self.backend == "serial":
+            return None
+        if self._executor is None:
+            if self.backend == "thread":
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.workers,
+                    thread_name_prefix="repro-pool",
+                )
+            else:
+                try:
+                    ctx = multiprocessing.get_context("fork")
+                except ValueError:  # platform without fork
+                    ctx = multiprocessing.get_context()
+                try:
+                    self._executor = ProcessPoolExecutor(
+                        max_workers=self.workers, mp_context=ctx
+                    )
+                except (OSError, PermissionError):
+                    # Sandboxed/restricted environment: degrade to
+                    # threads rather than failing the run.
+                    self.backend = "thread"
+                    self._executor = ThreadPoolExecutor(
+                        max_workers=self.workers,
+                        thread_name_prefix="repro-pool",
+                    )
+        return self._executor
+
+    def map(self, fn: Callable, tasks: Sequence) -> List:
+        """Apply ``fn`` to every task, returning results in task order."""
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        if self.backend == "serial" or len(tasks) == 1:
+            return [fn(task) for task in tasks]
+        executor = self._ensure_executor()
+        if executor is None:  # serial after degradation
+            return [fn(task) for task in tasks]
+        futures = [executor.submit(fn, task) for task in tasks]
+        return [f.result() for f in futures]
+
+    def close(self) -> None:
+        """Shut the underlying executor down (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

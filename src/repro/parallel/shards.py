@@ -1,0 +1,109 @@
+"""Trial-axis sharding of bootstrap state maintenance.
+
+A mini-batch's bootstrap update is ``state.update(group_idx, values, W)``
+with ``W`` the ``(n, B)`` Poisson weight matrix.  Because every
+column-mergeable state accumulates each ``(group, trial)`` cell
+independently (see ``repro.engine.aggregates._grouped_sum``), the trial
+axis splits cleanly: worker ``w`` builds fresh shard states of width
+``hi - lo`` from weight columns ``[lo, hi)`` and the coordinator folds
+them back with ``merge_columns`` — bit-identical to the full-width
+update for any shard count.
+
+Weights travel as a :class:`~repro.estimate.bootstrap.BatchWeights` spec
+(a few primitives) whenever possible: each worker regenerates exactly
+its own trial columns from the per-(batch, trial) RNG streams, so the
+dense ``(n, B)`` matrix is never materialized anywhere.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..estimate.bootstrap import BatchWeights
+
+
+def shard_ranges(trials: int, shards: int) -> List[Tuple[int, int]]:
+    """Split ``[0, trials)`` into at most ``shards`` contiguous ranges.
+
+    Ranges are balanced (sizes differ by at most one) and never empty;
+    fewer than ``shards`` ranges come back when ``trials < shards``.
+    """
+    if trials < 0:
+        raise ValueError("trials must be >= 0")
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
+    shards = min(shards, trials)
+    out: List[Tuple[int, int]] = []
+    base, rem = divmod(trials, max(shards, 1))
+    lo = 0
+    for s in range(shards):
+        hi = lo + base + (1 if s < rem else 0)
+        out.append((lo, hi))
+        lo = hi
+    return out
+
+
+def run_fold_shard(payload: dict) -> List[Tuple[str, object]]:
+    """Fold one trial shard of a batch into fresh states (worker side).
+
+    ``payload`` keys:
+
+    * ``aliases`` — list of ``(alias, state_class)`` pairs to fold;
+    * ``lo``/``hi`` — the trial-column range of this shard;
+    * ``group_idx`` — ``(n,)`` dense group indices;
+    * ``values`` — alias -> ``(n,)`` argument values;
+    * ``weight_spec`` — :meth:`BatchWeights.spec` dict to regenerate the
+      shard's columns locally, or None when ``weights`` ships dense;
+    * ``weights`` — the dense ``(n, hi-lo)`` slice (spec-less fallback);
+    * ``row_idx`` — surviving row positions into the batch's weight
+      matrix, or None for all rows.
+
+    Module-level (not a closure) so process pools can pickle it.
+    Returns ``[(alias, shard_state), ...]`` with each state of width
+    ``hi - lo``.
+    """
+    lo, hi = payload["lo"], payload["hi"]
+    group_idx = payload["group_idx"]
+    row_idx = payload.get("row_idx")
+    spec = payload.get("weight_spec")
+    if spec is not None:
+        weights = BatchWeights.from_spec(spec).shard(lo, hi, row_idx)
+    else:
+        weights = payload["weights"]
+    out = []
+    for alias, state_cls in payload["aliases"]:
+        state = state_cls(hi - lo)
+        state.update(group_idx, payload["values"][alias], weights)
+        out.append((alias, state))
+    return out
+
+
+def make_shard_payloads(
+    aliases, group_idx: np.ndarray, values: dict, weights,
+    ranges: List[Tuple[int, int]],
+    row_idx: Optional[np.ndarray] = None,
+) -> List[dict]:
+    """One :func:`run_fold_shard` payload per trial range.
+
+    ``weights`` is a batch-weight handle; when it carries a regeneration
+    spec only the spec crosses the process boundary, otherwise the dense
+    column slice for each range is cut here.
+    """
+    spec = weights.spec()
+    payloads = []
+    for lo, hi in ranges:
+        payload = {
+            "aliases": list(aliases),
+            "lo": lo,
+            "hi": hi,
+            "group_idx": group_idx,
+            "values": values,
+            "row_idx": row_idx,
+            "weight_spec": spec,
+        }
+        if spec is None:
+            payload["weights"] = weights.shard(lo, hi, row_idx)
+        payloads.append(payload)
+    return payloads

@@ -13,6 +13,9 @@ from repro import GolaConfig, GolaSession
 from repro.workloads import SBI_QUERY, generate_sessions
 
 
+# The seed is chosen so that ε = 0 produces at least one range
+# violation under the per-(batch, trial) weight streams; re-verify if
+# the weight derivation scheme ever changes.
 def run(epsilon, seed=31, num_batches=30, n=3000):
     session = GolaSession(
         GolaConfig(num_batches=num_batches, bootstrap_trials=24,

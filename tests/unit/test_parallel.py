@@ -1,0 +1,423 @@
+"""Unit coverage for ``repro.parallel`` and the vectorized fold kernels.
+
+The contract under test throughout: for a fixed master seed, every way
+of evaluating a batch's bootstrap update — dense, streamed in column
+chunks, or sharded across any worker count and backend — produces
+bit-identical aggregate states.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.config import GolaConfig, ParallelConfig
+from repro.engine.aggregates import (
+    AvgState,
+    CountState,
+    GroupIndex,
+    MaxState,
+    MinState,
+    QuantileState,
+    StdevState,
+    SumState,
+    VarState,
+    _grouped_sum,
+)
+from repro.errors import ExecutionError
+from repro.estimate.bootstrap import (
+    _P1_CDF,
+    BatchWeights,
+    PoissonWeightSource,
+    poisson_trial_column,
+)
+from repro.estimate.random_source import derive_rng
+from repro.parallel import (
+    SERIAL_EXECUTOR,
+    ParallelExecutor,
+    WorkerPool,
+    make_shard_payloads,
+    run_fold_shard,
+    shard_ranges,
+)
+
+
+class TestShardRanges:
+    def test_covers_and_balances(self):
+        for trials in (1, 2, 7, 24, 96, 97):
+            for shards in (1, 2, 3, 4, 8):
+                ranges = shard_ranges(trials, shards)
+                assert ranges[0][0] == 0 and ranges[-1][1] == trials
+                widths = [hi - lo for lo, hi in ranges]
+                assert all(w >= 1 for w in widths)
+                assert max(widths) - min(widths) <= 1
+                assert sum(widths) == trials
+                # contiguous, non-overlapping
+                for (_, a_hi), (b_lo, _) in zip(ranges, ranges[1:]):
+                    assert a_hi == b_lo
+
+    def test_fewer_ranges_than_shards_when_trials_small(self):
+        assert shard_ranges(3, 8) == [(0, 1), (1, 2), (2, 3)]
+        assert shard_ranges(0, 4) == []
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            shard_ranges(-1, 2)
+        with pytest.raises(ValueError):
+            shard_ranges(4, 0)
+
+
+class TestWorkerPool:
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_map_preserves_task_order(self, backend):
+        with WorkerPool(3, backend=backend) as pool:
+            assert pool.map(abs, [-3, 1, -4, -1, 5]) == [3, 1, 4, 1, 5]
+
+    def test_empty_and_single_task(self):
+        pool = WorkerPool(2, backend="thread")
+        assert pool.map(abs, []) == []
+        assert pool.map(abs, [-7]) == [7]
+        pool.close()
+
+    def test_close_is_idempotent(self):
+        pool = WorkerPool(2, backend="thread")
+        pool.map(abs, [-1, -2])
+        pool.close()
+        pool.close()
+        # pools restart lazily after close
+        assert pool.map(abs, [-5, 6]) == [5, 6]
+        pool.close()
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            WorkerPool(0)
+        with pytest.raises(ValueError):
+            WorkerPool(2, backend="greenlet")
+
+
+class TestPoissonTrialColumns:
+    def test_bucket_table_matches_plain_inverse_cdf(self):
+        for trial in range(6):
+            col = poisson_trial_column(2015, "t", 0, trial, 20_000)
+            rng = derive_rng(2015, f"t:b0:t{trial}")
+            u = rng.random(20_000)
+            ref = np.searchsorted(_P1_CDF, u, side="right")
+            assert np.array_equal(col, ref.astype(np.float64))
+
+    def test_poisson_one_moments(self):
+        cols = [poisson_trial_column(7, "m", b, t, 50_000)
+                for b in range(2) for t in range(4)]
+        draws = np.concatenate(cols)
+        assert draws.mean() == pytest.approx(1.0, abs=0.01)
+        assert draws.var() == pytest.approx(1.0, abs=0.02)
+
+    def test_shard_is_column_slice_of_dense(self):
+        handle = BatchWeights(24, 11, "w", 3, 1000)
+        shard = handle.shard(5, 13)          # generated directly
+        dense = handle.dense()               # full matrix
+        assert np.array_equal(shard, dense[:, 5:13])
+        # after dense() is paid for, shard() reuses it
+        assert np.shares_memory(handle.shard(0, 4), dense)
+
+    def test_pickle_roundtrip_regenerates_identically(self):
+        handle = BatchWeights(16, 3, "w", 7, 500)
+        dense = handle.dense()
+        clone = pickle.loads(pickle.dumps(handle))
+        assert clone._dense is None  # matrix never travels
+        assert np.array_equal(clone.dense(), dense)
+
+    def test_columns_independent_of_batch_and_trial(self):
+        a = poisson_trial_column(1, "x", 0, 0, 256)
+        b = poisson_trial_column(1, "x", 0, 1, 256)
+        c = poisson_trial_column(1, "x", 1, 0, 256)
+        assert not np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+
+class TestGroupedSum:
+    def _reference(self, group_idx, contrib, groups):
+        out = np.zeros((groups, contrib.shape[1]))
+        np.add.at(out, group_idx, contrib)
+        return out
+
+    def test_matches_scatter_add(self):
+        rng = np.random.default_rng(0)
+        gi = rng.integers(0, 13, 4000)
+        w = rng.random((4000, 9))
+        assert np.array_equal(
+            _grouped_sum(gi, w, 13), self._reference(gi, w, 13)
+        )
+
+    def test_fused_values_identical_to_explicit_contrib(self):
+        rng = np.random.default_rng(1)
+        gi = rng.integers(0, 5, 2000)
+        w = rng.random((2000, 6))
+        v = rng.normal(size=2000)
+        assert np.array_equal(
+            _grouped_sum(gi, w, 5, values=v),
+            _grouped_sum(gi, v[:, None] * w, 5),
+        )
+
+    def test_column_chunk_invariance(self):
+        rng = np.random.default_rng(2)
+        gi = rng.integers(0, 7, 1000)
+        w = rng.random((1000, 12))
+        full = _grouped_sum(gi, w, 7)
+        pieces = np.hstack([
+            _grouped_sum(gi, w[:, lo:lo + 4], 7) for lo in (0, 4, 8)
+        ])
+        assert np.array_equal(full, pieces)
+
+    def test_empty(self):
+        out = _grouped_sum(np.empty(0, dtype=np.int64),
+                           np.empty((0, 4)), 3)
+        assert out.shape == (3, 4) and not out.any()
+
+
+MERGEABLE = [SumState, CountState, AvgState, VarState, StdevState,
+             MinState, MaxState]
+
+
+class TestColumnMerge:
+    @pytest.mark.parametrize("state_cls", MERGEABLE)
+    def test_shard_merge_bit_identical_to_full_update(self, state_cls):
+        rng = np.random.default_rng(3)
+        n, trials, groups = 3000, 17, 11
+        gi = rng.integers(0, groups, n)
+        vals = rng.normal(size=n)
+        weights = rng.poisson(1.0, size=(n, trials)).astype(np.float64)
+
+        full = state_cls(trials)
+        full.update(gi, vals, weights)
+
+        merged = state_cls(trials)
+        merged.ensure_groups(groups)
+        for lo, hi in shard_ranges(trials, 4):
+            shard = state_cls(hi - lo)
+            shard.update(gi, vals, weights[:, lo:hi])
+            merged.merge_columns(shard, lo)
+
+        assert np.array_equal(full.finalize(1.5), merged.finalize(1.5))
+
+    def test_quantile_rejects_column_merge(self):
+        state = QuantileState(8, q=0.5)
+        assert not state.supports_column_merge
+        with pytest.raises(ExecutionError):
+            state.merge_columns(QuantileState(4, q=0.5), 0)
+
+    def test_merge_outside_width_rejected(self):
+        full, shard = SumState(8), SumState(4)
+        with pytest.raises(ExecutionError):
+            full.merge_columns(shard, 6)  # [6, 10) overruns width 8
+
+    def test_merge_wrong_type_rejected(self):
+        with pytest.raises(ExecutionError):
+            SumState(8).merge_columns(CountState(4), 0)
+
+
+class TestGroupIndexIncremental:
+    def test_new_keys_appended_old_indices_stable(self):
+        index = GroupIndex()
+        first = index.encode(np.array([5, 3, 5, 9]))
+        assert index.num_groups == 3
+        mapping = {k: index.index_of(k) for k in (5, 3, 9)}
+        second = index.encode(np.array([9, 2, 5]))
+        # old keys keep their dense indices; only 2 is new
+        assert index.num_groups == 4
+        for k, idx in mapping.items():
+            assert index.index_of(k) == idx
+        assert second[0] == mapping[9] and second[2] == mapping[5]
+        assert first.tolist() == [mapping[5], mapping[3], mapping[5],
+                                  mapping[9]]
+
+    def test_version_only_bumps_on_insert(self):
+        index = GroupIndex()
+        index.encode(np.array([1, 2]))
+        v = index._version
+        index.encode(np.array([2, 1, 1]))  # no new keys
+        assert index._version == v
+        index.encode(np.array([3]))
+        assert index._version == v + 1
+
+    def test_unchanged_key_array_is_memoized(self):
+        index = GroupIndex()
+        keys = np.array([4, 4, 8, 15, 16, 23, 42])
+        first = index.encode(keys)
+        memo = index._memo_result
+        assert memo is not None
+        second = index.encode(keys)
+        assert np.array_equal(first, second)
+        assert second is not memo  # callers get a private copy
+
+    def test_add_new_false_marks_unseen(self):
+        index = GroupIndex()
+        index.encode(np.array([10, 20]))
+        v = index._version
+        out = index.encode(np.array([20, 30]), add_new=False)
+        assert out.tolist() == [index.index_of(20), -1]
+        assert index._version == v and index.num_groups == 2
+
+
+class TestVectorizedFinalizers:
+    def test_quantile_finalize_matches_per_trial_reference(self):
+        rng = np.random.default_rng(4)
+        trials, n = 9, 500
+        state = QuantileState(trials, q=0.3, capacity=4096)
+        vals = rng.normal(size=n)
+        weights = rng.poisson(1.0, size=(n, trials)).astype(np.float64)
+        state.update(np.zeros(n, dtype=np.int64), vals, weights)
+        out = state.finalize()
+
+        order = np.argsort(vals, kind="stable")
+        svals, sw = vals[order], weights[order]
+        for t in range(trials):
+            cum = np.cumsum(sw[:, t])
+            total = cum[-1]
+            pos = int((cum < 0.3 * total).sum())
+            expect = svals[min(pos, n - 1)] if total > 0 else 0.0
+            assert out[0, t] == expect
+
+    @pytest.mark.parametrize("state_cls", [MinState, MaxState])
+    def test_extreme_update_matches_per_trial_reference(self, state_cls):
+        rng = np.random.default_rng(5)
+        n, trials, groups = 800, 7, 5
+        gi = rng.integers(0, groups, n)
+        vals = rng.normal(size=n)
+        weights = rng.poisson(1.0, size=(n, trials)).astype(np.float64)
+        state = state_cls(trials)
+        state.update(gi, vals, weights)
+
+        ref = np.full((groups, trials), state_cls._fill)
+        for t in range(trials):
+            present = weights[:, t] > 0
+            state_cls._ufunc.at(ref[:, t], gi[present], vals[present])
+        assert np.array_equal(state.finalize(), ref)
+
+
+def _fold_with(config, trials=16, batches=2, n=6000, groups=9):
+    rng = np.random.default_rng(6)
+    gi = rng.integers(0, groups, n)
+    values = {
+        "s": rng.normal(size=n),
+        "a": rng.normal(size=n),
+        "q": rng.normal(size=n) if groups == 1 else None,
+    }
+    states = {"s": SumState(trials), "a": AvgState(trials)}
+    if groups == 1:
+        states["q"] = QuantileState(trials, q=0.5, capacity=10 ** 6,
+                                    seed=42)
+        gi = np.zeros(n, dtype=np.int64)
+    else:
+        del values["q"]
+    executor = ParallelExecutor(config)
+    source = PoissonWeightSource(trials, 2015, label="unit")
+    handles = []
+    try:
+        for _ in range(batches):
+            handle = source.batch_weights(n)
+            handles.append(handle)
+            executor.fold_boot_states(states, gi, values, handle)
+    finally:
+        executor.close()
+    return {k: s.finalize() for k, s in states.items()}, handles
+
+
+class TestParallelExecutor:
+    def test_all_backends_and_worker_counts_identical(self):
+        ref, _ = _fold_with(ParallelConfig())
+        for config in (
+            ParallelConfig(workers=1, backend="serial"),
+            ParallelConfig(workers=2, backend="thread"),
+            ParallelConfig(workers=4, backend="thread"),
+            ParallelConfig(workers=3, backend="process"),
+        ):
+            out, _ = _fold_with(config)
+            for alias in ref:
+                assert np.array_equal(ref[alias], out[alias]), \
+                    (config, alias)
+
+    def test_serial_streaming_never_materializes_dense(self):
+        _, handles = _fold_with(ParallelConfig())
+        assert all(h._dense is None for h in handles)
+
+    def test_sharded_run_never_materializes_dense(self):
+        _, handles = _fold_with(
+            ParallelConfig(workers=2, backend="thread")
+        )
+        assert all(h._dense is None for h in handles)
+
+    def test_small_batches_skip_sharding(self):
+        config = ParallelConfig(workers=4, min_shard_rows=10 ** 9)
+        ref, _ = _fold_with(ParallelConfig(min_shard_rows=10 ** 9))
+        out, handles = _fold_with(config)
+        for alias in ref:
+            assert np.array_equal(ref[alias], out[alias])
+        assert all(h._dense is not None for h in handles)  # dense path
+
+    def test_non_mergeable_state_takes_dense_path(self):
+        ref, _ = _fold_with(ParallelConfig(), groups=1)
+        out, _ = _fold_with(
+            ParallelConfig(workers=2, backend="thread"), groups=1
+        )
+        for alias in ref:
+            assert np.array_equal(ref[alias], out[alias]), alias
+
+    def test_from_gola_config(self):
+        config = GolaConfig(
+            parallel=ParallelConfig(workers=2, backend="serial")
+        )
+        executor = ParallelExecutor.from_config(config)
+        assert executor.config.workers == 2
+        assert executor.enabled
+        assert not SERIAL_EXECUTOR.enabled
+
+    def test_map_block_tasks_orders_results(self):
+        executor = ParallelExecutor(ParallelConfig(workers=3))
+        try:
+            results = executor.map_block_tasks(
+                [lambda i=i: i * i for i in range(7)]
+            )
+        finally:
+            executor.close()
+        assert results == [i * i for i in range(7)]
+
+    def test_shard_payload_carries_spec_not_matrix(self):
+        handle = BatchWeights(8, 1, "p", 0, 64)
+        gi = np.zeros(64, dtype=np.int64)
+        payloads = make_shard_payloads(
+            [("x", SumState)], gi, {"x": np.ones(64)}, handle,
+            shard_ranges(8, 2),
+        )
+        assert all("weights" not in p for p in payloads)
+        assert all(p["weight_spec"] == handle.spec() for p in payloads)
+        (alias, state), = run_fold_shard(payloads[1])
+        assert alias == "x" and state.width == 4
+
+
+class TestBlockLevels:
+    def test_levels_respect_slot_dependencies(self):
+        from types import SimpleNamespace
+
+        from repro.core.controller import _block_levels
+
+        blocks = [
+            SimpleNamespace(block_id=0, consumes=(), produces=1),
+            SimpleNamespace(block_id=1, consumes=(), produces=2),
+            SimpleNamespace(block_id=2, consumes=(1, 2), produces=3),
+            SimpleNamespace(block_id=3, consumes=(), produces=None),
+            SimpleNamespace(block_id=4, consumes=(3,), produces=None),
+        ]
+        levels = _block_levels(blocks)
+        ids = [[b.block_id for b in level] for level in levels]
+        assert ids == [[0, 1, 3], [2], [4]]
+
+    def test_independent_blocks_share_one_level(self):
+        from types import SimpleNamespace
+
+        from repro.core.controller import _block_levels
+
+        blocks = [
+            SimpleNamespace(block_id=i, consumes=(), produces=None)
+            for i in range(4)
+        ]
+        assert len(_block_levels(blocks)) == 1
