@@ -23,10 +23,11 @@ Quickstart::
         print(snapshot.describe())
 """
 
-from .config import ClusterConfig, FaultsConfig, GolaConfig
+from .config import ClusterConfig, FaultsConfig, GolaConfig, ServeConfig
 from .core.result import OnlineSnapshot
 from .core.session import GolaSession, OnlineQuery
 from .errors import (
+    AdmissionError,
     BindError,
     CatalogError,
     CheckpointError,
@@ -46,6 +47,7 @@ from .storage.table import Column, ColumnType, Schema, Table
 __version__ = "1.0.0"
 
 __all__ = [
+    "AdmissionError",
     "BindError",
     "CatalogError",
     "CheckpointError",
@@ -66,6 +68,7 @@ __all__ = [
     "ReproError",
     "RunCheckpoint",
     "Schema",
+    "ServeConfig",
     "SchemaError",
     "Table",
     "UnsupportedQueryError",

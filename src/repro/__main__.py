@@ -6,6 +6,8 @@ Commands:
     queries   list the bundled paper queries
     trace     run a query online with tracing, writing a JSONL event log
     report    render the per-phase/per-operator profile of a trace file
+    serve     start the concurrent multi-query HTTP server
+    submit    submit a query to a running server, stream its snapshots
 """
 
 from __future__ import annotations
@@ -189,6 +191,89 @@ def _report(args) -> int:
     return 0
 
 
+def _serve(args) -> int:
+    import dataclasses
+
+    from .config import GolaConfig, ServeConfig
+    from .core.session import GolaSession
+    from .obs import MetricsRegistry, Tracer
+    from .serve import GolaServer, QueryScheduler
+    from .workloads import generate_conviva, generate_sessions, generate_tpch
+
+    serve = ServeConfig.parse(args.serve) if args.serve else ServeConfig()
+    overrides = {}
+    if args.host is not None:
+        overrides["host"] = args.host
+    if args.port is not None:
+        overrides["port"] = args.port
+    if overrides:
+        serve = dataclasses.replace(serve, **overrides)
+    config = GolaConfig(
+        num_batches=args.batches, bootstrap_trials=80, seed=args.seed,
+        faults=_parse_faults(args.faults),
+        parallel=_parse_workers(args.workers), serve=serve,
+    )
+    tracer = Tracer(metrics=MetricsRegistry(enabled=True))
+    session = GolaSession(config, tracer=tracer)
+    print(f"generating {args.rows:,} rows per workload table ...")
+    session.register_table(
+        "sessions", generate_sessions(args.rows, seed=args.seed)
+    )
+    session.register_table(
+        "conviva", generate_conviva(args.rows, seed=args.seed)
+    )
+    session.register_table("tpch", generate_tpch(args.rows, seed=args.seed))
+    server = GolaServer(QueryScheduler(session, serve=serve))
+    server.start()
+    print(f"serving on {server.url}  (Ctrl-C to stop)")
+    print("submit a query and stream its estimates:")
+    print(f"  curl -s -X POST {server.url}/query "
+          "-d '{\"sql\": \"SELECT AVG(play_time) FROM sessions\"}'")
+    print(f"  curl -sN {server.url}/query/q1/snapshots")
+    server.serve_forever()
+    return 0
+
+
+def _submit(args) -> int:
+    import json
+    import urllib.error
+    import urllib.request
+
+    from .workloads import SBI_QUERY
+
+    base = f"http://{args.host}:{args.port}"
+    body = {"sql": SBI_QUERY if args.sql.lower() == "sbi" else args.sql,
+            "priority": args.priority}
+    if args.deadline is not None:
+        body["deadline_s"] = args.deadline
+    if args.target_rsd is not None:
+        body["target_rsd"] = args.target_rsd
+    request = urllib.request.Request(
+        base + "/query", method="POST",
+        data=json.dumps(body).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as resp:
+            submitted = json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        detail = exc.read().decode("utf-8", "replace")
+        print(f"error: HTTP {exc.code}: {detail}", file=sys.stderr)
+        return 1
+    except urllib.error.URLError as exc:
+        print(f"error: cannot reach {base}: {exc.reason}", file=sys.stderr)
+        return 1
+    print(f"submitted as {submitted['id']}", file=sys.stderr)
+    with urllib.request.urlopen(
+        base + submitted["snapshots_url"], timeout=args.timeout
+    ) as resp:
+        for line in resp:
+            line = line.strip()
+            if line:
+                print(line.decode("utf-8"))
+    return 0
+
+
 def _queries(args) -> int:
     from .workloads import (
         ADSTREAM_QUERIES,
@@ -268,6 +353,47 @@ def main(argv=None) -> int:
     )
     report.add_argument("trace", help="path to a trace .jsonl file")
     report.set_defaults(fn=_report)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve concurrent online queries over HTTP (NDJSON streams)",
+    )
+    serve.add_argument("--host", default=None,
+                       help="bind address (default from ServeConfig)")
+    serve.add_argument("--port", type=int, default=None,
+                       help="bind port; 0 picks an ephemeral port")
+    serve.add_argument("--rows", type=int, default=100_000,
+                       help="rows per generated workload table")
+    serve.add_argument("--batches", type=int, default=20)
+    serve.add_argument("--seed", type=int, default=2015)
+    serve.add_argument(
+        "--serve", default=None, metavar="SPEC",
+        help="scheduler knobs: 'key=value,...' over ServeConfig fields, "
+             "e.g. 'max_concurrent=8,queue_depth=32,max_steps_per_turn=2'",
+    )
+    serve.add_argument("--faults", default=None, metavar="SPEC",
+                       help=faults_help)
+    serve.add_argument("--workers", default=None, metavar="SPEC",
+                       help=workers_help)
+    serve.set_defaults(fn=_serve)
+
+    submit = sub.add_parser(
+        "submit", help="submit a query to a running server and stream it"
+    )
+    submit.add_argument(
+        "sql", nargs="?", default="sbi",
+        help="'sbi' (default) or a SQL string over the served tables",
+    )
+    submit.add_argument("--host", default="127.0.0.1")
+    submit.add_argument("--port", type=int, default=8000)
+    submit.add_argument("--priority", type=int, default=1)
+    submit.add_argument("--deadline", type=float, default=None,
+                        help="per-query deadline in seconds")
+    submit.add_argument("--target-rsd", type=float, default=None,
+                        help="stop once relative stdev reaches this")
+    submit.add_argument("--timeout", type=float, default=600.0,
+                        help="stream read timeout in seconds")
+    submit.set_defaults(fn=_submit)
 
     args = parser.parse_args(argv)
     return args.fn(args)

@@ -38,6 +38,14 @@ class FaultsConfig:
             and the run degrades (skip-and-reweight).
         row_corruption_prob: Probability that a CSV input row is
             corrupted at load time (exercises the quarantine path).
+        submit_failure_prob: Per-attempt probability that admitting a
+            query to the serving scheduler fails (``serve.submit``).
+            Failures within ``max_retries`` are retried transparently;
+            beyond that the submission is rejected with InjectedFault.
+        step_failure_prob: Per-attempt probability that one scheduler
+            step of an online query crashes (``scheduler.step``).
+            Failures within ``max_retries`` are retried; beyond that the
+            query is quarantined while other queries keep refining.
         max_retries: Bounded retry budget for tasks and batch loads.
         retry_backoff_s: Base delay before the first retry.
         retry_backoff_factor: Exponential backoff multiplier per retry.
@@ -59,6 +67,8 @@ class FaultsConfig:
     task_timeout_factor: float = 3.0
     batch_failure_prob: float = 0.0
     row_corruption_prob: float = 0.0
+    submit_failure_prob: float = 0.0
+    step_failure_prob: float = 0.0
     max_retries: int = 3
     retry_backoff_s: float = 0.05
     retry_backoff_factor: float = 2.0
@@ -69,7 +79,8 @@ class FaultsConfig:
 
     def __post_init__(self) -> None:
         for name in ("task_failure_prob", "straggler_prob",
-                     "batch_failure_prob", "row_corruption_prob"):
+                     "batch_failure_prob", "row_corruption_prob",
+                     "submit_failure_prob", "step_failure_prob"):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1]")
@@ -205,6 +216,112 @@ class ParallelConfig:
 
 
 @dataclass(frozen=True)
+class ServeConfig:
+    """Knobs for the serving subsystem (``repro.serve``).
+
+    The scheduler cooperatively interleaves mini-batch steps of many
+    concurrent online queries on one scheduler thread, sharing one
+    ``repro.parallel`` worker pool and (optionally) one batch-scan
+    cache.  Because every query keeps its own RNG streams and block
+    state, any interleaving produces snapshot streams bit-identical to
+    running the same queries serially.
+
+    Attributes:
+        host: Bind address for the HTTP/JSON server.
+        port: Bind port (0 picks an ephemeral port — used by tests).
+        max_concurrent: Maximum queries refining at once; further
+            admitted queries wait in the submission queue.
+        queue_depth: Maximum queries waiting for a run slot; beyond
+            this, submissions are rejected (HTTP 429 / AdmissionError).
+        memory_budget_mb: Soft budget for the mini-batch memory of the
+            queries running concurrently (estimated from their streamed
+            tables).  A query whose admission would exceed it stays
+            queued until slots free up; 0 disables the budget.  A query
+            that exceeds the whole budget on its own is still admitted
+            when nothing else runs (no livelock).
+        default_deadline_s: Deadline applied to queries submitted
+            without one: a query still refining this many seconds after
+            it starts is finalized with its latest snapshot (state
+            ``expired``).  0 means no deadline.
+        max_steps_per_turn: Cap on mini-batch steps one query may take
+            per scheduler visit.  The deficit round-robin scheduler
+            grants each query ``priority`` step credits per cycle, so
+            with the default of 1 every runnable query advances exactly
+            one batch per cycle regardless of priority backlog.
+        snapshot_queue: Per-subscriber buffer of undelivered snapshot
+            records; a slower consumer has its oldest records dropped
+            (counted, never blocking the scheduler).  Replay-from-start
+            subscriptions are never lossy — the full per-query history
+            is kept for the query's lifetime.
+        scan_cache: Share per-mini-batch row partitions between
+            concurrent queries over the same table (same ``num_batches``
+            / ``seed`` / ``shuffle``) instead of re-slicing per query.
+        scan_cache_entries: Maximum distinct partition lists kept (LRU).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8000
+    max_concurrent: int = 4
+    queue_depth: int = 16
+    memory_budget_mb: float = 0.0
+    default_deadline_s: float = 0.0
+    max_steps_per_turn: int = 1
+    snapshot_queue: int = 256
+    scan_cache: bool = True
+    scan_cache_entries: int = 8
+
+    def __post_init__(self) -> None:
+        if self.max_concurrent < 1:
+            raise ValueError("max_concurrent must be >= 1")
+        if self.queue_depth < 0:
+            raise ValueError("queue_depth must be >= 0")
+        if self.memory_budget_mb < 0:
+            raise ValueError("memory_budget_mb must be >= 0")
+        if self.default_deadline_s < 0:
+            raise ValueError("default_deadline_s must be >= 0")
+        if self.max_steps_per_turn < 1:
+            raise ValueError("max_steps_per_turn must be >= 1")
+        if self.snapshot_queue < 1:
+            raise ValueError("snapshot_queue must be >= 1")
+        if self.scan_cache_entries < 1:
+            raise ValueError("scan_cache_entries must be >= 1")
+
+    @classmethod
+    def parse(cls, spec: str) -> "ServeConfig":
+        """Build a config from a ``key=value,key=value`` CLI string.
+
+        An empty spec yields the defaults; unknown keys raise
+        ValueError.  Example::
+
+            ServeConfig.parse("port=9000,max_concurrent=8,scan_cache=0")
+        """
+        known = {f.name: f.type for f in fields(cls)}
+        kwargs: dict = {}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            key, sep, value = part.partition("=")
+            key = key.strip()
+            if not sep or key not in known:
+                raise ValueError(
+                    f"unknown --serve key {key!r}; valid keys: "
+                    + ", ".join(sorted(known))
+                )
+            value = value.strip()
+            ftype = known[key]
+            if "bool" in str(ftype):
+                kwargs[key] = value.lower() in ("1", "true", "t", "yes")
+            elif "int" in str(ftype):
+                kwargs[key] = int(value)
+            elif "float" in str(ftype):
+                kwargs[key] = float(value)
+            else:
+                kwargs[key] = value
+        return cls(**kwargs)
+
+
+@dataclass(frozen=True)
 class GolaConfig:
     """Tuning knobs for the G-OLA execution model.
 
@@ -255,6 +372,9 @@ class GolaConfig:
         parallel: Worker-pool configuration (see :class:`ParallelConfig`).
             Serial by default; any worker count yields bit-identical
             output.
+        serve: Serving-subsystem configuration (see :class:`ServeConfig`):
+            the concurrent multi-query scheduler and the streaming
+            result server.  Inert unless a scheduler/server is created.
     """
 
     num_batches: int = 10
@@ -271,6 +391,7 @@ class GolaConfig:
     metrics: bool = False
     faults: FaultsConfig = field(default_factory=FaultsConfig)
     parallel: ParallelConfig = field(default_factory=ParallelConfig)
+    serve: ServeConfig = field(default_factory=ServeConfig)
 
     def __post_init__(self) -> None:
         if self.num_batches < 1:

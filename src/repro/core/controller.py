@@ -18,6 +18,7 @@ Drives one online query end to end:
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Tuple, Union
 
@@ -26,7 +27,7 @@ import numpy as np
 from ..config import GolaConfig
 from ..engine.aggregates import GroupIndex, UDAFRegistry
 from ..engine.executor import BatchExecutor
-from ..errors import CheckpointError
+from ..errors import CheckpointError, ExecutionError
 from ..estimate.bootstrap import PoissonWeightSource
 from ..estimate.intervals import percentile_intervals, relative_stdevs
 from ..estimate.variation import VariationRange
@@ -55,6 +56,11 @@ from .uncertain import (
 )
 
 
+#: Shared no-op scope used when tracing is disabled (nullcontext is
+#: stateless, so one instance is safely re-entered).
+_NO_SCOPE = nullcontext()
+
+
 class QueryController:
     """Coordinates one online query run."""
 
@@ -62,7 +68,9 @@ class QueryController:
                  streamed: Dict[str, bool], config: GolaConfig,
                  udafs: Optional[UDAFRegistry] = None,
                  functions: FunctionRegistry = DEFAULT_FUNCTIONS,
-                 tracer: Optional[Tracer] = None):
+                 tracer: Optional[Tracer] = None,
+                 parallel: Optional[ParallelExecutor] = None,
+                 scan_cache=None):
         self.query = query
         self.config = config
         self.tables = {k.lower(): v for k, v in tables.items()}
@@ -78,8 +86,17 @@ class QueryController:
         )
         self.streamed_table = self.meta_plan.streamed_table
         self.runtimes = self.meta_plan.runtimes
-        self.parallel = ParallelExecutor.from_config(config,
-                                                     tracer=self.tracer)
+        # A scheduler may inject a pool shared by many concurrent
+        # queries; the controller then must not close it between runs.
+        self._owns_parallel = parallel is None
+        self.parallel = (
+            parallel if parallel is not None
+            else ParallelExecutor.from_config(config, tracer=self.tracer)
+        )
+        #: Optional shared :class:`~repro.serve.BatchScanCache`; when
+        #: set, mini-batch partitions come from (and are shared through)
+        #: the cache instead of being sliced per run.
+        self.scan_cache = scan_cache
         for runtime in self.runtimes.values():
             runtime.tracer = self.tracer
             runtime.executor = self.parallel
@@ -96,6 +113,7 @@ class QueryController:
         self.injector = FaultInjector.from_config(config, tracer=self.tracer)
         self._retry_policy = RetryPolicy.from_faults(config.faults)
         self._run_state: Optional[dict] = None
+        self._exec: Optional[dict] = None
         self._stopped = False
 
     # ------------------------------------------------------------------
@@ -148,6 +166,10 @@ class QueryController:
             ) -> Iterator[OnlineSnapshot]:
         """Process mini-batches, yielding one snapshot per batch.
 
+        A thin generator over the incremental :meth:`begin` /
+        :meth:`step` API (what the serving scheduler drives directly);
+        both paths produce bit-identical snapshot streams.
+
         With faults enabled, a batch whose load keeps failing past the
         retry budget is *skipped and reweighted*: it is dropped for good,
         the multiplicity scale becomes ``k / folded`` (sound because the
@@ -158,15 +180,51 @@ class QueryController:
         ``resume_from`` (a :class:`RunCheckpoint` or a path to one saved
         by :meth:`checkpoint`) continues the run after the checkpointed
         batch instead of from scratch.
+
+        When the iteration ends — completion, :meth:`stop`, or the
+        generator being closed — the run's mini-batch memory (retained
+        batches, block caches, checkpoint state) is released, so a
+        finished query never pins it for the session's lifetime.  Take
+        checkpoints *during* the run.
         """
+        self.begin(resume_from=resume_from)
+        try:
+            while True:
+                snapshot = self.step()
+                if snapshot is None:
+                    return
+                yield snapshot
+                if self._stopped:
+                    return
+        finally:
+            self.release()
+
+    # -- the incremental (step) API --------------------------------------
+
+    def begin(self, resume_from: Union[RunCheckpoint, str, Path,
+                                       None] = None) -> None:
+        """Start an incremental run: partition, seed weights, open spans.
+
+        After ``begin()``, call :meth:`step` once per mini-batch until it
+        returns None (or :attr:`is_done`), then :meth:`finish` (or
+        :meth:`release` to also drop the run's memory).  :meth:`run`
+        wraps exactly this sequence in a generator.
+        """
+        if self._exec is not None:
+            self.finish()
         self._stopped = False
         tracer = self.tracer
         table = self.tables[self.streamed_table]
-        partitioner = MiniBatchPartitioner(
-            self.config.num_batches, seed=self.config.seed,
-            shuffle=self.config.shuffle,
-        )
-        batches = partitioner.partition(table)
+        if self.scan_cache is not None:
+            batches = self.scan_cache.partitions(
+                self.streamed_table, table, self.config
+            )
+        else:
+            partitioner = MiniBatchPartitioner(
+                self.config.num_batches, seed=self.config.seed,
+                shuffle=self.config.shuffle,
+            )
+            batches = partitioner.partition(table)
         weight_source = PoissonWeightSource(
             self.config.bootstrap_trials, self.config.seed,
             label=f"bootstrap:{self.streamed_table}",
@@ -196,80 +254,142 @@ class QueryController:
             if tracer.enabled:
                 tracer.event("checkpoint.resumed",
                              batch_index=ck.batch_index, folded=folded)
+        # The query span stays open across steps, so its elapsed time
+        # includes consumer think time between snapshots; per-batch work
+        # is what the child batch spans measure.  It is entered here and
+        # immediately popped off the thread-local span stack so that a
+        # scheduler interleaving many queries on one thread cannot nest
+        # one query's spans under another's; step() re-parents under it
+        # explicitly.
+        qspan = tracer.span("query", streamed_table=self.streamed_table,
+                            num_batches=k, blocks=len(self._online_blocks))
+        qspan.__enter__()
+        qspan_id = getattr(qspan, "span_id", None)
+        if qspan_id is not None:
+            stack = tracer._stack
+            if stack and stack[-1] == qspan_id:
+                stack.pop()
+        self._exec = {
+            "batches": batches, "weight_source": weight_source,
+            "retained": retained, "k": k, "folded": folded,
+            "skipped": skipped, "lost_rows": lost_rows,
+            "cursor": start_at, "span": qspan, "span_id": qspan_id,
+        }
 
-        try:
-            yield from self._run_batches(
-                batches, weight_source, retained, k, folded, skipped,
-                lost_rows, start_at,
+    @property
+    def is_done(self) -> bool:
+        """True when no active run remains: finished, stopped, or never
+        begun."""
+        ex = self._exec
+        if ex is None:
+            return True
+        return self._stopped or ex["cursor"] > ex["k"]
+
+    def step(self) -> Optional[OnlineSnapshot]:
+        """Process the next mini-batch and return its snapshot.
+
+        Returns None once the run is complete (or stopped).  Requires a
+        preceding :meth:`begin`.
+        """
+        ex = self._exec
+        if ex is None:
+            raise ExecutionError("no active run; call begin() first")
+        if self.is_done:
+            return None
+        tracer = self.tracer
+        faults = self.config.faults
+        i = ex["cursor"]
+        batch = ex["batches"][i - 1]
+        with tracer.scoped_parent(ex["span_id"]) if tracer.enabled \
+                else _NO_SCOPE:
+            failures = self.injector.batch_load_failures(
+                "controller.batch_load"
             )
-        finally:
+            if self._retry_policy.gives_up_after(failures):
+                ex["skipped"].append(i)
+                ex["lost_rows"] += batch.num_rows
+                snapshot = self._skip_batch(
+                    i, batch, ex["k"], ex["folded"], ex["skipped"],
+                    ex["lost_rows"],
+                )
+            else:
+                if failures:
+                    if tracer.enabled:
+                        tracer.event(
+                            "fault.batch_retry", batch_index=i,
+                            attempts=failures,
+                            backoff_s=round(
+                                self._retry_policy.total_delay(failures),
+                                9,
+                            ),
+                        )
+                    if tracer.metrics.enabled:
+                        tracer.metrics.counter(
+                            "faults.batch_retries"
+                        ).inc(failures)
+                ex["folded"] += 1
+                snapshot = self._run_batch(
+                    i, batch, ex["weight_source"], ex["retained"],
+                    ex["k"], ex["folded"], ex["skipped"], ex["lost_rows"],
+                )
+            self._run_state = {
+                "batch_index": i, "folded": ex["folded"],
+                "skipped": list(ex["skipped"]),
+                "lost_rows": ex["lost_rows"],
+                "weight_source": ex["weight_source"],
+                "retained": ex["retained"],
+            }
+            if (faults.checkpoint_every
+                    and faults.checkpoint_path is not None
+                    and i % faults.checkpoint_every == 0):
+                self.checkpoint().save(faults.checkpoint_path)
+                if tracer.enabled:
+                    tracer.event("checkpoint.saved", batch_index=i)
+        ex["cursor"] = i + 1
+        return snapshot
+
+    def finish(self) -> None:
+        """End the incremental run: close the query span, release owned
+        pools.  Idempotent; keeps checkpoint/block state (see
+        :meth:`release` for the memory-dropping variant)."""
+        ex = self._exec
+        if ex is not None:
+            self._exec = None
+            span = ex["span"]
+            if ex["span_id"] is not None:
+                # The span was popped off the stack at begin(); exit it
+                # against a clean scope so the record still closes
+                # correctly when other queries' spans are open.
+                with self.tracer.scoped_parent(None):
+                    span.__exit__(None, None, None)
+            else:
+                span.__exit__(None, None, None)
+        if self._owns_parallel:
             # Pools restart lazily, so closing here keeps the controller
             # reusable while releasing workers between runs.
             self.parallel.close()
 
-    def _run_batches(self, batches, weight_source, retained, k: int,
-                     folded: int, skipped: List[int], lost_rows: int,
-                     start_at: int) -> Iterator[OnlineSnapshot]:
-        tracer = self.tracer
-        faults = self.config.faults
-        # The query span stays open across yields, so its elapsed time
-        # includes consumer think time between snapshots; per-batch work
-        # is what the child batch spans measure.
-        with tracer.span("query", streamed_table=self.streamed_table,
-                         num_batches=k, blocks=len(self._online_blocks)):
-            for i, batch in enumerate(batches, start=1):
-                if i < start_at:
-                    continue
-                failures = self.injector.batch_load_failures(
-                    "controller.batch_load"
-                )
-                if self._retry_policy.gives_up_after(failures):
-                    skipped.append(i)
-                    lost_rows += batch.num_rows
-                    snapshot = self._skip_batch(
-                        i, batch, k, folded, skipped, lost_rows
-                    )
-                else:
-                    if failures:
-                        if tracer.enabled:
-                            tracer.event(
-                                "fault.batch_retry", batch_index=i,
-                                attempts=failures,
-                                backoff_s=round(
-                                    self._retry_policy.total_delay(failures),
-                                    9,
-                                ),
-                            )
-                        if tracer.metrics.enabled:
-                            tracer.metrics.counter(
-                                "faults.batch_retries"
-                            ).inc(failures)
-                    folded += 1
-                    snapshot = self._run_batch(
-                        i, batch, weight_source, retained, k,
-                        folded, skipped, lost_rows,
-                    )
-                self._run_state = {
-                    "batch_index": i, "folded": folded,
-                    "skipped": list(skipped), "lost_rows": lost_rows,
-                    "weight_source": weight_source,
-                    "retained": retained,
-                }
-                if (faults.checkpoint_every
-                        and faults.checkpoint_path is not None
-                        and i % faults.checkpoint_every == 0):
-                    self.checkpoint().save(faults.checkpoint_path)
-                    if tracer.enabled:
-                        tracer.event("checkpoint.saved", batch_index=i)
-                yield snapshot
-                if self._stopped:
-                    return
+    def release(self) -> None:
+        """Finish the run and drop its mini-batch memory.
+
+        Clears the retained raw batches, the checkpointable run state
+        and every block runtime's folded state and uncertain-row cache,
+        so a stopped or completed query stops pinning memory.  The
+        controller stays reusable — the next :meth:`begin` (or
+        :meth:`run`) starts from scratch.
+        """
+        self.finish()
+        self._run_state = None
+        for runtime in self.runtimes.values():
+            runtime.reset()
 
     def checkpoint(self) -> RunCheckpoint:
         """Snapshot the run's resumable state after the latest batch.
 
-        Valid between batches of an active :meth:`run` iteration (or
-        after it ends); raises if no batch has been processed yet.
+        Valid between batches of an active :meth:`run`/:meth:`step`
+        iteration; raises if no batch has been processed yet or the
+        run's state has already been released (a finished run drops its
+        checkpointable state — take checkpoints during the run).
         """
         state = self._run_state
         if state is None:

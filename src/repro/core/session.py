@@ -88,13 +88,22 @@ class OnlineQuery:
         :meth:`checkpoint`) or a path to a saved one — continues a prior
         run from its last checkpointed batch instead of from scratch.
         """
+        if self._controller is not None:
+            # A superseded run must not keep pinning retained batches
+            # and block caches for the session's lifetime.
+            self._controller.release()
         self._controller = self.session._make_controller(
             self.query, config or self.session.config
         )
         return self._controller.run(resume_from=resume_from)
 
     def stop(self) -> None:
-        """Stop the online run after the batch currently in flight."""
+        """Stop the online run after the batch currently in flight.
+
+        The run's iterator then ends, releasing its mini-batch memory
+        (retained batches, block caches, checkpoint state) — a stopped
+        query does not pin memory for the session's lifetime.
+        """
         if self._controller is None:
             raise QueryStopped("query is not running")
         self._controller.stop()
@@ -242,13 +251,18 @@ class GolaSession:
     def _tables(self) -> Dict[str, Table]:
         return {name: self.catalog.get(name) for name in self.catalog}
 
-    def _make_controller(self, query: Query,
-                         config: GolaConfig) -> QueryController:
+    def _make_controller(self, query: Query, config: GolaConfig,
+                         parallel=None, scan_cache=None,
+                         tracer: Optional[Tracer] = None) -> QueryController:
+        """Build a controller; ``parallel``/``scan_cache``/``tracer``
+        let the serving scheduler share one worker pool, one batch-scan
+        cache and one tracer across every concurrent query."""
         streamed = {
             name: self.catalog.is_streamed(name) for name in self.catalog
         }
         return QueryController(
             query, self._tables(), streamed, config,
             udafs=self.udafs, functions=self.functions,
-            tracer=self.tracer,
+            tracer=tracer if tracer is not None else self.tracer,
+            parallel=parallel, scan_cache=scan_cache,
         )

@@ -95,3 +95,12 @@ class InjectedFault(ReproError):
 
 class CheckpointError(ReproError):
     """A run checkpoint cannot be restored (wrong query, config, or file)."""
+
+
+class AdmissionError(ReproError):
+    """The serving scheduler refused a query submission.
+
+    Raised when the run slots and the submission queue are both full (or
+    the scheduler is shutting down); clients should back off and retry.
+    The HTTP front end maps this to ``429 Too Many Requests``.
+    """

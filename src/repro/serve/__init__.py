@@ -1,0 +1,55 @@
+"""Concurrent multi-query serving: scheduler, scan cache, HTTP streaming.
+
+The paper's system serves *interactive analysis*: many analysts pointing
+dashboards at one engine, each expecting their estimate to refine every
+few seconds.  This package turns a single :class:`~repro.core.session.
+GolaSession` into that shared service:
+
+* :class:`QueryScheduler` — admits, prioritizes (deficit round-robin)
+  and cooperatively interleaves mini-batch steps across concurrent
+  online queries, with deadlines, pause/resume, cancellation and
+  quarantine-on-crash; all queries share one worker pool and one
+  :class:`BatchScanCache`;
+* :class:`SnapshotStream` / :func:`encode_snapshot` — per-query
+  replayable pub/sub snapshot records with non-blocking backpressure;
+* :class:`GolaServer` — a stdlib HTTP/JSON front end streaming NDJSON
+  (``python -m repro serve``).
+
+Every query's snapshot stream is bit-identical to running it alone — the
+scheduler multiplexes *scheduling*, never the per-query RNG streams or
+block state.
+"""
+
+from .cache import BatchScanCache, table_bytes
+from .scheduler import (
+    CANCELLED,
+    DONE,
+    EXPIRED,
+    FAILED,
+    PAUSED,
+    QUEUED,
+    RUNNING,
+    TERMINAL_STATES,
+    QueryScheduler,
+    ScheduledQuery,
+)
+from .server import GolaServer
+from .stream import SnapshotStream, encode_snapshot
+
+__all__ = [
+    "BatchScanCache",
+    "GolaServer",
+    "QueryScheduler",
+    "ScheduledQuery",
+    "SnapshotStream",
+    "encode_snapshot",
+    "table_bytes",
+    "QUEUED",
+    "RUNNING",
+    "PAUSED",
+    "DONE",
+    "CANCELLED",
+    "FAILED",
+    "EXPIRED",
+    "TERMINAL_STATES",
+]

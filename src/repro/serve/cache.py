@@ -1,0 +1,121 @@
+"""Shared batch-scan cache for concurrent queries over one table.
+
+Partitioning a streamed table into mini-batches is the one piece of
+per-query work that is *identical* across queries agreeing on the
+partitioning knobs: :class:`~repro.storage.partition.MiniBatchPartitioner`
+derives the shuffle permutation and the slice bounds purely from
+``(num_batches, seed, shuffle)`` and the table.  With ``shuffle=True``
+(the default) each query would otherwise materialize its own shuffled
+copy of the whole fact table — the dominant per-query memory and setup
+cost under concurrency.
+
+:class:`BatchScanCache` memoizes the partition list per
+``(table name, table identity, num_batches, seed, shuffle)`` so N
+concurrent queries over the same table share one set of mini-batch
+slices.  Sharing cannot perturb results: the cached list is exactly what
+a private partitioner would have produced, and batches are read-only
+downstream (controllers never mutate table columns).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import List, Optional, Tuple
+
+from ..obs import MetricsRegistry
+from ..storage.partition import MiniBatchPartitioner
+from ..storage.table import Table
+
+
+def table_bytes(table: Table) -> int:
+    """Estimated resident bytes of a table's column arrays."""
+    total = 0
+    for name in table.schema.names:
+        arr = table.column(name)
+        total += int(arr.nbytes)
+        if arr.dtype == object:
+            # nbytes counts only the pointers; approximate the payload.
+            total += sum(len(str(v)) for v in arr[:256]) * max(
+                len(arr) // 256, 1
+            )
+    return total
+
+
+class BatchScanCache:
+    """LRU cache of mini-batch partition lists, safe for many threads.
+
+    A hit requires the *same table object* (identity, not just name):
+    re-registering a table under an old name gets fresh partitions, and
+    a stale entry for the old object is replaced rather than served.
+    """
+
+    def __init__(self, max_entries: int = 8,
+                 metrics: Optional[MetricsRegistry] = None):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self.metrics = metrics
+        self._lock = threading.Lock()
+        #: key -> (table object, partition list)
+        self._entries: "OrderedDict[tuple, Tuple[Table, List[Table]]]" = \
+            OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def _key(self, name: str, config) -> tuple:
+        return (name, config.num_batches, config.seed, config.shuffle)
+
+    def partitions(self, name: str, table: Table, config) -> List[Table]:
+        """The mini-batch list a private partitioner would produce.
+
+        ``config`` is any object with ``num_batches``/``seed``/
+        ``shuffle`` (a :class:`~repro.config.GolaConfig`).
+        """
+        key = self._key(name, config)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and entry[0] is table:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                if self.metrics is not None and self.metrics.enabled:
+                    self.metrics.counter("serve.scan_cache_hits").inc()
+                return entry[1]
+        # Partition outside the lock: slicing a big table is the slow
+        # part, and concurrent misses for the same key converge on the
+        # same (bit-identical) result anyway.
+        partitioner = MiniBatchPartitioner(
+            config.num_batches, seed=config.seed, shuffle=config.shuffle
+        )
+        batches = partitioner.partition(table)
+        with self._lock:
+            self.misses += 1
+            if self.metrics is not None and self.metrics.enabled:
+                self.metrics.counter("serve.scan_cache_misses").inc()
+            self._entries[key] = (table, batches)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+        return batches
+
+    def invalidate(self, name: Optional[str] = None) -> None:
+        """Drop cached partitions for one table name (or all of them)."""
+        with self._lock:
+            if name is None:
+                self._entries.clear()
+            else:
+                for key in [k for k in self._entries if k[0] == name]:
+                    del self._entries[key]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+            }

@@ -1,0 +1,275 @@
+"""HTTP/JSON front end for the query scheduler (stdlib only).
+
+Exposes a :class:`QueryScheduler` over a small REST surface so any HTTP
+client can submit G-OLA queries and watch their estimates refine live:
+
+* ``POST /query`` — submit; body ``{"sql": ..., "priority"?,
+  "deadline_s"?, "target_rsd"?, "config"? : {field: value}, "faults"? :
+  {field: value}}``; returns ``201`` with the query id and URLs.
+* ``GET /query/<id>/snapshots`` — the progressive result as an NDJSON
+  stream: one JSON snapshot record per mini-batch (replayed from the
+  start, then live), terminated by one ``{"type": "end", ...}`` record.
+* ``GET /query/<id>/status`` — current state/estimate summary.
+* ``DELETE /query/<id>`` — cancel.
+* ``GET /queries`` — every known query's status.
+* ``GET /metrics`` — the shared metrics registry (counters/gauges).
+* ``GET /healthz`` — liveness probe.
+
+Streaming uses HTTP/1.0 semantics (no ``Content-Length``, connection
+close marks end-of-stream) so no chunked-encoding code is needed; each
+connection runs on its own :class:`ThreadingHTTPServer` thread, and
+backpressure from a slow client only ever drops that client's queued
+records (see :class:`~repro.serve.stream.SnapshotStream`), never the
+scheduler's progress.
+
+Error mapping: bad SQL/parameters → 400, unknown id → 404, admission
+refused → 429, injected ``serve.submit`` fault → 503.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+from ..config import FaultsConfig, GolaConfig, ServeConfig
+from ..errors import (
+    AdmissionError,
+    BindError,
+    InjectedFault,
+    ParseError,
+    PlanError,
+    ReproError,
+)
+from .scheduler import QueryScheduler
+
+_CONFIG_FIELDS = {f.name: f.type for f in dataclasses.fields(GolaConfig)}
+_FAULT_FIELDS = {f.name: f.type for f in dataclasses.fields(FaultsConfig)}
+
+
+def _apply_overrides(config: GolaConfig, overrides: dict,
+                     faults: Optional[dict]) -> GolaConfig:
+    """A per-query GolaConfig from JSON overrides of simple fields."""
+    changes = {}
+    for name, value in (overrides or {}).items():
+        if name not in _CONFIG_FIELDS or name in ("faults", "serve",
+                                                  "parallel"):
+            raise ValueError(f"unknown config field {name!r}")
+        if not isinstance(value, (int, float, bool, str)):
+            raise ValueError(f"config field {name!r} must be scalar")
+        changes[name] = value
+    if faults:
+        fchanges = {}
+        for name, value in faults.items():
+            if name not in _FAULT_FIELDS:
+                raise ValueError(f"unknown faults field {name!r}")
+            if not isinstance(value, (int, float, bool)):
+                raise ValueError(f"faults field {name!r} must be scalar")
+            fchanges[name] = value
+        changes["faults"] = dataclasses.replace(config.faults, **fchanges)
+    if not changes:
+        return config
+    return dataclasses.replace(config, **changes)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """One request; ``self.server.scheduler`` is the shared scheduler."""
+
+    server_version = "repro-gola/1.0"
+
+    # -- plumbing --------------------------------------------------------
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # HTTP access logging would drown the trace/metrics output
+
+    def _send_json(self, code: int, payload: dict) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, code: int, exc: Exception) -> None:
+        self._send_json(code, {
+            "error": type(exc).__name__, "message": str(exc),
+        })
+
+    def _fail(self, exc: Exception) -> None:
+        if isinstance(exc, (ParseError, BindError, PlanError, ValueError)):
+            self._send_error_json(400, exc)
+        elif isinstance(exc, KeyError):
+            self._send_json(404, {"error": "NotFound",
+                                  "message": str(exc).strip("'\"")})
+        elif isinstance(exc, AdmissionError):
+            self._send_error_json(429, exc)
+        elif isinstance(exc, InjectedFault):
+            self._send_error_json(503, exc)
+        elif isinstance(exc, ReproError):
+            self._send_error_json(500, exc)
+        else:
+            raise exc
+
+    # -- routes ----------------------------------------------------------
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib casing
+        if self.path.rstrip("/") != "/query":
+            self._send_json(404, {"error": "NotFound", "message": self.path})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            try:
+                body = json.loads(self.rfile.read(length) or b"{}")
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"invalid JSON body: {exc}")
+            if not isinstance(body, dict) or not body.get("sql"):
+                raise ValueError('body must be JSON with a "sql" field')
+            scheduler = self.server.scheduler
+            config = _apply_overrides(
+                scheduler.session.config,
+                body.get("config") or {}, body.get("faults"),
+            )
+            run = scheduler.submit(
+                str(body["sql"]),
+                config=config,
+                priority=int(body.get("priority", 1)),
+                deadline_s=body.get("deadline_s"),
+                target_rsd=body.get("target_rsd"),
+            )
+        except Exception as exc:  # mapped to an HTTP status above
+            self._fail(exc)
+            return
+        self._send_json(201, {
+            "id": run.id,
+            "state": run.state,
+            "status_url": f"/query/{run.id}/status",
+            "snapshots_url": f"/query/{run.id}/snapshots",
+        })
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib casing
+        scheduler = self.server.scheduler
+        path = self.path.rstrip("/") or "/"
+        try:
+            if path == "/healthz":
+                self._send_json(200, {"ok": True})
+            elif path == "/queries":
+                self._send_json(200, {"queries": scheduler.queries()})
+            elif path == "/metrics":
+                snap = scheduler.metrics_snapshot()
+                self._send_json(200, {
+                    "counters": dict(snap.counters),
+                    "gauges": dict(snap.gauges),
+                })
+            elif path.startswith("/query/") and path.endswith("/status"):
+                qid = path[len("/query/"):-len("/status")]
+                self._send_json(200, scheduler.status(qid))
+            elif path.startswith("/query/") and path.endswith("/snapshots"):
+                qid = path[len("/query/"):-len("/snapshots")]
+                self._stream_snapshots(scheduler, qid)
+            else:
+                self._send_json(404, {"error": "NotFound", "message": path})
+        except Exception as exc:
+            self._fail(exc)
+
+    def do_DELETE(self) -> None:  # noqa: N802 - stdlib casing
+        path = self.path.rstrip("/")
+        if not path.startswith("/query/"):
+            self._send_json(404, {"error": "NotFound", "message": path})
+            return
+        qid = path[len("/query/"):]
+        try:
+            status = self.server.scheduler.cancel(qid)
+        except Exception as exc:
+            self._fail(exc)
+            return
+        self._send_json(200, status)
+
+    def _stream_snapshots(self, scheduler: QueryScheduler, qid: str) -> None:
+        subscription = scheduler.subscribe(qid)  # raises KeyError early
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Cache-Control", "no-cache")
+        self.send_header("Connection", "close")
+        self.end_headers()
+        try:
+            for record in subscription:
+                line = json.dumps(record, sort_keys=True) + "\n"
+                self.wfile.write(line.encode("utf-8"))
+                self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away; the generator's finally unsubscribes
+        finally:
+            subscription.close()
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, handler, scheduler: QueryScheduler):
+        super().__init__(address, handler)
+        self.scheduler = scheduler
+
+
+class GolaServer:
+    """The serving process: one scheduler behind a threaded HTTP server.
+
+    ``port=0`` binds an ephemeral port (read it back from ``.port`` after
+    :meth:`start` — how the tests and the smoke CI job avoid clashes).
+    """
+
+    def __init__(self, scheduler: QueryScheduler,
+                 host: Optional[str] = None, port: Optional[int] = None):
+        serve: ServeConfig = scheduler.serve
+        self.scheduler = scheduler
+        self.host = host if host is not None else serve.host
+        self.port = port if port is not None else serve.port
+        self._httpd: Optional[_Server] = None
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "GolaServer":
+        """Bind, start the scheduler loop and serve in the background."""
+        if self._httpd is not None:
+            return self
+        self.scheduler.start()
+        self._httpd = _Server((self.host, self.port), _Handler,
+                              self.scheduler)
+        self.port = self._httpd.server_address[1]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-http", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Start and block until interrupted (the CLI entry point)."""
+        self.start()
+        try:
+            self._thread.join()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.shutdown()
+
+    def shutdown(self) -> None:
+        """Stop accepting, end streams, cancel queries, release pools."""
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        self.scheduler.close()
+
+    def __enter__(self) -> "GolaServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()

@@ -1,0 +1,135 @@
+"""Snapshot encoding and the replayable pub/sub stream."""
+
+import json
+import math
+import threading
+
+import pytest
+
+from repro.serve import SnapshotStream, encode_snapshot
+
+
+class TestEncodeSnapshot:
+    def test_scalar_snapshot_record(self, session, sbi_sql):
+        snapshots = list(session.sql(sbi_sql).run_online())
+        record = encode_snapshot("q1", snapshots[0])
+        assert record["type"] == "snapshot"
+        assert record["query_id"] == "q1"
+        assert record["batch"] == 1
+        assert record["of"] == session.config.num_batches
+        assert 0.0 < record["fraction"] <= 1.0
+        assert record["estimate"] == pytest.approx(snapshots[0].estimate)
+        assert record["lo"] <= record["estimate"] <= record["hi"]
+        assert isinstance(record["rows"], list) and record["rows"]
+        # Strict JSON round-trip: no NaN/Inf literals anywhere.
+        line = json.dumps(record, sort_keys=True, allow_nan=False)
+        assert json.loads(line)["estimate"] == record["estimate"]
+
+    def test_python_scalars_not_numpy(self, session, sbi_sql):
+        snapshot = next(iter(session.sql(sbi_sql).run_online()))
+        record = encode_snapshot("q", snapshot)
+        for row in record["rows"]:
+            for value in row.values():
+                assert type(value) in (int, float, str, bool, type(None))
+        for err in record["errors"].values():
+            for arr in err.values():
+                assert all(
+                    v is None or type(v) in (int, float) for v in arr
+                )
+
+    def test_grouped_snapshot_has_no_scalar_fields(self, session):
+        sql = ("SELECT session_id % 3 AS g, AVG(play_time) FROM sessions "
+               "GROUP BY session_id % 3")
+        snapshot = next(iter(session.sql(sql).run_online()))
+        record = encode_snapshot("q", snapshot)
+        assert "estimate" not in record
+        assert len(record["rows"]) == 3
+        json.dumps(record, allow_nan=False)
+
+    def test_nan_becomes_null(self):
+        from repro.serve.stream import _json_safe
+
+        assert _json_safe(float("nan")) is None
+        assert _json_safe(float("inf")) is None
+        assert _json_safe(2.5) == 2.5
+        import numpy as np
+
+        assert _json_safe(np.float64(3.0)) == 3.0
+        assert _json_safe(np.float64(math.nan)) is None
+
+
+class TestSnapshotStream:
+    def test_replay_then_live_in_order(self):
+        stream = SnapshotStream(maxsize=16)
+        stream.publish({"n": 1})
+        stream.publish({"n": 2})
+        seen = []
+        done = threading.Event()
+
+        def consume():
+            for record in stream.subscribe():
+                seen.append(record["n"])
+            done.set()
+
+        t = threading.Thread(target=consume)
+        t.start()
+        stream.publish({"n": 3})
+        stream.close(final={"n": 4})
+        assert done.wait(5.0)
+        t.join()
+        assert seen == [1, 2, 3, 4]
+
+    def test_subscribe_after_close_replays_history(self):
+        stream = SnapshotStream()
+        stream.publish({"n": 1})
+        stream.close(final={"n": 2})
+        assert [r["n"] for r in stream.subscribe()] == [1, 2]
+        assert stream.closed
+
+    def test_publish_after_close_raises(self):
+        stream = SnapshotStream()
+        stream.close()
+        with pytest.raises(RuntimeError):
+            stream.publish({"n": 1})
+        stream.close()  # idempotent
+
+    def test_backpressure_drops_oldest_for_slow_subscriber_only(self):
+        stream = SnapshotStream(maxsize=2)
+        ready = threading.Event()
+        release = threading.Event()
+        slow_seen = []
+
+        def slow():
+            for record in stream.subscribe():
+                ready.set()
+                release.wait(5.0)
+                slow_seen.append(record["n"])
+
+        t = threading.Thread(target=slow)
+        stream.publish({"n": 1})
+        t.start()
+        assert ready.wait(5.0)
+        # The subscriber holds record 1; its queue (size 2) overflows.
+        for n in range(2, 7):
+            stream.publish({"n": n})
+        stream.close(final={"n": 99})
+        release.set()
+        t.join(5.0)
+        assert stream.dropped > 0
+        # Oldest records were dropped; delivery order is preserved.
+        assert slow_seen == sorted(slow_seen)
+        assert slow_seen[-1] == 99
+        # History stays lossless for replay subscribers.
+        assert [r["n"] for r in stream.history] == [1, 2, 3, 4, 5, 6, 99]
+
+    def test_unsubscribe_on_generator_close(self):
+        stream = SnapshotStream()
+        sub = stream.subscribe()
+        stream.publish({"n": 1})
+        assert next(sub) == {"n": 1}
+        sub.close()
+        assert stream._subscribers == []
+
+    def test_maxsize_validated(self):
+        with pytest.raises(ValueError):
+            SnapshotStream(maxsize=0)
