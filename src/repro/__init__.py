@@ -23,7 +23,8 @@ Quickstart::
         print(snapshot.describe())
 """
 
-from .config import ClusterConfig, FaultsConfig, GolaConfig, ServeConfig
+from .config import ClusterConfig, FaultsConfig, GolaConfig, QaConfig, \
+    ServeConfig
 from .core.result import OnlineSnapshot
 from .core.session import GolaSession, OnlineQuery
 from .errors import (
@@ -63,6 +64,7 @@ __all__ = [
     "OnlineSnapshot",
     "ParseError",
     "PlanError",
+    "QaConfig",
     "QueryStopped",
     "RangeViolation",
     "ReproError",

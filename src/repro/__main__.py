@@ -8,6 +8,8 @@ Commands:
     report    render the per-phase/per-operator profile of a trace file
     serve     start the concurrent multi-query HTTP server
     submit    submit a query to a running server, stream its snapshots
+    fuzz      differential query fuzzing across every execution path
+    calibrate measure empirical bootstrap-CI coverage vs nominal
 """
 
 from __future__ import annotations
@@ -274,6 +276,18 @@ def _submit(args) -> int:
     return 0
 
 
+def _fuzz(args) -> int:
+    from .qa.cli import main_fuzz
+
+    return main_fuzz(args)
+
+
+def _calibrate(args) -> int:
+    from .qa.cli import main_calibrate
+
+    return main_calibrate(args)
+
+
 def _queries(args) -> int:
     from .workloads import (
         ADSTREAM_QUERIES,
@@ -394,6 +408,69 @@ def main(argv=None) -> int:
     submit.add_argument("--timeout", type=float, default=600.0,
                         help="stream read timeout in seconds")
     submit.set_defaults(fn=_submit)
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing: random queries through every "
+             "execution path, comparing final answers",
+    )
+    fuzz.add_argument("--seed", type=int, default=None,
+                      help="master seed for schema/data/query generation")
+    fuzz.add_argument("--queries", type=int, default=None,
+                      help="number of random queries to check")
+    fuzz.add_argument("--rows", type=int, default=None,
+                      help="rows in the generated fact table")
+    fuzz.add_argument("--serve", action="store_true",
+                      help="also run each query through the scheduler")
+    fuzz.add_argument("--no-shrink", action="store_true",
+                      help="skip minimizing divergent queries")
+    fuzz.add_argument("--artifact-dir", default=None, metavar="DIR",
+                      help="where reproducer artifacts are written")
+    fuzz.add_argument("--inject-bug", default=None, metavar="PATH",
+                      choices=("batch", "cdm", "serial", "parallel",
+                               "serve"),
+                      help="corrupt this path's results (harness "
+                           "self-check: the sweep must then fail)")
+    fuzz.add_argument("--replay", default=None, metavar="ARTIFACT",
+                      help="replay a saved reproducer instead of fuzzing")
+    fuzz.add_argument("--out", default=None, metavar="PATH",
+                      help="write the JSON divergence report here")
+    fuzz.add_argument(
+        "--qa", default=None, metavar="SPEC",
+        help="base knobs: 'key=value,...' over QaConfig fields, e.g. "
+             "'num_batches=6,bootstrap_trials=32,workers=4'",
+    )
+    fuzz.set_defaults(fn=_fuzz)
+
+    calibrate = sub.add_parser(
+        "calibrate",
+        help="empirical bootstrap-CI coverage vs an exact binomial band",
+    )
+    calibrate.add_argument(
+        "--queries", default=None, metavar="NAMES",
+        help="comma-separated workload queries (default: all of "
+             "sbi,c3,q17,q20)",
+    )
+    calibrate.add_argument("--runs", type=int, default=None,
+                           help="runs (seeds) per query")
+    calibrate.add_argument("--rows", type=int, default=None,
+                           help="rows in the generated workload table")
+    calibrate.add_argument("--batches", type=int, default=6,
+                           help="mini-batches per run")
+    calibrate.add_argument("--trials", type=int, default=60,
+                           help="bootstrap trials per snapshot")
+    calibrate.add_argument("--seed", type=int, default=None,
+                           help="base seed offset for the run sweep")
+    calibrate.add_argument("--alpha", type=float, default=None,
+                           help="binomial band significance level")
+    calibrate.add_argument("--out", default=None, metavar="PATH",
+                           help="write the JSON calibration report here")
+    calibrate.add_argument(
+        "--qa", default=None, metavar="SPEC",
+        help="base knobs: 'key=value,...' over QaConfig fields, e.g. "
+             "'calibration_runs=200,calibration_fraction=0.5'",
+    )
+    calibrate.set_defaults(fn=_calibrate)
 
     args = parser.parse_args(argv)
     return args.fn(args)

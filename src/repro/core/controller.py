@@ -29,7 +29,7 @@ from ..engine.aggregates import GroupIndex, UDAFRegistry
 from ..engine.executor import BatchExecutor
 from ..errors import CheckpointError, ExecutionError
 from ..estimate.bootstrap import PoissonWeightSource
-from ..estimate.intervals import percentile_intervals, relative_stdevs
+from ..estimate.intervals import basic_intervals, relative_stdevs
 from ..estimate.variation import VariationRange
 from ..expr.expressions import Environment
 from ..expr.functions import DEFAULT_FUNCTIONS, FunctionRegistry
@@ -432,8 +432,14 @@ class QueryController:
                        ) -> Dict[str, ColumnErrors]:
         errors: Dict[str, ColumnErrors] = {}
         for name, matrix in col_replicas.items():
-            lows, highs = percentile_intervals(
-                matrix, self.config.confidence
+            # Basic (reverse-percentile) bootstrap: reflecting the replica
+            # quantiles around the estimate keeps coverage nominal even
+            # for nested-aggregate queries whose per-replica thresholds
+            # bias the replica distribution (measured by `repro fuzz`'s
+            # sibling, `repro calibrate`).
+            lows, highs = basic_intervals(
+                out_table.column(name).astype(np.float64), matrix,
+                self.config.confidence,
             )
             errors[name] = ColumnErrors(
                 lows=lows, highs=highs,

@@ -165,7 +165,10 @@ def run_aggregate(node: Aggregate, table: Table, env: Environment,
     observability span; when given, the group count is recorded.
     """
     group_idx, index = group_indices(table, node.group_by, env)
-    num_groups = max(index.num_groups, 1)
+    # A grouped aggregate over empty input has zero output rows; only the
+    # global (no GROUP BY) aggregate keeps its single row on empty input.
+    num_groups = (index.num_groups if node.group_by
+                  else max(index.num_groups, 1))
     if span is not None:
         span.set("groups", num_groups)
 

@@ -14,6 +14,8 @@ from .closed_form import (
 )
 from .intervals import (
     ConfidenceInterval,
+    basic_interval,
+    basic_intervals,
     percentile_interval,
     percentile_intervals,
     relative_stdev,
@@ -30,6 +32,8 @@ __all__ = [
     "ConfidenceInterval",
     "PoissonWeightSource",
     "VariationRange",
+    "basic_interval",
+    "basic_intervals",
     "count_interval",
     "derive_rng",
     "derive_seed",

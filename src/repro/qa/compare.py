@@ -1,0 +1,209 @@
+"""Float-tolerant structural table comparison (``repro.qa``).
+
+The differential runner needs to decide whether two execution paths
+produced "the same" answer, where "same" must tolerate benign
+floating-point reassociation (different paths fold rows in different
+orders) and row-order differences (result sets are multisets unless the
+query orders them), but must still catch real value, shape and schema
+divergences.
+
+Comparison strategy:
+
+1. schema (column names and order) must match exactly;
+2. row counts must match exactly;
+3. rows of both tables are brought into a canonical order (lexsort over
+   all columns, string columns first) and compared cell-wise with
+   ``rtol``/``atol`` (NaN == NaN: an empty group's AVG is NaN on every
+   correct path);
+4. if the row-aligned comparison fails, each column is also compared
+   independently sorted — near-tied sort keys can legally order rows
+   differently across paths at the tolerance boundary; only if that
+   fallback fails too is a divergence reported.
+
+:func:`self_test` runs the comparator over canned equal/divergent pairs
+and fails if it misclassifies either direction — the fuzz CLI runs it
+before every sweep so a comparator bug (e.g. a tolerance typo that makes
+everything "equal") cannot silently blind the whole harness.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..storage.table import Table
+
+__all__ = ["compare_tables", "self_test", "ComparatorBroken"]
+
+
+class ComparatorBroken(AssertionError):
+    """The comparator misclassified a canned self-test case."""
+
+
+def _canonical_order(table: Table) -> np.ndarray:
+    """Row permutation sorting by all columns (strings as primary keys).
+
+    String/bool/int columns sort exactly; float columns participate too,
+    so duplicate categorical keys still land in a deterministic order.
+    """
+    keys = []
+    for col in reversed(table.schema.columns):
+        values = table.column(col.name)
+        if values.dtype == object:
+            keys.append(np.asarray([str(v) for v in values], dtype=object))
+        else:
+            keys.append(values)
+    if not keys:
+        return np.arange(table.num_rows)
+    return np.lexsort(keys)
+
+
+def _cells_match(a: np.ndarray, b: np.ndarray,
+                 rtol: float, atol: float) -> np.ndarray:
+    """Elementwise match mask with float tolerance and NaN == NaN."""
+    if a.dtype == object or b.dtype == object:
+        return np.asarray(
+            [str(x) == str(y) for x, y in zip(a.tolist(), b.tolist())],
+            dtype=bool,
+        )
+    if a.dtype == np.bool_ and b.dtype == np.bool_:
+        return a == b
+    fa = np.asarray(a, dtype=np.float64)
+    fb = np.asarray(b, dtype=np.float64)
+    return np.isclose(fa, fb, rtol=rtol, atol=atol, equal_nan=True)
+
+
+def compare_tables(expected: Table, actual: Table,
+                   rtol: float = 1e-6, atol: float = 1e-9) -> List[str]:
+    """Compare two result tables; returns a list of divergence messages.
+
+    An empty list means the tables agree (up to tolerance and row
+    order).  Messages are compact and meant for the JSON report.
+    """
+    problems: List[str] = []
+    if expected.schema.names != actual.schema.names:
+        return [
+            "schema mismatch: expected "
+            f"{expected.schema.names} got {actual.schema.names}"
+        ]
+    if expected.num_rows != actual.num_rows:
+        return [
+            f"row count mismatch: expected {expected.num_rows} "
+            f"got {actual.num_rows}"
+        ]
+    if expected.num_rows == 0:
+        return []
+
+    ea = _canonical_order(expected)
+    aa = _canonical_order(actual)
+    row_mismatch: List[str] = []
+    for name in expected.schema.names:
+        e = expected.column(name)[ea]
+        a = actual.column(name)[aa]
+        mask = _cells_match(e, a, rtol, atol)
+        if not mask.all():
+            bad = int(np.argmin(mask))
+            row_mismatch.append(
+                f"column {name!r}: {int((~mask).sum())} cell(s) differ, "
+                f"first at canonical row {bad}: "
+                f"expected {e[bad]!r} got {a[bad]!r}"
+            )
+    if not row_mismatch:
+        return problems
+
+    # Fallback: near-tied canonical keys can legally interleave rows
+    # differently across paths.  Compare each column independently
+    # sorted; only a column whose *value multiset* differs diverges.
+    for name in expected.schema.names:
+        e = expected.column(name)
+        a = actual.column(name)
+        if e.dtype == object or a.dtype == object:
+            es = sorted(str(v) for v in e.tolist())
+            as_ = sorted(str(v) for v in a.tolist())
+            if es != as_:
+                problems.append(
+                    f"column {name!r}: value multiset differs"
+                )
+            continue
+        es = np.sort(np.asarray(e, dtype=np.float64))
+        as_ = np.sort(np.asarray(a, dtype=np.float64))
+        mask = np.isclose(es, as_, rtol=rtol, atol=atol, equal_nan=True)
+        if not mask.all():
+            bad = int(np.argmin(mask))
+            problems.append(
+                f"column {name!r}: sorted values differ at rank {bad}: "
+                f"expected {es[bad]!r} got {as_[bad]!r}"
+            )
+    return problems
+
+
+# ---------------------------------------------------------------------------
+# Self test
+# ---------------------------------------------------------------------------
+
+
+def _t(**cols) -> Table:
+    return Table.from_columns(
+        {k: np.asarray(v) for k, v in cols.items()}
+    )
+
+
+def _self_test_cases():
+    """(name, expected, actual, should_diverge) canned cases."""
+    base = _t(g=np.array(["a", "b", "c"], dtype=object),
+              v=[1.0, 2.0, 3.0])
+    noisy = _t(g=np.array(["a", "b", "c"], dtype=object),
+               v=[1.0 + 1e-12, 2.0, 3.0 - 1e-12])
+    reordered = _t(g=np.array(["c", "a", "b"], dtype=object),
+                   v=[3.0, 1.0, 2.0])
+    wrong_value = _t(g=np.array(["a", "b", "c"], dtype=object),
+                     v=[1.0, 2.1, 3.0])
+    wrong_rows = _t(g=np.array(["a", "b"], dtype=object), v=[1.0, 2.0])
+    wrong_schema = _t(g=np.array(["a", "b", "c"], dtype=object),
+                      w=[1.0, 2.0, 3.0])
+    nan_a = _t(v=[float("nan")])
+    nan_b = _t(v=[float("nan")])
+    nan_vs_num = _t(v=[0.0])
+    return [
+        ("identical", base, base, False),
+        ("fp-noise", base, noisy, False),
+        ("row-order", base, reordered, False),
+        ("value-diff", base, wrong_value, True),
+        ("row-count", base, wrong_rows, True),
+        ("schema", base, wrong_schema, True),
+        ("nan-nan", nan_a, nan_b, False),
+        ("nan-vs-number", nan_a, nan_vs_num, True),
+    ]
+
+
+def self_test(rtol: float = 1e-6, atol: float = 1e-9,
+              tracer=None) -> Optional[str]:
+    """Validate the comparator against canned cases.
+
+    Returns None when the comparator classifies every case correctly,
+    else a description of the first misclassification.  A deliberately
+    broken tolerance (``rtol=np.inf``) must therefore be *caught* here:
+    the divergent cases stop diverging and the harness refuses to run.
+    """
+    for name, expected, actual, should_diverge in _self_test_cases():
+        diverged = bool(compare_tables(expected, actual,
+                                       rtol=rtol, atol=atol))
+        if diverged != should_diverge:
+            verdict = (
+                f"comparator self-test failed on case {name!r}: "
+                + ("reported a divergence on equal tables"
+                   if diverged else "missed a real divergence")
+            )
+            if tracer is not None and tracer.metrics.enabled:
+                tracer.metrics.counter("qa.selftest_failures").inc()
+            return verdict
+    return None
+
+
+def assert_self_test(rtol: float = 1e-6, atol: float = 1e-9,
+                     tracer=None) -> None:
+    """Raise :class:`ComparatorBroken` if :func:`self_test` fails."""
+    verdict = self_test(rtol=rtol, atol=atol, tracer=tracer)
+    if verdict is not None:
+        raise ComparatorBroken(verdict)

@@ -1,0 +1,146 @@
+"""Failing-query minimization and one-file reproducer artifacts.
+
+When the differential runner finds a divergence, the raw query is
+usually noisy — several predicates, a join, extra aggregates, thousands
+of rows — most of which has nothing to do with the bug.  The
+:class:`Shrinker` minimizes the failing :class:`~repro.qa.runner.
+FuzzCase` greedily:
+
+1. try each structural simplification of the query (drop one predicate,
+   the HAVING, the ORDER BY, the join, one group-by column, one
+   aggregate — see :func:`repro.qa.generator.shrink_candidates`), keep
+   the first variant that *still diverges*, repeat to a fixpoint;
+2. then shrink the data: halve each table's row count while the
+   divergence persists (re-materializing from the spec each time).
+
+The result is saved as a single JSON artifact containing the full
+:class:`FuzzCase` (table specs + query spec + config), the rendered SQL,
+and the divergence messages observed — everything needed to replay the
+failure in a fresh process with ``python -m repro fuzz --replay <file>``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional, Tuple
+
+from dataclasses import replace
+
+from .generator import shrink_candidates
+from .runner import CaseReport, DifferentialRunner, FuzzCase
+
+ARTIFACT_KIND = "repro-qa-reproducer"
+ARTIFACT_VERSION = 1
+
+_MIN_ROWS = 64
+
+
+class Shrinker:
+    """Greedy structural + data minimizer for divergent fuzz cases."""
+
+    def __init__(self, runner: DifferentialRunner,
+                 max_attempts: int = 200):
+        self.runner = runner
+        self.max_attempts = max_attempts
+
+    def _still_diverges(self, case: FuzzCase) -> Optional[CaseReport]:
+        report = self.runner.run_case(case)
+        return report if report.diverged else None
+
+    def shrink(self, case: FuzzCase,
+               report: Optional[CaseReport] = None
+               ) -> Tuple[FuzzCase, CaseReport]:
+        """Return the minimal still-diverging case and its report."""
+        if report is None:
+            report = self.runner.run_case(case)
+        if not report.diverged:
+            raise ValueError("case does not diverge; nothing to shrink")
+        attempts = 0
+        metrics = self.runner.tracer.metrics
+
+        # Phase 1: structural fixpoint over the query spec.
+        progress = True
+        while progress and attempts < self.max_attempts:
+            progress = False
+            for candidate_query in shrink_candidates(case.query):
+                attempts += 1
+                candidate = replace(case, query=candidate_query)
+                smaller = self._still_diverges(candidate)
+                if smaller is not None:
+                    case, report = candidate, smaller
+                    progress = True
+                    break
+                if attempts >= self.max_attempts:
+                    break
+
+        # Phase 2: shrink each table's data while the failure persists.
+        progress = True
+        while progress and attempts < self.max_attempts:
+            progress = False
+            for i, spec in enumerate(case.tables):
+                if spec.rows // 2 < _MIN_ROWS:
+                    continue
+                shrunk = list(case.tables)
+                shrunk[i] = spec.with_rows(spec.rows // 2)
+                attempts += 1
+                candidate = replace(case, tables=tuple(shrunk))
+                smaller = self._still_diverges(candidate)
+                if smaller is not None:
+                    case, report = candidate, smaller
+                    progress = True
+                if attempts >= self.max_attempts:
+                    break
+
+        if metrics.enabled:
+            metrics.counter("qa.shrink_attempts").inc(attempts)
+        return case, report
+
+
+# ---------------------------------------------------------------------------
+# Reproducer artifacts
+# ---------------------------------------------------------------------------
+
+
+def artifact_dict(case: FuzzCase, report: CaseReport) -> dict:
+    """The JSON body of a one-file reproducer."""
+    return {
+        "kind": ARTIFACT_KIND,
+        "version": ARTIFACT_VERSION,
+        "how_to_replay": "python -m repro fuzz --replay <this file>",
+        "sql": case.sql,
+        "divergences": list(report.divergences),
+        "outcomes": {
+            name: o.to_dict() for name, o in report.outcomes.items()
+        },
+        "case": case.to_dict(),
+    }
+
+
+def save_artifact(case: FuzzCase, report: CaseReport, path) -> Path:
+    """Write the reproducer artifact; returns the path written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(artifact_dict(case, report), indent=2, sort_keys=True)
+        + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+def load_artifact(path) -> FuzzCase:
+    """Load a reproducer artifact back into a runnable case."""
+    body = json.loads(Path(path).read_text(encoding="utf-8"))
+    if body.get("kind") != ARTIFACT_KIND:
+        raise ValueError(f"{path} is not a {ARTIFACT_KIND} artifact")
+    return FuzzCase.from_dict(body["case"])
+
+
+def replay_artifact(path, runner: Optional[DifferentialRunner] = None
+                    ) -> CaseReport:
+    """Re-run a saved reproducer; the report shows whether it still fails."""
+    case = load_artifact(path)
+    if runner is None:
+        runner = DifferentialRunner()
+    return runner.run_case(case)

@@ -22,8 +22,9 @@ backpressure from a slow client only ever drops that client's queued
 records (see :class:`~repro.serve.stream.SnapshotStream`), never the
 scheduler's progress.
 
-Error mapping: bad SQL/parameters → 400, unknown id → 404, admission
-refused → 429, injected ``serve.submit`` fault → 503.
+Error mapping: bad SQL/parameters → 400, unknown id → 404, DELETE of an
+already-terminal query → 409, admission refused → 429, injected
+``serve.submit`` fault → 503.
 """
 
 from __future__ import annotations
@@ -55,7 +56,7 @@ def _apply_overrides(config: GolaConfig, overrides: dict,
     changes = {}
     for name, value in (overrides or {}).items():
         if name not in _CONFIG_FIELDS or name in ("faults", "serve",
-                                                  "parallel"):
+                                                  "parallel", "qa"):
             raise ValueError(f"unknown config field {name!r}")
         if not isinstance(value, (int, float, bool, str)):
             raise ValueError(f"config field {name!r} must be scalar")
@@ -180,6 +181,16 @@ class _Handler(BaseHTTPRequestHandler):
             return
         qid = path[len("/query/"):]
         try:
+            run = self.server.scheduler.get(qid)  # KeyError -> 404
+            if run.is_terminal:
+                # Cancelling a finished/cancelled query is a conflict,
+                # not a server error — report it cleanly.
+                self._send_json(409, {
+                    "error": "AlreadyFinished",
+                    "message": f"query {qid} is already {run.state}",
+                    "state": run.state,
+                })
+                return
             status = self.server.scheduler.cancel(qid)
         except Exception as exc:
             self._fail(exc)

@@ -1,10 +1,31 @@
-"""Shared fixtures: small deterministic tables, catalogs and sessions."""
+"""Shared fixtures: small deterministic tables, catalogs and sessions.
+
+Also registers the Hypothesis profiles the CI matrix selects via the
+``HYPOTHESIS_PROFILE`` environment variable:
+
+* ``ci`` — derandomized (a PR re-run sees the same examples) with a
+  fixed generous deadline so slow shared runners don't flake.
+* ``nightly`` — many more examples per property, for the scheduled
+  deep sweep; not derandomized, so every night explores new inputs.
+* ``default`` — Hypothesis defaults for local development.
+"""
+
+import os
 
 import numpy as np
 import pytest
+from hypothesis import settings
 
 from repro import GolaConfig, GolaSession
 from repro.storage import Catalog, Table
+
+settings.register_profile(
+    "ci", derandomize=True, deadline=2000, max_examples=100,
+)
+settings.register_profile(
+    "nightly", deadline=None, max_examples=1000,
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
 
 
 @pytest.fixture

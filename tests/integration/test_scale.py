@@ -1,8 +1,14 @@
-"""Scale smoke tests: the engine stays fast and exact at 1M rows."""
+"""Scale smoke tests: the engine stays fast and exact at 1M rows.
+
+Marked ``slow``: deselect locally with ``pytest -m "not slow"`` when
+iterating (see docs/testing.md).
+"""
 
 import time
 
 import pytest
+
+pytestmark = pytest.mark.slow
 
 from repro import GolaConfig, GolaSession
 from repro.workloads import SBI_QUERY, generate_sessions, generate_tpch

@@ -13,6 +13,8 @@ import dataclasses
 
 import pytest
 
+pytestmark = pytest.mark.slow  # 8-way concurrency soak; see docs/testing.md
+
 from repro import FaultsConfig, GolaConfig, GolaSession, ServeConfig
 from repro.serve import CANCELLED, DONE, EXPIRED, FAILED, QueryScheduler
 from repro.workloads import (

@@ -1,4 +1,8 @@
-"""The HTTP/JSON serving surface end to end (stdlib client only)."""
+"""The HTTP/JSON serving surface end to end (stdlib client only).
+
+Marked ``smoke``: a fast whole-subsystem pass (``pytest -m smoke``
+runs these; see docs/testing.md).
+"""
 
 import json
 import time
@@ -10,6 +14,8 @@ import pytest
 from repro import GolaConfig, GolaSession, ServeConfig
 from repro.serve import GolaServer, QueryScheduler
 from repro.workloads import SBI_QUERY, generate_sessions
+
+pytestmark = pytest.mark.smoke
 
 CONFIG = GolaConfig(num_batches=5, bootstrap_trials=20, seed=9)
 
@@ -143,6 +149,83 @@ class TestHTTPErrors:
     def test_unknown_route_404(self, server):
         with pytest.raises(urllib.error.HTTPError) as err:
             get_json(server.url + "/nope")
+        assert err.value.code == 404
+
+    def test_malformed_json_body_400(self, server):
+        request = urllib.request.Request(
+            server.url + "/query", method="POST",
+            data=b'{"sql": "SELECT',
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(request, timeout=30.0)
+        assert err.value.code == 400
+        body = json.loads(err.value.read())
+        assert body["error"] == "ValueError"
+        assert "invalid JSON body" in body["message"]
+
+    def test_non_object_json_body_400(self, server):
+        request = urllib.request.Request(
+            server.url + "/query", method="POST",
+            data=b'["not", "an", "object"]',
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(request, timeout=30.0)
+        assert err.value.code == 400
+
+    def test_unknown_id_snapshots_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            get_json(server.url + "/query/q99/snapshots")
+        assert err.value.code == 404
+        assert json.loads(err.value.read())["error"] == "NotFound"
+
+    def test_delete_already_finished_409(self, server):
+        code, submitted = post_json(server.url + "/query", {
+            "sql": "SELECT AVG(play_time) FROM sessions",
+            "config": {"num_batches": 2},
+        })
+        qid = submitted["id"]
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            _, status = get_json(server.url + submitted["status_url"])
+            if status["state"] == "done":
+                break
+            time.sleep(0.01)
+        assert status["state"] == "done"
+        request = urllib.request.Request(
+            f"{server.url}/query/{qid}", method="DELETE"
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(request, timeout=30.0)
+        assert err.value.code == 409
+        body = json.loads(err.value.read())
+        assert body["error"] == "AlreadyFinished"
+        assert body["state"] == "done"
+
+    def test_delete_twice_second_is_409(self, server):
+        code, submitted = post_json(server.url + "/query", {
+            "sql": SBI_QUERY, "config": {"num_batches": 300},
+        })
+        qid = submitted["id"]
+        request = urllib.request.Request(
+            f"{server.url}/query/{qid}", method="DELETE"
+        )
+        with urllib.request.urlopen(request, timeout=30.0) as resp:
+            assert json.loads(resp.read())["state"] == "cancelled"
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(request, timeout=30.0)
+        assert err.value.code == 409
+        body = json.loads(err.value.read())
+        assert body["error"] == "AlreadyFinished"
+        assert body["state"] == "cancelled"
+
+    def test_delete_unknown_id_404(self, server):
+        request = urllib.request.Request(
+            f"{server.url}/query/q99", method="DELETE"
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(request, timeout=30.0)
         assert err.value.code == 404
 
     def test_queue_full_429(self):

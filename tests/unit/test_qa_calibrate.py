@@ -1,0 +1,71 @@
+"""The calibration module's binomial band and coverage measurement."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.qa import binomial_band, calibration_queries
+from repro.qa.calibrate import CalibrationConfig, calibrate_query
+
+
+class TestBinomialBand:
+    def test_band_contains_the_mean(self):
+        for n in (20, 60, 100, 400):
+            lo, hi = binomial_band(n, 0.95, alpha=1e-3)
+            assert 0 <= lo <= 0.95 * n <= hi <= n
+
+    def test_band_widens_as_alpha_shrinks(self):
+        lo1, hi1 = binomial_band(100, 0.95, alpha=0.05)
+        lo2, hi2 = binomial_band(100, 0.95, alpha=1e-4)
+        assert lo2 <= lo1 and hi2 >= hi1
+        assert (hi2 - lo2) > (hi1 - lo1)
+
+    def test_band_tightens_relatively_with_more_runs(self):
+        lo1, hi1 = binomial_band(50, 0.95, alpha=1e-3)
+        lo2, hi2 = binomial_band(1000, 0.95, alpha=1e-3)
+        assert (hi1 - lo1) / 50 > (hi2 - lo2) / 1000
+
+    def test_band_has_correct_tail_mass(self):
+        # Exact check against an independent pmf summation.
+        n, p, alpha = 60, 0.95, 1e-3
+        lo, hi = binomial_band(n, p, alpha)
+
+        def pmf(k):
+            return math.comb(n, k) * p**k * (1 - p) ** (n - k)
+
+        assert sum(pmf(k) for k in range(0, lo)) <= alpha / 2
+        assert sum(pmf(k) for k in range(hi + 1, n + 1)) <= alpha / 2
+
+    def test_rejects_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            binomial_band(0, 0.95)
+        with pytest.raises(ValueError):
+            binomial_band(10, 0.0)
+        with pytest.raises(ValueError):
+            binomial_band(10, 0.95, alpha=0.0)
+
+    def test_simulated_coverage_stays_in_band(self):
+        # Monte-Carlo sanity: true-nominal hit counts almost never leave
+        # the alpha=1e-3 band across 200 simulated sweeps.
+        rng = np.random.default_rng(0)
+        n = 100
+        lo, hi = binomial_band(n, 0.95, alpha=1e-3)
+        hits = rng.binomial(n, 0.95, size=200)
+        assert np.mean((hits >= lo) & (hits <= hi)) > 0.99
+
+
+class TestCalibrationMeasurement:
+    def test_known_queries_registered(self):
+        names = set(calibration_queries())
+        assert {"sbi", "c3", "q17", "q20"} <= names
+
+    def test_sbi_small_run_is_in_band(self):
+        config = CalibrationConfig(runs=20, rows=1000, num_batches=4,
+                                   bootstrap_trials=30)
+        result = calibrate_query(calibration_queries()["sbi"], config)
+        assert result.runs == 20
+        assert result.ok, (result.hits, result.band)
+        assert 0.0 <= result.coverage <= 1.0
+        d = result.to_dict()
+        assert d["ok"] and d["query"] == "sbi"

@@ -1,0 +1,87 @@
+"""The qa comparator: float-tolerant structural equality + self-test."""
+
+import numpy as np
+import pytest
+
+from repro.qa import (
+    ComparatorBroken,
+    assert_self_test,
+    compare_tables,
+    self_test,
+)
+from repro.storage import Table
+
+
+def t(**cols):
+    return Table.from_columns(
+        {k: np.asarray(v) for k, v in cols.items()}
+    )
+
+
+class TestCompareTables:
+    def test_identical_tables_match(self):
+        a = t(g=np.array(["a", "b"], dtype=object), x=[1.0, 2.0])
+        assert compare_tables(a, a) == []
+
+    def test_fp_noise_within_tolerance(self):
+        a = t(x=[1.0, 2.0, 3.0])
+        b = t(x=np.array([1.0, 2.0, 3.0]) * (1.0 + 1e-12))
+        assert compare_tables(a, b) == []
+
+    def test_row_order_is_irrelevant(self):
+        a = t(g=np.array(["a", "b"], dtype=object), x=[1.0, 2.0])
+        b = t(g=np.array(["b", "a"], dtype=object), x=[2.0, 1.0])
+        assert compare_tables(a, b) == []
+
+    def test_value_divergence_detected(self):
+        a = t(x=[1.0, 2.0])
+        b = t(x=[1.0, 2.1])
+        assert compare_tables(a, b) != []
+
+    def test_row_count_mismatch_detected(self):
+        assert compare_tables(t(x=[1.0]), t(x=[1.0, 2.0])) != []
+
+    def test_schema_mismatch_detected(self):
+        assert compare_tables(t(x=[1.0]), t(y=[1.0])) != []
+
+    def test_nan_equals_nan(self):
+        a = t(x=[float("nan"), 2.0])
+        b = t(x=[float("nan"), 2.0])
+        assert compare_tables(a, b) == []
+
+    def test_nan_vs_number_detected(self):
+        a = t(x=[float("nan")])
+        b = t(x=[0.0])
+        assert compare_tables(a, b) != []
+
+    def test_near_tied_sort_keys_can_interleave(self):
+        # Two rows whose keys differ below tolerance may land in either
+        # canonical order; the column-sorted fallback must accept them.
+        a = t(x=[1.0, 1.0 + 1e-13], y=[5.0, 7.0])
+        b = t(x=[1.0 + 1e-13, 1.0], y=[7.0, 5.0])
+        assert compare_tables(a, b) == []
+
+    def test_empty_tables_match(self):
+        a = t(x=np.zeros(0))
+        b = t(x=np.zeros(0))
+        assert compare_tables(a, b) == []
+
+
+class TestSelfTest:
+    def test_sane_tolerances_pass(self):
+        assert self_test(rtol=1e-6, atol=1e-9) is None
+        assert_self_test(rtol=1e-6, atol=1e-9)  # must not raise
+
+    @pytest.mark.filterwarnings("ignore:One of rtol or atol")
+    def test_infinite_tolerance_is_caught(self):
+        # A comparator that tolerates everything stops flagging the
+        # canned divergent cases — the self-test must notice.
+        verdict = self_test(rtol=float("inf"), atol=float("inf"))
+        assert verdict is not None
+        with pytest.raises(ComparatorBroken):
+            assert_self_test(rtol=float("inf"), atol=float("inf"))
+
+    def test_zero_tolerance_is_caught(self):
+        # The opposite direction: rtol=0/atol=0 flags benign fp noise.
+        verdict = self_test(rtol=0.0, atol=0.0)
+        assert verdict is not None

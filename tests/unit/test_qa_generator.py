@@ -1,0 +1,135 @@
+"""The qa query/table generators: valid-by-construction, seeded, shrinkable."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import GolaConfig, GolaSession
+from repro.qa import (
+    FuzzCase,
+    QueryGenerator,
+    QuerySpec,
+    TableSpec,
+    generate_table,
+    random_dim_spec,
+    random_fact_spec,
+    shrink_candidates,
+)
+
+
+def make_generator(seed=0, rows=512):
+    rng = np.random.default_rng(seed)
+    fact = random_fact_spec(rng, rows=rows, seed=seed)
+    dim = random_dim_spec(rng, fact, seed=seed + 1)
+    return QueryGenerator(
+        fact, generate_table(fact),
+        dims={dim.name: (dim, generate_table(dim))}, seed=seed,
+    ), fact, dim
+
+
+class TestTableSpecs:
+    def test_generation_is_deterministic(self):
+        rng = np.random.default_rng(3)
+        spec = random_fact_spec(rng, rows=256, seed=3)
+        a, b = generate_table(spec), generate_table(spec)
+        for name in a.schema.names:
+            assert np.array_equal(
+                np.asarray(a.column(name)), np.asarray(b.column(name))
+            )
+
+    def test_spec_round_trips_through_json_dict(self):
+        rng = np.random.default_rng(5)
+        spec = random_fact_spec(rng, rows=256, seed=5)
+        clone = TableSpec.from_dict(spec.to_dict())
+        assert clone == spec
+
+    def test_shrunk_rows_reuse_column_streams(self):
+        # Per-column RNG streams mean halving the row count yields a
+        # prefix-like table, so data shrinking stays deterministic.
+        rng = np.random.default_rng(7)
+        spec = random_fact_spec(rng, rows=512, seed=7)
+        small = generate_table(spec.with_rows(256))
+        assert small.num_rows == 256
+
+
+class TestQueryGenerator:
+    def test_same_seed_same_queries(self):
+        gen_a, _, _ = make_generator(seed=11)
+        gen_b, _, _ = make_generator(seed=11)
+        assert [gen_a.generate().render() for _ in range(10)] == \
+            [gen_b.generate().render() for _ in range(10)]
+
+    def test_different_seeds_differ(self):
+        gen_a, _, _ = make_generator(seed=1)
+        gen_b, _, _ = make_generator(seed=2)
+        a = [gen_a.generate().render() for _ in range(10)]
+        b = [gen_b.generate().render() for _ in range(10)]
+        assert a != b
+
+    def test_spec_round_trips_through_json_dict(self):
+        gen, _, _ = make_generator(seed=13)
+        for _ in range(10):
+            spec = gen.generate()
+            clone = QuerySpec.from_dict(spec.to_dict())
+            assert clone.render() == spec.render()
+
+    def test_nested_aggregate_predicates_are_exercised(self):
+        gen, _, _ = make_generator(seed=17)
+        specs = [gen.generate() for _ in range(40)]
+        assert sum(s.uses_subquery for s in specs) >= 20
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**20))
+    def test_generated_queries_are_valid_by_construction(self, seed):
+        """Every generated query must be accepted by the batch engine."""
+        gen, fact, dim = make_generator(seed=seed, rows=256)
+        session = GolaSession(GolaConfig(num_batches=2,
+                                         bootstrap_trials=4, seed=seed))
+        session.register_table(fact.name, generate_table(fact),
+                               streamed=True)
+        session.register_table(dim.name, generate_table(dim),
+                               streamed=False)
+        session.execute_batch(gen.generate().render())
+
+
+class TestShrinkCandidates:
+    def test_candidates_are_strictly_simpler_and_render(self):
+        gen, fact, dim = make_generator(seed=23)
+        for _ in range(20):
+            spec = gen.generate()
+            size = (len(spec.predicates) + len(spec.group_by)
+                    + len(spec.aggregates)
+                    + (spec.having is not None)
+                    + (spec.join is not None)
+                    + (spec.order_by is not None))
+            for cand in shrink_candidates(spec):
+                cand_size = (len(cand.predicates) + len(cand.group_by)
+                             + len(cand.aggregates)
+                             + (cand.having is not None)
+                             + (cand.join is not None)
+                             + (cand.order_by is not None))
+                assert cand_size < size
+                assert cand.render()  # still renders to SQL
+
+    def test_candidates_stay_executable(self):
+        gen, fact, dim = make_generator(seed=29, rows=256)
+        session = GolaSession(GolaConfig(num_batches=2,
+                                         bootstrap_trials=4, seed=29))
+        session.register_table(fact.name, generate_table(fact),
+                               streamed=True)
+        session.register_table(dim.name, generate_table(dim),
+                               streamed=False)
+        spec = gen.generate()
+        for cand in shrink_candidates(spec):
+            session.execute_batch(cand.render())
+
+
+class TestFuzzCaseRoundTrip:
+    def test_case_round_trips_through_json_dict(self):
+        gen, fact, dim = make_generator(seed=31)
+        case = FuzzCase(tables=(fact, dim), query=gen.generate(),
+                        num_batches=3, bootstrap_trials=8, seed=31)
+        clone = FuzzCase.from_dict(case.to_dict())
+        assert clone.sql == case.sql
+        assert clone.tables == case.tables
+        assert clone.num_batches == 3 and clone.bootstrap_trials == 8
