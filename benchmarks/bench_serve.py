@@ -1,0 +1,310 @@
+"""Serve-layer benchmark: SLO latency, convergence, telemetry overhead.
+
+Standalone (no pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py --json BENCH_serve.json
+
+Three phases, all seeded and reproducible:
+
+1. **convergence** — each workload-mix query runs alone through the
+   scheduler; the serve telemetry layer reports first-answer latency and
+   time-to-±ε for ε in 10%/5%/1% straight from the per-query convergence
+   stream.
+2. **load** — a real HTTP server (ephemeral port) under the seeded
+   Poisson open-loop :class:`~repro.serve.loadgen.LoadGenerator`:
+   client-observed p50/p95/p99 first-answer latency, convergence
+   latency and sustained throughput.
+3. **overhead** — the regression gate.  Identical query fleets run
+   in-process with telemetry on and off, alternating order, median of
+   ``--pairs`` pairs; telemetry-on throughput must stay within 5% of
+   telemetry-off (``--max-overhead``), and the final estimates must be
+   bit-identical between the two (telemetry must never perturb
+   results).
+
+Exits non-zero when the overhead gate fails, results diverge, or the
+load phase saw errors.  ``--smoke`` shrinks sizes for CI but keeps
+every gate on — overhead is a ratio, so it needs no large inputs.
+"""
+
+import argparse
+import json
+import os
+import statistics
+import sys
+import time
+
+from repro.config import GolaConfig, ServeConfig
+from repro.core.session import GolaSession
+from repro.obs import MetricsRegistry, Tracer
+from repro.serve import GolaServer, QueryScheduler
+from repro.serve.loadgen import DEFAULT_MIX, LoadGenerator, LoadSpec
+from repro.workloads import generate_conviva, generate_sessions
+
+
+def _make_scheduler(rows, batches, trials, seed, telemetry=True):
+    serve = ServeConfig(telemetry=telemetry)
+    config = GolaConfig(
+        num_batches=batches, bootstrap_trials=trials, seed=seed,
+        serve=serve,
+    )
+    tracer = Tracer(metrics=MetricsRegistry(enabled=True))
+    session = GolaSession(config, tracer=tracer)
+    session.register_table("sessions", generate_sessions(rows, seed=seed))
+    session.register_table("conviva", generate_conviva(rows, seed=seed))
+    return QueryScheduler(session, serve=serve)
+
+
+# ---------------------------------------------------------------------------
+# Phase 1: per-query convergence from the telemetry stream
+# ---------------------------------------------------------------------------
+
+def _bench_convergence(rows, batches, trials, seed):
+    scheduler = _make_scheduler(rows, batches, trials, seed)
+    out = []
+    try:
+        for name, sql, _ in DEFAULT_MIX:
+            run = scheduler.submit(sql)
+            scheduler.wait(run.id, timeout=300.0)
+            telemetry = scheduler.telemetry.get(run.id)
+            summary = telemetry.summary(run.state, run.batches_done)
+            out.append({
+                "query": name,
+                "state": run.state,
+                "batches": run.batches_done,
+                "first_answer_s": summary["first_answer_s"],
+                "time_to": summary["time_to"],
+                "final_rel_width": summary["final_rel_width"],
+                "total_s": summary["total_s"],
+            })
+    finally:
+        scheduler.close()
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Phase 2: HTTP load with client-observed latencies
+# ---------------------------------------------------------------------------
+
+def _bench_load(rows, batches, trials, seed, queries, rate, clients):
+    scheduler = _make_scheduler(rows, batches, trials, seed)
+    server = GolaServer(scheduler)
+    server.start()
+    try:
+        spec = LoadSpec(
+            rate_qps=rate, clients=clients, queries=queries, seed=seed,
+            num_batches=batches, target_rel_width=0.01,
+        )
+        report = LoadGenerator(spec).run(server.url)
+    finally:
+        server.shutdown()
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Phase 3: telemetry overhead gate + bit-identity
+# ---------------------------------------------------------------------------
+
+def _run_fleet(rows, batches, trials, seed, telemetry, queries):
+    """Wall time to drain `queries` submissions; returns (s, estimates)."""
+    scheduler = _make_scheduler(
+        rows, batches, trials, seed, telemetry=telemetry
+    )
+    mix = [sql for _, sql, _ in DEFAULT_MIX]
+    try:
+        start = time.perf_counter()
+        runs = [
+            scheduler.submit(mix[i % len(mix)]) for i in range(queries)
+        ]
+        scheduler.wait(timeout=600.0)
+        elapsed = time.perf_counter() - start
+        estimates = []
+        for run in runs:
+            snap = run.last_snapshot
+            estimates.append(
+                None if snap is None else [
+                    snap.table.column(c).tobytes()
+                    for c in snap.table.schema.names
+                ]
+            )
+    finally:
+        scheduler.close()
+    return elapsed, estimates
+
+
+def _bench_overhead(rows, batches, trials, seed, queries, pairs):
+    # Untimed warmup: the first fleet pays one-off import/allocator
+    # costs that would otherwise land on whichever config runs first.
+    _run_fleet(rows, batches, trials, seed, True, queries)
+    on_s, off_s = [], []
+    reference = None
+    identical = True
+    for pair in range(pairs):
+        # Alternate order within alternating pairs so drift cancels.
+        order = (
+            [(True, on_s), (False, off_s)] if pair % 2 == 0
+            else [(False, off_s), (True, on_s)]
+        )
+        for telemetry, sink in order:
+            elapsed, estimates = _run_fleet(
+                rows, batches, trials, seed, telemetry, queries
+            )
+            sink.append(elapsed)
+            if reference is None:
+                reference = estimates
+            elif estimates != reference:
+                identical = False
+    # Scheduler noise (CI neighbors, thermal) only ever *adds* wall
+    # time, so each config's minimum is its least-contaminated run;
+    # the gate compares those.  Per-pair ratios are kept for context.
+    ratios = [off / on for on, off in zip(on_s, off_s)]
+    best_on = min(on_s)
+    best_off = min(off_s)
+    return {
+        "queries_per_trial": queries,
+        "pairs": pairs,
+        "telemetry_on_s": [round(s, 4) for s in on_s],
+        "telemetry_off_s": [round(s, 4) for s in off_s],
+        "best_on_s": round(best_on, 4),
+        "best_off_s": round(best_off, 4),
+        "throughput_on_qps": round(queries / best_on, 3),
+        "throughput_off_qps": round(queries / best_off, 3),
+        "pair_ratios": [round(r, 4) for r in ratios],
+        "median_pair_ratio": round(statistics.median(ratios), 4),
+        "throughput_ratio": round(best_off / best_on, 4),
+        "identical_results": identical,
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="serve-layer SLO/convergence/telemetry-overhead "
+                    "benchmark"
+    )
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="write results here (e.g. BENCH_serve.json)")
+    parser.add_argument("--rows", type=int, default=50_000,
+                        help="rows per generated workload table")
+    parser.add_argument("--batches", type=int, default=10)
+    parser.add_argument("--trials", type=int, default=40,
+                        help="bootstrap trials per snapshot")
+    parser.add_argument("--seed", type=int, default=2015)
+    parser.add_argument("--load-queries", type=int, default=24,
+                        help="queries submitted by the HTTP load phase")
+    parser.add_argument("--rate", type=float, default=6.0,
+                        help="Poisson arrival rate for the load phase")
+    parser.add_argument("--clients", type=int, default=4)
+    parser.add_argument("--overhead-queries", type=int, default=9,
+                        help="queries per overhead trial")
+    parser.add_argument("--pairs", type=int, default=3,
+                        help="on/off trial pairs for the overhead gate")
+    parser.add_argument("--max-overhead", type=float, default=0.05,
+                        help="allowed telemetry throughput loss "
+                             "(0.05 = within 5%%)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small sizes for CI; gates stay on")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        args.rows = min(args.rows, 6_000)
+        args.batches = min(args.batches, 5)
+        args.trials = min(args.trials, 20)
+        args.load_queries = min(args.load_queries, 10)
+        args.rate = min(args.rate, 20.0)
+        args.overhead_queries = min(args.overhead_queries, 6)
+
+    print(f"convergence: {args.rows:,} rows x {args.batches} batches "
+          f"x {args.trials} trials, seed {args.seed}")
+    convergence = _bench_convergence(
+        args.rows, args.batches, args.trials, args.seed
+    )
+    for entry in convergence:
+        reached = ", ".join(
+            f"±{float(eps):.0%} in {secs:.3f}s"
+            for eps, secs in sorted(
+                entry["time_to"].items(), key=lambda kv: -float(kv[0])
+            )
+        ) or "no target reached"
+        print(f"  {entry['query']:<10} first answer "
+              f"{entry['first_answer_s']:.3f}s; {reached}")
+
+    print(f"load: {args.load_queries} queries at {args.rate}/s over "
+          f"{args.clients} clients (open loop)")
+    load = _bench_load(
+        args.rows, args.batches, args.trials, args.seed,
+        args.load_queries, args.rate, args.clients,
+    )
+    fa = load["first_answer_s"] or {}
+    conv = load["convergence_s"] or {}
+    print(f"  completed {load['completed']}/{load['submitted']} "
+          f"({load['rejected']} rejected, {load['errors']} errors) "
+          f"at {load['throughput_qps']:.2f} q/s")
+    if fa:
+        print(f"  first answer  p50={fa['p50'] * 1e3:7.1f}ms  "
+              f"p95={fa['p95'] * 1e3:7.1f}ms  "
+              f"p99={fa['p99'] * 1e3:7.1f}ms")
+    if conv:
+        print(f"  time to ±1%   p50={conv['p50'] * 1e3:7.1f}ms  "
+              f"p95={conv['p95'] * 1e3:7.1f}ms  "
+              f"p99={conv['p99'] * 1e3:7.1f}ms  "
+              f"({load['reached_target']} reached)")
+
+    print(f"overhead: {args.pairs} alternating on/off pairs x "
+          f"{args.overhead_queries} queries")
+    overhead = _bench_overhead(
+        args.rows, args.batches, args.trials, args.seed,
+        args.overhead_queries, args.pairs,
+    )
+    print(f"  telemetry on  {overhead['best_on_s']:.3f}s best "
+          f"({overhead['throughput_on_qps']:.2f} q/s)")
+    print(f"  telemetry off {overhead['best_off_s']:.3f}s best "
+          f"({overhead['throughput_off_qps']:.2f} q/s)")
+    print(f"  ratio {overhead['throughput_ratio']:.4f}  "
+          f"identical={overhead['identical_results']}")
+
+    results = {
+        "benchmark": "bench_serve",
+        "smoke": args.smoke,
+        "cpu_count": os.cpu_count(),
+        "seed": args.seed,
+        "rows": args.rows,
+        "batches": args.batches,
+        "trials": args.trials,
+        "convergence": convergence,
+        "load": load,
+        "overhead": overhead,
+        "max_overhead": args.max_overhead,
+    }
+
+    failures = []
+    if load["errors"]:
+        failures.append(f"load phase saw {load['errors']} client errors")
+    if load["completed"] == 0:
+        failures.append("load phase completed no queries")
+    if not overhead["identical_results"]:
+        failures.append(
+            "telemetry on/off runs produced different results"
+        )
+    floor = 1.0 - args.max_overhead
+    if overhead["throughput_ratio"] < floor:
+        failures.append(
+            f"telemetry overhead gate: on/off throughput ratio "
+            f"{overhead['throughput_ratio']:.4f} < {floor:.2f}"
+        )
+    results["failures"] = failures
+
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(results, fh, indent=2)
+            fh.write("\n")
+        print(f"results written to {args.json}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

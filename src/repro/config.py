@@ -257,6 +257,16 @@ class ServeConfig:
             concurrent queries over the same table (same ``num_batches``
             / ``seed`` / ``shuffle``) instead of re-slicing per query.
         scan_cache_entries: Maximum distinct partition lists kept (LRU).
+        telemetry: Record serve-layer telemetry (SLO quantile
+            histograms, sliding-window rates, per-query convergence
+            streams; served at ``/metrics`` and
+            ``/queries/<id>/telemetry``).  Telemetry never changes query
+            results — disabling it only darkens the observability
+            surface.
+        drain_timeout_s: On graceful shutdown (SIGTERM), how long to
+            wait for in-flight queries to finish refining before they
+            are cancelled with their latest snapshot.  0 cancels
+            immediately.
     """
 
     host: str = "127.0.0.1"
@@ -269,6 +279,8 @@ class ServeConfig:
     snapshot_queue: int = 256
     scan_cache: bool = True
     scan_cache_entries: int = 8
+    telemetry: bool = True
+    drain_timeout_s: float = 10.0
 
     def __post_init__(self) -> None:
         if self.max_concurrent < 1:
@@ -285,6 +297,8 @@ class ServeConfig:
             raise ValueError("snapshot_queue must be >= 1")
         if self.scan_cache_entries < 1:
             raise ValueError("scan_cache_entries must be >= 1")
+        if self.drain_timeout_s < 0:
+            raise ValueError("drain_timeout_s must be >= 0")
 
     @classmethod
     def parse(cls, spec: str) -> "ServeConfig":
@@ -457,6 +471,10 @@ class GolaConfig:
         trace_path: Also write every span/event as one JSON object per
             line to this path (the ``python -m repro report`` input).
             Setting a path implies tracing.
+        trace_rotate_mb: Rotate the ``trace_path`` JSONL file once it
+            exceeds this many megabytes, keeping two rolled backups
+            (``.1``, ``.2``).  0 (the default) never rotates — the
+            pre-rotation behavior.
         metrics: Collect counters/gauges/histograms in the tracer's
             :class:`~repro.obs.MetricsRegistry` even when span tracing
             is off.  Tracing implies metrics.
@@ -486,6 +504,7 @@ class GolaConfig:
     trial_aware_uncertain: bool = True
     trace: bool = False
     trace_path: Optional[str] = None
+    trace_rotate_mb: float = 0.0
     metrics: bool = False
     faults: FaultsConfig = field(default_factory=FaultsConfig)
     parallel: ParallelConfig = field(default_factory=ParallelConfig)
@@ -503,6 +522,8 @@ class GolaConfig:
             raise ValueError("epsilon_multiplier must be >= 0")
         if self.max_quantile_sample < 16:
             raise ValueError("max_quantile_sample must be >= 16")
+        if self.trace_rotate_mb < 0:
+            raise ValueError("trace_rotate_mb must be >= 0")
 
     def with_options(self, **kwargs) -> "GolaConfig":
         """Return a copy of this config with the given fields replaced."""

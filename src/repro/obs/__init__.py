@@ -16,14 +16,36 @@ engine component one cheap, injectable instrumentation surface:
   ``python -m repro report``), and :class:`AggregatingSink` (in-memory
   per-span statistics the console renders live);
 * :func:`load_events` / :func:`render_profile` — turn a JSONL event log
-  back into per-phase / per-operator profile tables.
+  back into per-phase / per-operator profile tables;
+* :mod:`repro.obs.live` — bounded log-bucketed quantile histograms
+  (:class:`LogBuckets`) and sliding-window aggregations
+  (:class:`SlidingWindow`, :class:`WindowedHistogram`) backing the
+  serve layer's live ``/metrics`` surface.
 
 A process-wide default tracer exists (:func:`get_tracer` /
 :func:`set_tracer`) but every consumer also accepts an explicit
 instance, so tests and concurrent sessions can stay isolated.
 """
 
-from .metrics import Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot
+from .live import (
+    BUCKETS_PER_OCTAVE,
+    GROWTH,
+    LogBuckets,
+    SlidingWindow,
+    WindowedHistogram,
+    WindowSnapshot,
+    bucket_key,
+    bucket_upper_edge,
+    quantile_from_cumulative,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramSnapshot,
+    MetricsRegistry,
+    MetricsSnapshot,
+)
 from .report import (
     ProfileReport,
     build_profile,
@@ -44,23 +66,33 @@ from .tracer import (
 
 __all__ = [
     "AggregatingSink",
+    "BUCKETS_PER_OCTAVE",
     "Counter",
+    "GROWTH",
     "Gauge",
     "Histogram",
+    "HistogramSnapshot",
     "JsonlSink",
+    "LogBuckets",
     "MetricsRegistry",
     "MetricsSnapshot",
     "NULL_TRACER",
     "NullSink",
     "ProfileReport",
+    "SlidingWindow",
     "Span",
     "TeeSink",
     "Timer",
     "TraceSink",
     "Tracer",
+    "WindowSnapshot",
+    "WindowedHistogram",
+    "bucket_key",
+    "bucket_upper_edge",
     "build_profile",
     "get_tracer",
     "load_events",
+    "quantile_from_cumulative",
     "render_profile",
     "render_recovery",
     "set_tracer",

@@ -14,6 +14,8 @@ import threading
 from dataclasses import dataclass, field
 from typing import Dict
 
+from .live import LogBuckets
+
 
 class Counter:
     """A monotonically increasing count (rows folded, rebuilds, ...).
@@ -49,10 +51,15 @@ class Histogram:
     """Streaming summary of a value distribution (batch seconds, ...).
 
     Keeps count/total/min/max plus a sum of squares so snapshots expose
-    mean and standard deviation; all five merge associatively.
+    mean and standard deviation, and a bounded log-bucket store
+    (:class:`~repro.obs.live.LogBuckets`) so they expose quantiles.
+    Memory is O(occupied buckets) — bounded by the float64 exponent
+    range, never by the number of observations — and everything merges
+    associatively.
     """
 
-    __slots__ = ("count", "total", "sq_total", "min", "max", "_lock")
+    __slots__ = ("count", "total", "sq_total", "min", "max", "buckets",
+                 "_lock")
 
     def __init__(self) -> None:
         self.count = 0
@@ -60,6 +67,7 @@ class Histogram:
         self.sq_total = 0.0
         self.min = math.inf
         self.max = -math.inf
+        self.buckets = LogBuckets()
         self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
@@ -72,6 +80,7 @@ class Histogram:
                 self.min = value
             if value > self.max:
                 self.max = value
+            self.buckets.observe(value)
 
     @property
     def mean(self) -> float:
@@ -84,6 +93,14 @@ class Histogram:
         var = self.sq_total / self.count - self.mean ** 2
         return math.sqrt(max(var, 0.0))
 
+    def snapshot(self) -> "HistogramSnapshot":
+        """A consistent plain-data view (taken under the lock)."""
+        with self._lock:
+            return HistogramSnapshot(
+                count=self.count, total=self.total, sq_total=self.sq_total,
+                min=self.min, max=self.max, buckets=self.buckets.copy(),
+            )
+
 
 @dataclass
 class HistogramSnapshot:
@@ -94,10 +111,15 @@ class HistogramSnapshot:
     sq_total: float = 0.0
     min: float = math.inf
     max: float = -math.inf
+    buckets: LogBuckets = field(default_factory=LogBuckets)
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else float("nan")
+
+    def quantile(self, q: float) -> float:
+        """Quantile estimate, accurate to one log bucket (~9%)."""
+        return self.buckets.quantile(q)
 
     def merge(self, other: "HistogramSnapshot") -> "HistogramSnapshot":
         return HistogramSnapshot(
@@ -106,6 +128,7 @@ class HistogramSnapshot:
             sq_total=self.sq_total + other.sq_total,
             min=min(self.min, other.min),
             max=max(self.max, other.max),
+            buckets=self.buckets.merge(other.buckets),
         )
 
 
@@ -187,11 +210,7 @@ class MetricsRegistry:
             counters={n: c.value for n, c in self._counters.items()},
             gauges={n: g.value for n, g in self._gauges.items()},
             histograms={
-                n: HistogramSnapshot(
-                    count=h.count, total=h.total, sq_total=h.sq_total,
-                    min=h.min, max=h.max,
-                )
-                for n, h in self._histograms.items()
+                n: h.snapshot() for n, h in self._histograms.items()
             },
         )
 

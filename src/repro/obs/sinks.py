@@ -16,6 +16,7 @@ live aggregation).
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass
 from typing import Dict, List, Optional, TextIO, Union
 
@@ -49,9 +50,18 @@ class JsonlSink(TraceSink):
 
     Accepts a path (opened lazily, owned and closed by the sink) or an
     already-open file-like object (borrowed, only flushed).
+
+    Owned paths can rotate: when the current file exceeds ``max_bytes``
+    or ``max_lines`` (0 disables either cap), it is rolled to
+    ``<path>.1`` (existing backups shifting to ``.2``, ... up to
+    ``backups``, oldest dropped) and a fresh file is started — so a
+    long-running ``repro serve --trace`` keeps at most
+    ``(backups + 1) * max_bytes`` of trace on disk.  Borrowed file
+    objects never rotate.
     """
 
-    def __init__(self, target: Union[str, "TextIO"]):
+    def __init__(self, target: Union[str, "TextIO"],
+                 max_bytes: int = 0, max_lines: int = 0, backups: int = 2):
         self._path: Optional[str] = None
         self._file: Optional[TextIO] = None
         if isinstance(target, str):
@@ -59,13 +69,42 @@ class JsonlSink(TraceSink):
         else:
             self._file = target
         self._owns = self._path is not None
+        self.max_bytes = int(max_bytes)
+        self.max_lines = int(max_lines)
+        self.backups = max(int(backups), 0)
+        self._bytes = 0
+        self._lines = 0
+
+    def _over_limit(self) -> bool:
+        return (
+            (self.max_bytes > 0 and self._bytes >= self.max_bytes)
+            or (self.max_lines > 0 and self._lines >= self.max_lines)
+        )
+
+    def _rotate(self) -> None:
+        self._file.close()
+        self._file = None
+        for i in range(self.backups, 1, -1):
+            older = f"{self._path}.{i - 1}"
+            if os.path.exists(older):
+                os.replace(older, f"{self._path}.{i}")
+        if self.backups > 0:
+            os.replace(self._path, f"{self._path}.1")
+        else:
+            os.remove(self._path)
+        self._bytes = 0
+        self._lines = 0
 
     def emit(self, record: dict) -> None:
+        if self._owns and self._file is not None and self._over_limit():
+            self._rotate()
         if self._file is None:
             self._file = open(self._path, "w", encoding="utf-8")
-        self._file.write(
-            json.dumps(record, separators=(",", ":"), default=str) + "\n"
-        )
+        line = json.dumps(record, separators=(",", ":"), default=str) + "\n"
+        self._file.write(line)
+        if self._owns:
+            self._bytes += len(line.encode("utf-8"))
+            self._lines += 1
 
     def close(self) -> None:
         if self._file is None:

@@ -275,6 +275,9 @@ def tracer_from_config(config) -> Tracer:
         return get_tracer()
     sinks: List[TraceSink] = [AggregatingSink()]
     if trace_path is not None:
-        sinks.append(JsonlSink(str(trace_path)))
+        rotate_mb = float(getattr(config, "trace_rotate_mb", 0.0) or 0.0)
+        sinks.append(JsonlSink(
+            str(trace_path), max_bytes=int(rotate_mb * 2 ** 20),
+        ))
     sink = sinks[0] if len(sinks) == 1 else TeeSink(*sinks)
     return Tracer(sink, metrics=MetricsRegistry(enabled=True))

@@ -13,7 +13,13 @@ GolaSession` into that shared service:
 * :class:`SnapshotStream` / :func:`encode_snapshot` — per-query
   replayable pub/sub snapshot records with non-blocking backpressure;
 * :class:`GolaServer` — a stdlib HTTP/JSON front end streaming NDJSON
-  (``python -m repro serve``).
+  (``python -m repro serve``), with graceful SIGTERM drain;
+* :class:`ServeTelemetry` / :class:`QueryTelemetry` — live SLO
+  histograms, sliding-window rates and per-query convergence streams
+  behind ``GET /metrics`` (Prometheus text) and
+  ``GET /queries/<id>/telemetry`` (NDJSON);
+* :class:`LoadGenerator` — a seeded Poisson open/closed-loop load
+  harness (``python -m repro loadgen``, ``benchmarks/bench_serve.py``).
 
 Every query's snapshot stream is bit-identical to running it alone — the
 scheduler multiplexes *scheduling*, never the per-query RNG streams or
@@ -21,6 +27,7 @@ block state.
 """
 
 from .cache import BatchScanCache, table_bytes
+from .loadgen import LoadGenerator, LoadSpec
 from .scheduler import (
     CANCELLED,
     DONE,
@@ -30,19 +37,41 @@ from .scheduler import (
     QUEUED,
     RUNNING,
     TERMINAL_STATES,
+    DrainingError,
     QueryScheduler,
     ScheduledQuery,
 )
 from .server import GolaServer
 from .stream import SnapshotStream, encode_snapshot
+from .telemetry import (
+    EPSILONS,
+    PROMETHEUS_CONTENT_TYPE,
+    PrometheusFamily,
+    QueryTelemetry,
+    ServeTelemetry,
+    parse_prometheus,
+    relative_half_width,
+    render_prometheus,
+)
 
 __all__ = [
     "BatchScanCache",
+    "DrainingError",
+    "EPSILONS",
     "GolaServer",
+    "LoadGenerator",
+    "LoadSpec",
+    "PROMETHEUS_CONTENT_TYPE",
+    "PrometheusFamily",
     "QueryScheduler",
+    "QueryTelemetry",
     "ScheduledQuery",
+    "ServeTelemetry",
     "SnapshotStream",
     "encode_snapshot",
+    "parse_prometheus",
+    "relative_half_width",
+    "render_prometheus",
     "table_bytes",
     "QUEUED",
     "RUNNING",

@@ -42,6 +42,7 @@ from ..faults import FaultInjector, RetryPolicy
 from ..obs import MetricsRegistry, Tracer, tracer_from_config
 from .cache import BatchScanCache, table_bytes
 from .stream import SnapshotStream, encode_snapshot
+from .telemetry import ServeTelemetry
 
 #: Lifecycle states of a scheduled query.
 QUEUED = "queued"
@@ -54,6 +55,14 @@ EXPIRED = "expired"
 
 #: States a query never leaves.
 TERMINAL_STATES = frozenset({DONE, CANCELLED, FAILED, EXPIRED})
+
+
+class DrainingError(AdmissionError):
+    """Submission refused because the scheduler is draining for shutdown.
+
+    A subclass of :class:`AdmissionError` so existing 429 handling still
+    applies, but the HTTP layer maps it to 503 (the server is going
+    away — retrying against this process is pointless)."""
 
 
 class ScheduledQuery:
@@ -189,6 +198,12 @@ class QueryScheduler:
             session.config, tracer=self.tracer
         )
         self._submit_retry = RetryPolicy.from_faults(session.config.faults)
+        #: Serve-layer telemetry hub (SLO histograms, sliding windows,
+        #: per-query convergence streams); purely observational.
+        self.telemetry = ServeTelemetry(
+            self.tracer.metrics, enabled=self.serve.telemetry,
+            stream_depth=self.serve.snapshot_queue,
+        )
         self._cond = threading.Condition()
         self._queries: Dict[str, ScheduledQuery] = {}
         self._queue: "deque[ScheduledQuery]" = deque()
@@ -196,6 +211,7 @@ class QueryScheduler:
         self._seq = itertools.count(1)
         self._thread: Optional[threading.Thread] = None
         self._shutdown = False
+        self._draining = False
         self.completed_order: List[str] = []
 
     # -- lifecycle -------------------------------------------------------
@@ -211,6 +227,52 @@ class QueryScheduler:
                 )
                 self._thread.start()
         return self
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def begin_drain(self) -> None:
+        """Stop admitting new queries; in-flight queries keep refining."""
+        with self._cond:
+            self._draining = True
+            self._cond.notify_all()
+
+    def drain(self, timeout_s: float = 10.0) -> bool:
+        """Graceful shutdown: refuse admissions, let in-flight queries
+        finish for up to ``timeout_s``, then cancel the stragglers.
+
+        Returns True when every query finished on its own (nothing was
+        cancelled).  The scheduler stays usable for status/stream reads;
+        call :meth:`close` afterwards to release pools.
+        """
+        self.begin_drain()
+        clean = self.wait(timeout=timeout_s if timeout_s > 0 else 0.001)
+        if not clean:
+            for run in list(self._queries.values()):
+                if not run.is_terminal:
+                    self.cancel(run.id)
+            self.wait(timeout=5.0)
+        return clean
+
+    def stats(self) -> dict:
+        """Live scheduler counts (the ``/healthz`` body's core)."""
+        with self._cond:
+            by_state: Dict[str, int] = {}
+            for run in self._queries.values():
+                by_state[run.state] = by_state.get(run.state, 0) + 1
+            info = {
+                "queries": len(self._queries),
+                "running": len(self._running),
+                "queued": len(self._queue),
+                "completed": len(self.completed_order),
+                "by_state": by_state,
+                "draining": self._draining,
+                "shutdown": self._shutdown,
+            }
+        if self.scan_cache is not None:
+            info["scan_cache"] = self.scan_cache.stats
+        return info
 
     def close(self) -> None:
         """Stop the loop, cancel whatever is still live, release pools."""
@@ -292,6 +354,12 @@ class QueryScheduler:
         with self._cond:
             if self._shutdown:
                 raise AdmissionError("scheduler is shut down")
+            if self._draining:
+                if metrics.enabled:
+                    metrics.counter("scheduler.rejected").inc()
+                raise DrainingError(
+                    "scheduler is draining; not admitting new queries"
+                )
             active = len(self._running)
             if (active >= self.serve.max_concurrent
                     and len(self._queue) >= self.serve.queue_depth):
@@ -310,8 +378,10 @@ class QueryScheduler:
             )
             self._queries[qid] = run
             self._queue.append(run)
+            self.telemetry.on_submitted(run)
             if metrics.enabled:
                 metrics.counter("serve.submitted").inc()
+                metrics.gauge("scheduler.queue_depth").set(len(self._queue))
             if self.tracer.enabled:
                 self.tracer.event("serve.submitted", query=qid,
                                   priority=priority)
@@ -335,6 +405,15 @@ class QueryScheduler:
     def subscribe(self, qid: str) -> Iterator[dict]:
         """Iterate a query's snapshot records from the start, then live."""
         return self.get(qid).stream.subscribe()
+
+    def subscribe_telemetry(self, qid: str) -> Iterator[dict]:
+        """Iterate a query's convergence-telemetry records.
+
+        KeyError for unknown ids, and also when telemetry is disabled
+        (no convergence stream exists for any query then).
+        """
+        self.get(qid)  # unknown id -> KeyError with the usual message
+        return self.telemetry.subscription(qid)
 
     def cancel(self, qid: str, wait_s: float = 5.0) -> dict:
         """Request cancellation; returns the (usually final) status.
@@ -474,9 +553,11 @@ class QueryScheduler:
             run.state = RUNNING
             run.started_at = time.monotonic()
             self._running.append(run)
+            self.telemetry.on_admitted(run)
             if metrics.enabled:
                 metrics.counter("scheduler.admitted").inc()
                 metrics.gauge("scheduler.running").set(len(self._running))
+                metrics.gauge("scheduler.queue_depth").set(len(self._queue))
             if self.tracer.enabled:
                 self.tracer.event("scheduler.admitted", query=run.id)
 
@@ -521,6 +602,7 @@ class QueryScheduler:
             if tracer.enabled:
                 tracer.event("fault.step_retry", query=run.id,
                              attempts=failures)
+        step_started = time.perf_counter()
         try:
             with tracer.span("scheduler.step", query=run.id,
                              batch=run.batches_done + 1):
@@ -528,6 +610,7 @@ class QueryScheduler:
         except Exception as exc:  # a real crash: quarantine, don't spread
             self._quarantine(run, exc)
             return False
+        step_s = time.perf_counter() - step_started
         if metrics.enabled:
             metrics.counter("scheduler.steps").inc()
         if snapshot is None:
@@ -542,6 +625,7 @@ class QueryScheduler:
         run.snapshots.append(snapshot)
         run.last_snapshot = snapshot
         run.stream.publish(encode_snapshot(run.id, snapshot))
+        self.telemetry.on_snapshot(run, snapshot, step_s)
         if metrics.enabled:
             metrics.counter("serve.snapshots").inc()
         reached_target = False
@@ -592,10 +676,12 @@ class QueryScheduler:
                 pass
         run.stream.close(final=run._end_record())
         self.completed_order.append(run.id)
+        self.telemetry.on_finalized(run)
         metrics = self.tracer.metrics
         if metrics.enabled:
             metrics.counter(f"scheduler.{state}").inc()
             metrics.gauge("scheduler.running").set(len(self._running))
+            metrics.gauge("scheduler.queue_depth").set(len(self._queue))
         if self.tracer.enabled:
             self.tracer.event("scheduler.finalized", query=run.id,
                               state=state, batches=run.batches_done)

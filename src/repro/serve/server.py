@@ -12,8 +12,16 @@ client can submit G-OLA queries and watch their estimates refine live:
 * ``GET /query/<id>/status`` — current state/estimate summary.
 * ``DELETE /query/<id>`` — cancel.
 * ``GET /queries`` — every known query's status.
-* ``GET /metrics`` — the shared metrics registry (counters/gauges).
-* ``GET /healthz`` — liveness probe.
+* ``GET /metrics`` — the shared metrics registry in Prometheus text
+  exposition format (counters, gauges, log-bucket histograms, sliding
+  10s/1m/5m window statistics).
+* ``GET /metrics.json`` — the same registry as JSON (counters/gauges
+  plus per-histogram summaries), for ad-hoc scripting.
+* ``GET /queries/<id>/telemetry`` (alias ``/query/<id>/telemetry``) —
+  the query's convergence telemetry as NDJSON: one CI-width-vs-wallclock
+  record per snapshot, closed by a summary with time-to-±ε.
+* ``GET /healthz`` — liveness plus scheduler stats (state ``serving``
+  or ``draining``, uptime, query counts, cache stats).
 
 Streaming uses HTTP/1.0 semantics (no ``Content-Length``, connection
 close marks end-of-stream) so no chunked-encoding code is needed; each
@@ -31,7 +39,9 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import signal
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional
 
@@ -44,10 +54,18 @@ from ..errors import (
     PlanError,
     ReproError,
 )
-from .scheduler import QueryScheduler
+from .scheduler import DrainingError, QueryScheduler
+from .telemetry import PROMETHEUS_CONTENT_TYPE, render_prometheus
 
 _CONFIG_FIELDS = {f.name: f.type for f in dataclasses.fields(GolaConfig)}
 _FAULT_FIELDS = {f.name: f.type for f in dataclasses.fields(FaultsConfig)}
+
+
+def _finite_or_none(value: float) -> Optional[float]:
+    value = float(value)
+    if value != value or value in (float("inf"), float("-inf")):
+        return None
+    return value
 
 
 def _apply_overrides(config: GolaConfig, overrides: dict,
@@ -104,6 +122,9 @@ class _Handler(BaseHTTPRequestHandler):
         elif isinstance(exc, KeyError):
             self._send_json(404, {"error": "NotFound",
                                   "message": str(exc).strip("'\"")})
+        elif isinstance(exc, DrainingError):
+            # Shutting down: retrying against this process is pointless.
+            self._send_error_json(503, exc)
         elif isinstance(exc, AdmissionError):
             self._send_error_json(429, exc)
         elif isinstance(exc, InjectedFault):
@@ -154,25 +175,68 @@ class _Handler(BaseHTTPRequestHandler):
         path = self.path.rstrip("/") or "/"
         try:
             if path == "/healthz":
-                self._send_json(200, {"ok": True})
+                self._send_json(200, self._health_body(scheduler))
             elif path == "/queries":
                 self._send_json(200, {"queries": scheduler.queries()})
             elif path == "/metrics":
+                self._send_prometheus(scheduler)
+            elif path == "/metrics.json":
                 snap = scheduler.metrics_snapshot()
                 self._send_json(200, {
                     "counters": dict(snap.counters),
                     "gauges": dict(snap.gauges),
+                    "histograms": {
+                        name: {
+                            "count": h.count,
+                            "mean": None if h.mean != h.mean else h.mean,
+                            "p50": _finite_or_none(h.quantile(0.50)),
+                            "p95": _finite_or_none(h.quantile(0.95)),
+                            "p99": _finite_or_none(h.quantile(0.99)),
+                        }
+                        for name, h in snap.histograms.items()
+                    },
                 })
             elif path.startswith("/query/") and path.endswith("/status"):
                 qid = path[len("/query/"):-len("/status")]
                 self._send_json(200, scheduler.status(qid))
             elif path.startswith("/query/") and path.endswith("/snapshots"):
                 qid = path[len("/query/"):-len("/snapshots")]
-                self._stream_snapshots(scheduler, qid)
+                self._stream_ndjson(scheduler.subscribe(qid))
+            elif path.startswith("/query/") and path.endswith("/telemetry"):
+                qid = path[len("/query/"):-len("/telemetry")]
+                self._stream_ndjson(scheduler.subscribe_telemetry(qid))
+            elif (path.startswith("/queries/")
+                    and path.endswith("/telemetry")):
+                qid = path[len("/queries/"):-len("/telemetry")]
+                self._stream_ndjson(scheduler.subscribe_telemetry(qid))
             else:
                 self._send_json(404, {"error": "NotFound", "message": path})
         except Exception as exc:
             self._fail(exc)
+
+    def _health_body(self, scheduler: QueryScheduler) -> dict:
+        stats = scheduler.stats()
+        body = {
+            "ok": True,
+            "state": "draining" if stats["draining"] else "serving",
+            "scheduler": stats,
+        }
+        started = getattr(self.server, "started_at", None)
+        if started is not None:
+            body["uptime_s"] = round(time.monotonic() - started, 3)
+        return body
+
+    def _send_prometheus(self, scheduler: QueryScheduler) -> None:
+        text = render_prometheus(
+            scheduler.metrics_snapshot(),
+            extra_samples=scheduler.telemetry.window_samples(),
+        )
+        body = text.encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", PROMETHEUS_CONTENT_TYPE)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
 
     def do_DELETE(self) -> None:  # noqa: N802 - stdlib casing
         path = self.path.rstrip("/")
@@ -197,8 +261,7 @@ class _Handler(BaseHTTPRequestHandler):
             return
         self._send_json(200, status)
 
-    def _stream_snapshots(self, scheduler: QueryScheduler, qid: str) -> None:
-        subscription = scheduler.subscribe(qid)  # raises KeyError early
+    def _stream_ndjson(self, subscription) -> None:
         self.send_response(200)
         self.send_header("Content-Type", "application/x-ndjson")
         self.send_header("Cache-Control", "no-cache")
@@ -239,6 +302,7 @@ class GolaServer:
         self.port = port if port is not None else serve.port
         self._httpd: Optional[_Server] = None
         self._thread: Optional[threading.Thread] = None
+        self.started_at: Optional[float] = None
 
     @property
     def url(self) -> str:
@@ -251,6 +315,8 @@ class GolaServer:
         self.scheduler.start()
         self._httpd = _Server((self.host, self.port), _Handler,
                               self.scheduler)
+        self._httpd.started_at = time.monotonic()
+        self.started_at = self._httpd.started_at
         self.port = self._httpd.server_address[1]
         self._thread = threading.Thread(
             target=self._httpd.serve_forever, name="repro-http", daemon=True
@@ -258,18 +324,54 @@ class GolaServer:
         self._thread.start()
         return self
 
-    def serve_forever(self) -> None:
-        """Start and block until interrupted (the CLI entry point)."""
+    def serve_forever(self, ready=None) -> None:
+        """Start and block until SIGTERM/SIGINT, then shut down
+        gracefully: stop admissions, drain in-flight queries (up to
+        ``serve.drain_timeout_s``), close streams, release pools.
+
+        Signal handlers are installed only when running on the main
+        thread (the CLI path) and restored on exit; elsewhere (tests,
+        embedding) a plain KeyboardInterrupt still triggers the same
+        graceful path.  ``ready`` (if given) is called once the server
+        is listening *and* the handlers are installed — anything the
+        caller announces from it (a "serving on ..." banner, a pid
+        file) is therefore a safe signal to start sending SIGTERM.
+        """
         self.start()
+        stop = threading.Event()
+        installed: dict = {}
+        if threading.current_thread() is threading.main_thread():
+            def _request_stop(signum, frame):
+                stop.set()
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                installed[signum] = signal.signal(signum, _request_stop)
+        if ready is not None:
+            ready()
         try:
-            self._thread.join()
+            # A polled wait: Event.wait(None) can block signal delivery
+            # on some platforms; short waits keep handlers responsive.
+            while not stop.is_set():
+                stop.wait(0.5)
         except KeyboardInterrupt:
             pass
         finally:
-            self.shutdown()
+            for signum, previous in installed.items():
+                signal.signal(signum, previous)
+            self.shutdown(drain=True)
 
-    def shutdown(self) -> None:
-        """Stop accepting, end streams, cancel queries, release pools."""
+    def shutdown(self, drain: bool = False) -> None:
+        """Stop accepting, end streams, cancel queries, release pools.
+
+        With ``drain=True`` the scheduler first refuses new admissions
+        and in-flight queries get ``serve.drain_timeout_s`` to finish
+        refining — while the HTTP server stays up, so clients holding
+        snapshot streams see them end cleanly — before anything is
+        cancelled.
+        """
+        if drain and self._httpd is not None:
+            self.scheduler.drain(
+                timeout_s=self.scheduler.serve.drain_timeout_s
+            )
         if self._httpd is not None:
             self._httpd.shutdown()
             self._httpd.server_close()

@@ -52,7 +52,9 @@ class TestHTTPRoundTrip:
     def test_submit_stream_status_metrics(self, server):
         base = server.url
         code, health = get_json(base + "/healthz")
-        assert code == 200 and health == {"ok": True}
+        assert code == 200 and health["ok"] is True
+        assert health["state"] == "serving"
+        assert health["scheduler"]["draining"] is False
 
         code, submitted = post_json(base + "/query", {"sql": SBI_QUERY})
         assert code == 201
@@ -79,7 +81,7 @@ class TestHTTPRoundTrip:
         assert code == 200 and status["state"] == "done"
         code, listing = get_json(base + "/queries")
         assert [q["id"] for q in listing["queries"]] == [qid]
-        code, metrics = get_json(base + "/metrics")
+        code, metrics = get_json(base + "/metrics.json")
         assert metrics["counters"]["serve.snapshots"] == CONFIG.num_batches
 
     def test_per_query_config_and_target(self, server):
