@@ -10,6 +10,8 @@ Commands:
     submit    submit a query to a running server, stream its snapshots
     fuzz      differential query fuzzing across every execution path
     calibrate measure empirical bootstrap-CI coverage vs nominal
+    chaos     kill/hang/corrupt workers mid-run; assert answers are
+              bit-identical to serial
 """
 
 from __future__ import annotations
@@ -331,6 +333,38 @@ def _calibrate(args) -> int:
     return main_calibrate(args)
 
 
+def _chaos(args) -> int:
+    import dataclasses
+    import json
+
+    from .faults.chaos import ChaosRunner, ChaosSpec
+
+    spec = ChaosSpec.smoke() if args.smoke else ChaosSpec()
+    overrides = {}
+    if args.queries:
+        overrides["queries"] = tuple(
+            q.strip().lower() for q in args.queries.split(",") if q.strip()
+        )
+    for name in ("rows", "batches", "workers", "seed"):
+        value = getattr(args, name)
+        if value is not None:
+            overrides[name] = value
+    if args.no_killer:
+        overrides["external_killer"] = False
+    if overrides:
+        spec = dataclasses.replace(spec, **overrides)
+    report = ChaosRunner(
+        spec, progress=lambda msg: print(msg, file=sys.stderr)
+    ).run()
+    text = json.dumps(report, indent=2, sort_keys=True)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    print(text)
+    return 0 if report["identical"] else 1
+
+
 def _queries(args) -> int:
     from .workloads import (
         ADSTREAM_QUERIES,
@@ -563,6 +597,32 @@ def main(argv=None) -> int:
              "'calibration_runs=200,calibration_fraction=0.5'",
     )
     calibrate.set_defaults(fn=_calibrate)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run the paper workload while workers are SIGKILLed, "
+             "suspended and corrupted; assert snapshots bit-identical "
+             "to serial",
+    )
+    chaos.add_argument("--smoke", action="store_true",
+                       help="CI-sized campaign: one query, small table")
+    chaos.add_argument("--queries", default=None, metavar="NAMES",
+                       help="comma-separated workload queries "
+                            "(default sbi,c3,q17; smoke: sbi)")
+    chaos.add_argument("--rows", type=int, default=None,
+                       help="rows in each generated workload table")
+    chaos.add_argument("--batches", type=int, default=None,
+                       help="mini-batches per run")
+    chaos.add_argument("--workers", type=int, default=None,
+                       help="supervised pool size (default 4)")
+    chaos.add_argument("--seed", type=int, default=None,
+                       help="seed for data, faults and the killer")
+    chaos.add_argument("--no-killer", action="store_true",
+                       help="disable the external SIGKILL/SIGSTOP "
+                            "thread (in-band injection only)")
+    chaos.add_argument("--out", default=None, metavar="PATH",
+                       help="write the JSON chaos report here")
+    chaos.set_defaults(fn=_chaos)
 
     args = parser.parse_args(argv)
     return args.fn(args)

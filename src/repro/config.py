@@ -38,6 +38,20 @@ class FaultsConfig:
             and the run degrades (skip-and-reweight).
         row_corruption_prob: Probability that a CSV input row is
             corrupted at load time (exercises the quarantine path).
+        worker_kill_prob: Per-attempt probability that a pool worker is
+            SIGKILLed mid-task (``parallel.worker_kill``).  The
+            supervisor detects the broken pool, rebuilds it and
+            re-dispatches only the lost shards.
+        worker_hang_prob: Per-attempt probability that a pool worker
+            hangs for ``worker_hang_s`` (``parallel.worker_hang``);
+            detected at the task deadline, the pool is abandoned and the
+            shard re-dispatched.
+        worker_hang_s: How long an injected hang sleeps.  Keep it above
+            the task deadline so the hang is detected as such.
+        result_corrupt_prob: Per-attempt probability that a worker's
+            partial aggregate state comes back corrupted
+            (``parallel.result_corrupt``); the merge-time integrity
+            check rejects it and the shard is re-executed.
         submit_failure_prob: Per-attempt probability that admitting a
             query to the serving scheduler fails (``serve.submit``).
             Failures within ``max_retries`` are retried transparently;
@@ -67,6 +81,10 @@ class FaultsConfig:
     task_timeout_factor: float = 3.0
     batch_failure_prob: float = 0.0
     row_corruption_prob: float = 0.0
+    worker_kill_prob: float = 0.0
+    worker_hang_prob: float = 0.0
+    worker_hang_s: float = 30.0
+    result_corrupt_prob: float = 0.0
     submit_failure_prob: float = 0.0
     step_failure_prob: float = 0.0
     max_retries: int = 3
@@ -80,6 +98,8 @@ class FaultsConfig:
     def __post_init__(self) -> None:
         for name in ("task_failure_prob", "straggler_prob",
                      "batch_failure_prob", "row_corruption_prob",
+                     "worker_kill_prob", "worker_hang_prob",
+                     "result_corrupt_prob",
                      "submit_failure_prob", "step_failure_prob"):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
@@ -88,6 +108,8 @@ class FaultsConfig:
             raise ValueError("straggler_factor must be >= 1")
         if self.task_timeout_factor < 1.0:
             raise ValueError("task_timeout_factor must be >= 1")
+        if self.worker_hang_s < 0.0:
+            raise ValueError("worker_hang_s must be >= 0")
         if self.max_retries < 0:
             raise ValueError("max_retries must be >= 0")
         if self.retry_backoff_s < 0.0:
@@ -158,12 +180,29 @@ class ParallelConfig:
             dependency level of the meta-plan) out across a thread pool.
         min_shard_rows: Batches smaller than this skip sharding — the
             per-task overhead would exceed the kernel time.
+        supervise: Run shard tasks under the supervised execution layer
+            (``repro.parallel.supervisor``): per-task deadlines, broken
+            pool detection and rebuild, lost-shard re-dispatch, poison
+            quarantine and merge-time integrity checks.  Because shard
+            payloads are stateless per-(batch, trial) specs, every
+            recovery re-execution is bit-identical, so supervision never
+            changes results.
+        task_deadline_s: A shard task still running this many seconds
+            after dispatch is declared hung; the pool is abandoned
+            (workers killed) and the task re-dispatched.  0 disables
+            hang detection.
+        task_retries: How many failed pool attempts (crash, hang,
+            corrupt result) one shard tolerates before it is quarantined
+            and run serially on the coordinator.
     """
 
     workers: int = 0
     backend: str = "process"
     block_fanout: bool = True
     min_shard_rows: int = 2048
+    supervise: bool = True
+    task_deadline_s: float = 60.0
+    task_retries: int = 2
 
     def __post_init__(self) -> None:
         if self.workers < 0:
@@ -174,6 +213,10 @@ class ParallelConfig:
             )
         if self.min_shard_rows < 0:
             raise ValueError("min_shard_rows must be >= 0")
+        if self.task_deadline_s < 0:
+            raise ValueError("task_deadline_s must be >= 0")
+        if self.task_retries < 0:
+            raise ValueError("task_retries must be >= 0")
 
     @property
     def enabled(self) -> bool:

@@ -27,7 +27,7 @@ import numpy as np
 from ..config import GolaConfig
 from ..engine.aggregates import GroupIndex, UDAFRegistry
 from ..engine.executor import BatchExecutor
-from ..errors import CheckpointError, ExecutionError
+from ..errors import CheckpointError, ExecutionError, ShardLostError
 from ..estimate.bootstrap import PoissonWeightSource
 from ..estimate.intervals import basic_intervals, relative_stdevs
 from ..estimate.variation import VariationRange
@@ -86,12 +86,18 @@ class QueryController:
         )
         self.streamed_table = self.meta_plan.streamed_table
         self.runtimes = self.meta_plan.runtimes
+        self.injector = FaultInjector.from_config(config, tracer=self.tracer)
         # A scheduler may inject a pool shared by many concurrent
         # queries; the controller then must not close it between runs.
+        # An executor the controller builds itself shares the run's
+        # injector, so supervised-pool fault streams are checkpointed
+        # and restored with everything else.
         self._owns_parallel = parallel is None
         self.parallel = (
             parallel if parallel is not None
-            else ParallelExecutor.from_config(config, tracer=self.tracer)
+            else ParallelExecutor.from_config(
+                config, tracer=self.tracer, injector=self.injector
+            )
         )
         #: Optional shared :class:`~repro.serve.BatchScanCache`; when
         #: set, mini-batch partitions come from (and are shared through)
@@ -110,7 +116,6 @@ class QueryController:
             for spec in self.meta_plan.static_specs
         }
         self.main_runtime = self.meta_plan.main_runtime
-        self.injector = FaultInjector.from_config(config, tracer=self.tracer)
         self._retry_policy = RetryPolicy.from_faults(config.faults)
         self._run_state: Optional[dict] = None
         self._exec: Optional[dict] = None
@@ -328,10 +333,39 @@ class QueryController:
                             "faults.batch_retries"
                         ).inc(failures)
                 ex["folded"] += 1
-                snapshot = self._run_batch(
-                    i, batch, ex["weight_source"], ex["retained"],
-                    ex["k"], ex["folded"], ex["skipped"], ex["lost_rows"],
-                )
+                try:
+                    snapshot = self._run_batch(
+                        i, batch, ex["weight_source"], ex["retained"],
+                        ex["k"], ex["folded"], ex["skipped"],
+                        ex["lost_rows"],
+                    )
+                except ShardLostError as exc:
+                    # The supervised pool exhausted its whole recovery
+                    # ladder (retries + serial fallback) for a shard of
+                    # this batch.  Degrade exactly like a failed batch
+                    # load: skip-and-reweight over the batches actually
+                    # folded, never abort the run.  Blocks that folded
+                    # the batch before the loss keep their contribution
+                    # — a slight approximation on an already-degraded
+                    # (flagged) estimate.
+                    ex["folded"] -= 1
+                    ex["skipped"].append(i)
+                    ex["lost_rows"] += batch.num_rows
+                    retained = ex["retained"]
+                    if retained and retained[-1][0] is batch:
+                        # Keep retained batches consistent with the
+                        # skip: a dropped batch must not resurface in
+                        # later uncertain-set rebuilds.
+                        retained.pop()
+                    if tracer.enabled:
+                        tracer.event("fault.shard_lost", batch_index=i,
+                                     error=str(exc))
+                    if tracer.metrics.enabled:
+                        tracer.metrics.counter("faults.shards_lost").inc()
+                    snapshot = self._skip_batch(
+                        i, batch, ex["k"], ex["folded"], ex["skipped"],
+                        ex["lost_rows"],
+                    )
             self._run_state = {
                 "batch_index": i, "folded": ex["folded"],
                 "skipped": list(ex["skipped"]),

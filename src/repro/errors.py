@@ -49,6 +49,22 @@ class ExecutionError(ReproError):
     """A runtime failure while evaluating a plan."""
 
 
+class ShardLostError(ExecutionError):
+    """A parallel shard task was permanently lost despite supervision.
+
+    Raised by :mod:`repro.parallel.supervisor` only after the full
+    recovery ladder failed: pool retries exhausted, the task quarantined
+    and its serial fallback on the coordinator *also* failed.  The
+    controller maps this onto the skip-and-reweight degraded path (the
+    batch is dropped, later snapshots are flagged ``degraded``) instead
+    of aborting the run.
+    """
+
+    def __init__(self, task_index: int, message: str):
+        self.task_index = task_index
+        super().__init__(f"[shard {task_index}] {message}")
+
+
 class SchemaError(ReproError):
     """Inconsistent schema: unknown column, duplicate name, type mismatch."""
 

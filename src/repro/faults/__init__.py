@@ -24,6 +24,7 @@ batches actually folded (sound because batches are uniform random,
 hence exchangeable), with snapshots flagged ``degraded``.
 """
 
+from .chaos import ChaosRunner, ChaosSpec, snapshot_fingerprint
 from .checkpoint import (
     RunCheckpoint,
     config_fingerprint,
@@ -42,6 +43,8 @@ from .policy import RetryPolicy
 from .quarantine import QuarantinedRow, RowQuarantine
 
 __all__ = [
+    "ChaosRunner",
+    "ChaosSpec",
     "FAULT_KINDS",
     "FaultInjector",
     "FaultPoint",
@@ -55,4 +58,5 @@ __all__ = [
     "fault_points",
     "query_fingerprint",
     "register_fault_point",
+    "snapshot_fingerprint",
 ]

@@ -27,7 +27,7 @@ from ..estimate.random_source import derive_rng
 from ..obs import NULL_TRACER, Tracer
 
 #: The fault kinds a point may declare.
-FAULT_KINDS = ("task", "straggler", "batch", "row", "serve")
+FAULT_KINDS = ("task", "straggler", "batch", "row", "serve", "worker")
 
 
 @dataclass(frozen=True)
@@ -86,6 +86,21 @@ register_fault_point(
 register_fault_point(
     "storage.row", "row",
     "an input row is corrupted at load time and quarantined",
+)
+register_fault_point(
+    "parallel.worker_kill", "worker",
+    "a pool worker is SIGKILLed mid-shard; the supervisor rebuilds the "
+    "pool and re-dispatches the lost shards",
+)
+register_fault_point(
+    "parallel.worker_hang", "worker",
+    "a pool worker hangs past the task deadline; the pool is abandoned "
+    "and the shard re-dispatched",
+)
+register_fault_point(
+    "parallel.result_corrupt", "worker",
+    "a worker's partial aggregate state is corrupted in flight; the "
+    "merge-time integrity check rejects it and the shard re-runs",
 )
 register_fault_point(
     "serve.submit", "serve",
@@ -162,6 +177,34 @@ class FaultInjector:
         rng = self._rng(point)
         slow = rng.random(num_tasks) < self.config.straggler_prob
         return np.where(slow, self.config.straggler_factor, 1.0)
+
+    def worker_faults(self, num_tasks: int) -> Dict[str, np.ndarray]:
+        """Per-task worker-fault plans for one supervised ``map``.
+
+        Returns ``{"kill": k, "hang": h, "corrupt": c}`` where each
+        entry is an ``(num_tasks,)`` int array: attempt ``a`` of task
+        ``t`` is injected with that fault while ``a < plan[t]`` (so a
+        task's first clean attempt is deterministic).  Draw order is
+        fixed (kill, hang, corrupt from their own streams), keeping the
+        plans independent of each other and of every other fault point.
+        """
+        n = max(num_tasks, 0)
+        zeros = np.zeros(n, dtype=np.int64)
+        if not self.enabled or n == 0:
+            return {"kill": zeros, "hang": zeros.copy(),
+                    "corrupt": zeros.copy()}
+        cfg = self.config
+        plans = {}
+        for key, point, prob in (
+            ("kill", "parallel.worker_kill", cfg.worker_kill_prob),
+            ("hang", "parallel.worker_hang", cfg.worker_hang_prob),
+            ("corrupt", "parallel.result_corrupt", cfg.result_corrupt_prob),
+        ):
+            if prob <= 0.0:
+                plans[key] = zeros.copy()
+            else:
+                plans[key] = self._failures(self._rng(point), prob, n)
+        return plans
 
     def batch_load_failures(self, point: str) -> int:
         """Failed attempts before a mini-batch load would succeed."""

@@ -1,12 +1,20 @@
-"""Recovery policies: bounded retry with exponential backoff.
+"""Recovery policies: bounded retry with exponential backoff + jitter.
 
 One policy object is shared by every layer that retries — the cluster
-simulator's task re-execution and the controller's mini-batch reloads —
-so "how patient is the system" is a single configuration surface.
+simulator's task re-execution, the controller's mini-batch reloads, the
+supervised worker pool and the load generator's resubmissions — so "how
+patient is the system" is a single configuration surface.
+
+:meth:`RetryPolicy.delay` is the deterministic exponential *cap*;
+:meth:`RetryPolicy.jittered_delay` draws seeded **full jitter**
+(``uniform(0, cap)``, AWS-style) so many actors retrying the same
+failure never synchronize into a retry storm, while two runs with the
+same seeds still sleep identical sequences.
 """
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 
 from ..config import FaultsConfig
@@ -16,11 +24,12 @@ from ..config import FaultsConfig
 class RetryPolicy:
     """Bounded retries with exponential backoff.
 
-    ``delay(attempt)`` is the pause before retry ``attempt`` (0-based):
-    ``backoff_s * backoff_factor ** attempt``.  An operation that fails
-    more than ``max_retries`` times is permanently failed and handed to
-    the caller's degradation path (skip-and-reweight for batches, stage
-    failure for simulated tasks).
+    ``delay(attempt)`` is the pause cap before retry ``attempt``
+    (0-based): ``backoff_s * backoff_factor ** attempt``.  An operation
+    that fails more than ``max_retries`` times is permanently failed and
+    handed to the caller's degradation path (skip-and-reweight for
+    batches, stage failure for simulated tasks, poison quarantine for
+    supervised shards).
     """
 
     max_retries: int = 3
@@ -36,13 +45,30 @@ class RetryPolicy:
         )
 
     def delay(self, attempt: int) -> float:
-        """Backoff pause before 0-based retry ``attempt``."""
+        """Deterministic backoff cap before 0-based retry ``attempt``."""
         if attempt < 0:
             raise ValueError("attempt must be >= 0")
         return self.backoff_s * self.backoff_factor ** attempt
 
+    def jitter_rng(self, seed: int, actor: str) -> random.Random:
+        """A per-actor jitter stream: same (seed, actor) → same sleeps.
+
+        Distinct actors (``"loadgen:c3"``, ``"supervisor:shard"``,
+        ``"scheduler:q7"``) draw from decorrelated streams, which is the
+        whole point — concurrent retriers spread out instead of waking
+        in lockstep.
+        """
+        return random.Random(f"{seed}:{actor}:retry-jitter")
+
+    def jittered_delay(self, attempt: int,
+                       rng: "random.Random") -> float:
+        """Full-jitter pause before retry ``attempt``: uniform in
+        ``[0, delay(attempt)]``, drawn from ``rng`` (seeded, so runs
+        replay the exact same pauses)."""
+        return rng.uniform(0.0, self.delay(attempt))
+
     def total_delay(self, attempts: int) -> float:
-        """Summed backoff across the first ``attempts`` retries."""
+        """Summed backoff caps across the first ``attempts`` retries."""
         return sum(self.delay(a) for a in range(attempts))
 
     def gives_up_after(self, failures: int) -> bool:

@@ -11,12 +11,22 @@ seed derivation and merge semantics.
 from .executor import SERIAL_EXECUTOR, ParallelExecutor
 from .pool import WorkerPool
 from .shards import make_shard_payloads, run_fold_shard, shard_ranges
+from .supervisor import (
+    CORRUPT_SENTINEL,
+    SupervisedPool,
+    WorkerKilledError,
+    validate_fold_shard,
+)
 
 __all__ = [
+    "CORRUPT_SENTINEL",
     "SERIAL_EXECUTOR",
     "ParallelExecutor",
+    "SupervisedPool",
+    "WorkerKilledError",
     "WorkerPool",
     "make_shard_payloads",
     "run_fold_shard",
     "shard_ranges",
+    "validate_fold_shard",
 ]

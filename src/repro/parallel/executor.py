@@ -28,9 +28,11 @@ import numpy as np
 from ..config import ParallelConfig
 from ..engine.aggregates import AggState
 from ..estimate.bootstrap import as_batch_weights
+from ..faults import FaultInjector, NULL_INJECTOR, RetryPolicy
 from ..obs import NULL_TRACER
 from .pool import WorkerPool
 from .shards import make_shard_payloads, run_fold_shard, shard_ranges
+from .supervisor import SupervisedPool, validate_fold_shard
 
 
 #: Trial columns folded per inline chunk on the streamed serial path:
@@ -43,18 +45,30 @@ class ParallelExecutor:
     """Shards bootstrap folds and fans out block tasks."""
 
     def __init__(self, config: Optional[ParallelConfig] = None,
-                 tracer=None):
+                 tracer=None, injector: Optional[FaultInjector] = None):
         self.config = config if config is not None else ParallelConfig()
         self.tracer = tracer if tracer is not None else NULL_TRACER
-        self._shard_pool: Optional[WorkerPool] = None
+        #: Fault source for the supervised shard pool (worker kill/hang/
+        #: corrupt plans); disabled by default.
+        self.injector = injector if injector is not None else NULL_INJECTOR
+        self._shard_pool = None
         self._block_pool: Optional[WorkerPool] = None
 
     @classmethod
-    def from_config(cls, config, tracer=None) -> "ParallelExecutor":
+    def from_config(cls, config, tracer=None,
+                    injector: Optional[FaultInjector] = None
+                    ) -> "ParallelExecutor":
         """Build from a :class:`~repro.config.GolaConfig` (or a
-        :class:`~repro.config.ParallelConfig` directly)."""
+        :class:`~repro.config.ParallelConfig` directly).
+
+        Given a full ``GolaConfig`` and no explicit ``injector``, an
+        injector is derived from its faults section so supervised pools
+        inject the run's configured worker faults.
+        """
         parallel = getattr(config, "parallel", config)
-        return cls(parallel, tracer=tracer)
+        if injector is None and hasattr(config, "faults"):
+            injector = FaultInjector.from_config(config, tracer=tracer)
+        return cls(parallel, tracer=tracer, injector=injector)
 
     @property
     def enabled(self) -> bool:
@@ -171,12 +185,40 @@ class ParallelExecutor:
 
     # -- lifecycle -------------------------------------------------------
 
-    def _ensure_shard_pool(self) -> WorkerPool:
+    def _ensure_shard_pool(self):
+        """The shard pool — supervised unless configured off.
+
+        Shard tasks are stateless per-(batch, trial) specs, exactly the
+        contract :class:`SupervisedPool` needs for bit-identical
+        re-dispatch; the serial backend runs inline and needs none of
+        it, so it keeps the plain pool.
+        """
         if self._shard_pool is None:
-            self._shard_pool = WorkerPool(
-                self.config.workers, backend=self.config.backend
-            )
+            cfg = self.config
+            if cfg.supervise and cfg.backend != "serial":
+                self._shard_pool = SupervisedPool(
+                    cfg.workers, backend=cfg.backend,
+                    deadline_s=cfg.task_deadline_s,
+                    retries=cfg.task_retries,
+                    injector=self.injector, tracer=self.tracer,
+                    validate=validate_fold_shard,
+                    backoff=RetryPolicy.from_faults(self.injector.config),
+                )
+            else:
+                self._shard_pool = WorkerPool(
+                    cfg.workers, backend=cfg.backend,
+                    metrics=self.tracer.metrics,
+                )
         return self._shard_pool
+
+    def worker_pids(self) -> List[int]:
+        """Live shard-pool worker PIDs ([] before first use / threads).
+
+        The chaos harness uses this to pick real SIGKILL/SIGSTOP victims
+        while a run is in flight.
+        """
+        pool = self._shard_pool
+        return pool.worker_pids() if pool is not None else []
 
     def close(self) -> None:
         """Release both pools (idempotent; pools restart lazily)."""

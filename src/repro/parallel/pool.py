@@ -14,26 +14,36 @@ Three interchangeable backends:
 
 Pools are created lazily on first use and must be released with
 :meth:`WorkerPool.close` (the controller does this when a run finishes).
+The crash/hang-supervised layer (``repro.parallel.supervisor``) wraps
+this class; ``WorkerPool`` itself stays a thin executor shim.
 """
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 from concurrent.futures import Executor, ProcessPoolExecutor, \
     ThreadPoolExecutor
 from typing import Callable, List, Optional, Sequence
 
+logger = logging.getLogger("repro.parallel")
+
 
 class WorkerPool:
     """A lazily-started pool of ``workers`` executing ordered maps."""
 
-    def __init__(self, workers: int, backend: str = "process"):
+    def __init__(self, workers: int, backend: str = "process",
+                 metrics=None):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if backend not in ("process", "thread", "serial"):
             raise ValueError(f"unknown pool backend {backend!r}")
         self.workers = workers
         self.backend = backend
+        #: Optional :class:`~repro.obs.MetricsRegistry`; when set, a
+        #: forced process→thread degradation bumps ``parallel.degraded``
+        #: so degraded runs show up in ``/metrics`` and ``repro report``.
+        self.metrics = metrics
         self._executor: Optional[Executor] = None
 
     def _ensure_executor(self) -> Optional[Executor]:
@@ -54,15 +64,42 @@ class WorkerPool:
                     self._executor = ProcessPoolExecutor(
                         max_workers=self.workers, mp_context=ctx
                     )
-                except (OSError, PermissionError):
+                except (OSError, PermissionError) as exc:
                     # Sandboxed/restricted environment: degrade to
-                    # threads rather than failing the run.
+                    # threads rather than failing the run — but never
+                    # silently; the backend swap changes the performance
+                    # (and fault-isolation) profile of the whole run.
+                    logger.warning(
+                        "process pool unavailable (%s: %s); degrading "
+                        "pool backend to threads", type(exc).__name__, exc,
+                    )
+                    if self.metrics is not None and self.metrics.enabled:
+                        self.metrics.counter("parallel.degraded").inc()
                     self.backend = "thread"
                     self._executor = ThreadPoolExecutor(
                         max_workers=self.workers,
                         thread_name_prefix="repro-pool",
                     )
         return self._executor
+
+    def executor(self) -> Optional[Executor]:
+        """The live executor (created on demand; None for serial)."""
+        return self._ensure_executor()
+
+    def worker_pids(self) -> List[int]:
+        """PIDs of the live process-pool workers ([] for thread/serial).
+
+        Reaches into :class:`ProcessPoolExecutor` internals — there is
+        no public enumeration — so it degrades to [] if the attribute
+        ever moves.  Used by the supervisor (to kill hung workers) and
+        the chaos harness (to pick SIGKILL victims).
+        """
+        executor = self._executor
+        procs = getattr(executor, "_processes", None)
+        if not procs:
+            return []
+        return [pid for pid, proc in list(procs.items())
+                if proc.is_alive()]
 
     def map(self, fn: Callable, tasks: Sequence) -> List:
         """Apply ``fn`` to every task, returning results in task order."""
@@ -82,6 +119,29 @@ class WorkerPool:
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
+
+    def abandon(self) -> None:
+        """Tear the executor down *without* waiting: kill process-pool
+        workers outright, drop thread-pool threads on the floor.
+
+        This is the supervisor's hang/crash escape hatch — ``close()``
+        would block forever behind a hung worker.  SIGKILL also works on
+        SIGSTOPed (suspended) workers, so a suspended pool is reaped the
+        same way.  Idempotent; the next :meth:`map` builds a fresh pool.
+        """
+        executor, self._executor = self._executor, None
+        if executor is None:
+            return
+        procs = getattr(executor, "_processes", None) or {}
+        for proc in list(procs.values()):
+            try:
+                proc.kill()
+            except (OSError, AttributeError, ValueError):
+                pass  # already dead / already reaped
+        try:
+            executor.shutdown(wait=False, cancel_futures=True)
+        except TypeError:  # Python < 3.9: no cancel_futures
+            executor.shutdown(wait=False)
 
     def __enter__(self) -> "WorkerPool":
         return self

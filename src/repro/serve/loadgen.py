@@ -32,6 +32,7 @@ import urllib.request
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..faults import RetryPolicy
 from ..workloads import SBI_QUERY
 
 #: (name, sql, weight) over the tables ``repro serve`` registers.
@@ -64,6 +65,12 @@ class LoadSpec:
         num_batches: Per-query ``num_batches`` override (0 = server
             default).
         timeout_s: Per-request HTTP timeout.
+        max_resubmits: How many times a rejected submission (429/503
+            carrying ``Retry-After``) is resubmitted after honoring the
+            server's hint; 0 gives up immediately (the old behavior).
+        retry_after_cap_s: Upper bound on one honored ``Retry-After``
+            wait — a load generator should not sleep through its own
+            measurement window on a server that asks for minutes.
     """
 
     rate_qps: float = 4.0
@@ -77,6 +84,8 @@ class LoadSpec:
     target_rel_width: float = 0.01
     num_batches: int = 0
     timeout_s: float = 120.0
+    max_resubmits: int = 2
+    retry_after_cap_s: float = 10.0
     mix: Tuple[Tuple[str, str, float], ...] = DEFAULT_MIX
 
     def __post_init__(self) -> None:
@@ -110,6 +119,7 @@ class _Outcome:
     name: str
     ok: bool = False
     rejected: bool = False
+    resubmits: int = 0
     abandoned: bool = False
     error: Optional[str] = None
     state: Optional[str] = None
@@ -118,6 +128,22 @@ class _Outcome:
     convergence_s: Optional[float] = None
     total_s: float = 0.0
     lateness_s: float = 0.0
+
+
+def _retry_after_s(exc: "urllib.error.HTTPError") -> Optional[float]:
+    """The response's ``Retry-After`` in seconds, if parseable.
+
+    Only the delta-seconds form is supported (what this server sends);
+    an HTTP-date value is ignored rather than mis-slept.
+    """
+    value = exc.headers.get("Retry-After") if exc.headers else None
+    if value is None:
+        return None
+    try:
+        seconds = float(value)
+    except ValueError:
+        return None
+    return seconds if seconds >= 0 else None
 
 
 def _percentiles(values: Sequence[float]) -> Optional[Dict[str, float]]:
@@ -225,25 +251,43 @@ class LoadGenerator:
         body: dict = {"sql": arrival.sql}
         if spec.num_batches > 0:
             body["config"] = {"num_batches": spec.num_batches}
-        request = urllib.request.Request(
-            base_url + "/query", method="POST",
-            data=json.dumps(body).encode("utf-8"),
-            headers={"Content-Type": "application/json"},
-        )
+        data = json.dumps(body).encode("utf-8")
+        # A backpressure rejection that names its price (Retry-After)
+        # is honored: wait what the server asked (capped) plus seeded
+        # full jitter so retrying clients don't stampede back together,
+        # then resubmit — up to the budget.
+        policy = RetryPolicy()
+        jitter = policy.jitter_rng(spec.seed, f"loadgen:{arrival.index}")
         t0 = time.perf_counter()
-        try:
-            with urllib.request.urlopen(
-                request, timeout=spec.timeout_s
-            ) as resp:
-                submitted = json.loads(resp.read())
-        except urllib.error.HTTPError as exc:
-            outcome.rejected = exc.code in (429, 503)
-            outcome.error = f"HTTP {exc.code}"
-            exc.close()
-            return outcome
-        except OSError as exc:
-            outcome.error = f"{type(exc).__name__}: {exc}"
-            return outcome
+        while True:
+            request = urllib.request.Request(
+                base_url + "/query", method="POST", data=data,
+                headers={"Content-Type": "application/json"},
+            )
+            try:
+                with urllib.request.urlopen(
+                    request, timeout=spec.timeout_s
+                ) as resp:
+                    submitted = json.loads(resp.read())
+                break
+            except urllib.error.HTTPError as exc:
+                retry_after = _retry_after_s(exc)
+                exc.close()
+                if (exc.code in (429, 503) and retry_after is not None
+                        and outcome.resubmits < spec.max_resubmits):
+                    outcome.resubmits += 1
+                    time.sleep(
+                        min(retry_after, spec.retry_after_cap_s)
+                        + policy.jittered_delay(outcome.resubmits - 1,
+                                                jitter)
+                    )
+                    continue
+                outcome.rejected = exc.code in (429, 503)
+                outcome.error = f"HTTP {exc.code}"
+                return outcome
+            except OSError as exc:
+                outcome.error = f"{type(exc).__name__}: {exc}"
+                return outcome
         qid = submitted["id"]
         try:
             with urllib.request.urlopen(
@@ -285,6 +329,9 @@ class LoadGenerator:
             return False
         rel = abs(hi - lo) / (2.0 * abs(estimate))
         return rel <= self.spec.target_rel_width
+
+    def _resubmitted_ok(self, outcome: _Outcome) -> bool:
+        return outcome.ok and outcome.resubmits > 0
 
     def _cancel(self, base_url: str, qid: str) -> None:
         request = urllib.request.Request(
@@ -329,6 +376,10 @@ class LoadGenerator:
             "submitted": len(outcomes),
             "completed": len(completed),
             "rejected": sum(o.rejected for o in outcomes),
+            "resubmits": sum(o.resubmits for o in outcomes),
+            "recovered_by_resubmit": sum(
+                1 for o in outcomes if self._resubmitted_ok(o)
+            ),
             "abandoned": sum(o.abandoned for o in outcomes),
             "errors": sum(
                 1 for o in outcomes if o.error and not o.rejected

@@ -274,6 +274,25 @@ class QueryScheduler:
             info["scan_cache"] = self.scan_cache.stats
         return info
 
+    def retry_after_hint(self) -> int:
+        """Whole seconds a refused client should wait before retrying.
+
+        Sent as the ``Retry-After`` header on 429/503.  Draining (or
+        shut down): the full drain window — this process is going away,
+        and after that long either a replacement is up or there is
+        nothing to retry against.  At capacity: one second per *wave*
+        of queued queries ahead of a new arrival (``queue_depth /
+        max_concurrent`` rounded up), clamped to [1, 30] — coarse on
+        purpose; its job is spreading thundering herds, not predicting
+        service time.
+        """
+        with self._cond:
+            if self._draining or self._shutdown:
+                return max(1, int(self.serve.drain_timeout_s + 0.999))
+            queued = len(self._queue)
+        waves = 1 + queued // max(1, self.serve.max_concurrent)
+        return min(30, max(1, waves))
+
     def close(self) -> None:
         """Stop the loop, cancel whatever is still live, release pools."""
         with self._cond:

@@ -31,8 +31,11 @@ records (see :class:`~repro.serve.stream.SnapshotStream`), never the
 scheduler's progress.
 
 Error mapping: bad SQL/parameters → 400, unknown id → 404, DELETE of an
-already-terminal query → 409, admission refused → 429, injected
-``serve.submit`` fault → 503.
+already-terminal query → 409, admission refused → 429, draining /
+injected ``serve.submit`` fault / snapshots of a quarantined (failed)
+query → 503.  Backpressure responses (429 and the retryable 503s) carry
+a ``Retry-After`` header derived from queue depth and drain state
+(:meth:`QueryScheduler.retry_after_hint`); ``repro loadgen`` honors it.
 """
 
 from __future__ import annotations
@@ -54,7 +57,7 @@ from ..errors import (
     PlanError,
     ReproError,
 )
-from .scheduler import DrainingError, QueryScheduler
+from .scheduler import FAILED, DrainingError, QueryScheduler
 from .telemetry import PROMETHEUS_CONTENT_TYPE, render_prometheus
 
 _CONFIG_FIELDS = {f.name: f.type for f in dataclasses.fields(GolaConfig)}
@@ -103,32 +106,50 @@ class _Handler(BaseHTTPRequestHandler):
     def log_message(self, format, *args):  # noqa: A002 - stdlib signature
         pass  # HTTP access logging would drown the trace/metrics output
 
-    def _send_json(self, code: int, payload: dict) -> None:
+    def _send_json(self, code: int, payload: dict,
+                   retry_after: Optional[int] = None) -> None:
         body = json.dumps(payload, sort_keys=True).encode("utf-8")
         self.send_response(code)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if retry_after is not None:
+            self.send_header("Retry-After", str(retry_after))
         self.end_headers()
         self.wfile.write(body)
 
-    def _send_error_json(self, code: int, exc: Exception) -> None:
-        self._send_json(code, {
-            "error": type(exc).__name__, "message": str(exc),
-        })
+    def _send_error_json(self, code: int, exc: Exception,
+                         retry_after: Optional[int] = None) -> None:
+        payload = {"error": type(exc).__name__, "message": str(exc)}
+        if retry_after is not None:
+            payload["retry_after_s"] = retry_after
+        self._send_json(code, payload, retry_after=retry_after)
 
     def _fail(self, exc: Exception) -> None:
+        # Backpressure responses (429/503) carry Retry-After so clients
+        # can pace resubmission instead of hammering: derived from queue
+        # depth when at capacity, from the drain window when draining.
         if isinstance(exc, (ParseError, BindError, PlanError, ValueError)):
             self._send_error_json(400, exc)
         elif isinstance(exc, KeyError):
             self._send_json(404, {"error": "NotFound",
                                   "message": str(exc).strip("'\"")})
         elif isinstance(exc, DrainingError):
-            # Shutting down: retrying against this process is pointless.
-            self._send_error_json(503, exc)
+            # Shutting down: retry only after the drain window, against
+            # whatever replaces this process.
+            self._send_error_json(
+                503, exc,
+                retry_after=self.server.scheduler.retry_after_hint(),
+            )
         elif isinstance(exc, AdmissionError):
-            self._send_error_json(429, exc)
+            self._send_error_json(
+                429, exc,
+                retry_after=self.server.scheduler.retry_after_hint(),
+            )
         elif isinstance(exc, InjectedFault):
-            self._send_error_json(503, exc)
+            self._send_error_json(
+                503, exc,
+                retry_after=self.server.scheduler.retry_after_hint(),
+            )
         elif isinstance(exc, ReproError):
             self._send_error_json(500, exc)
         else:
@@ -201,7 +222,20 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_json(200, scheduler.status(qid))
             elif path.startswith("/query/") and path.endswith("/snapshots"):
                 qid = path[len("/query/"):-len("/snapshots")]
-                self._stream_ndjson(scheduler.subscribe(qid))
+                run = scheduler.get(qid)  # KeyError -> 404
+                if run.state == FAILED:
+                    # A quarantined (crashed) query degrades to a 503 on
+                    # *its* stream; the server and every other query's
+                    # stream stay up.  No Retry-After — the failure is
+                    # permanent for this query id.
+                    self._send_json(503, {
+                        "error": "QueryFailed",
+                        "message": run.error or "query failed",
+                        "id": run.id,
+                        "state": run.state,
+                    })
+                else:
+                    self._stream_ndjson(scheduler.subscribe(qid))
             elif path.startswith("/query/") and path.endswith("/telemetry"):
                 qid = path[len("/query/"):-len("/telemetry")]
                 self._stream_ndjson(scheduler.subscribe_telemetry(qid))
