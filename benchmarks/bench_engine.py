@@ -15,8 +15,12 @@ drawing the dense matrix + in-place ``np.add.at`` updates), asserts the
 parallel results are bit-identical to serial, runs the TPC-H/SBI online
 queries for per-query rows/sec and per-batch latency, and writes it all
 to the ``--json`` path.  Exits non-zero when parallel output diverges
-from serial (always) or when the workers=4 bootstrap path fails the 2x
-throughput target (skipped under ``--smoke``).
+from serial (always), when workers=4 fails to beat serial wall-clock on
+a host with >= 4 usable cores (always, including ``--smoke`` — on
+smaller hosts the gate prints a loud warning and records the skip in
+the JSON instead of silently passing), or when the workers=4 bootstrap
+path fails the 2x throughput target vs the seed baseline (full runs
+only).
 """
 
 import numpy as np
@@ -188,7 +192,13 @@ def _bench_baseline(group_idx, values, num_groups, trials, batches, seed):
 def _bench_gola_fold(group_idx, values, trials, batches, seed, workers,
                      backend="thread"):
     """The optimized path: lazy per-(batch, trial) weight handles folded
-    through the ParallelExecutor (serial when workers == 0)."""
+    through the ParallelExecutor (serial when workers == 0).
+
+    Folds are dispatched ``lazy=True`` so batch *i+1*'s weight draw and
+    shared-memory publish overlap batch *i*'s shard merge — the
+    cross-batch pipelining the engine uses; ``drain()`` settles the last
+    pending fold before the clock stops.
+    """
     import time
 
     from repro.config import ParallelConfig
@@ -209,7 +219,9 @@ def _bench_gola_fold(group_idx, values, trials, batches, seed, workers,
     try:
         for _ in range(batches):
             handle = source.batch_weights(len(group_idx))
-            executor.fold_boot_states(states, group_idx, values, handle)
+            executor.fold_boot_states(states, group_idx, values, handle,
+                                      lazy=True)
+        executor.drain()
         elapsed = time.perf_counter() - start
     finally:
         executor.close()
@@ -253,6 +265,11 @@ def _bench_bootstrap_path(rows, trials, batches, workers_list, seed,
         result["modes"].append({
             "mode": "serial" if workers == 0 else f"workers={workers}",
             "workers": workers,
+            # What actually ran: serial folds use no pool at all, so the
+            # effective pool size is 0 — recording it per mode keeps the
+            # JSON honest on hosts with fewer cores than --workers.
+            "backend": "serial" if workers == 0 else backend,
+            "effective_pool_size": workers,
             "seconds": round(elapsed, 4),
             "rows_per_s": round(total_rows / elapsed, 1),
             "speedup_vs_baseline": round(baseline_s / elapsed, 3),
@@ -361,6 +378,22 @@ def _bench_bootstrap_overhead(rows, trials, batches, seed):
     }
 
 
+def _usable_cpus():
+    """Cores this process may actually run on (affinity-aware).
+
+    ``os.cpu_count()`` reports the machine; containers and cgroup CPU
+    sets often allow far fewer.  Both numbers go in the JSON so a
+    "workers=4" result on a 1-core host can't masquerade as a speedup
+    measurement.
+    """
+    import os
+
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # non-Linux
+        return os.cpu_count() or 1
+
+
 def main(argv=None):
     import argparse
     import json
@@ -394,7 +427,9 @@ def main(argv=None):
                              "Outputs are bit-identical either way.")
     parser.add_argument("--seed", type=int, default=2015)
     parser.add_argument("--smoke", action="store_true",
-                        help="small sizes, no speedup gate (CI)")
+                        help="small sizes; skips the 2x-vs-baseline gate "
+                             "but keeps the divergence and "
+                             "workers-beat-serial gates (CI)")
     args = parser.parse_args(argv)
 
     if args.smoke:
@@ -445,10 +480,12 @@ def main(argv=None):
     print(f"bootstrap overhead (SBI, {overhead['trials']} trials vs 2): "
           f"{overhead['overhead_ratio']:.2f}x")
 
+    usable = _usable_cpus()
     results = {
         "benchmark": "bench_engine",
         "smoke": args.smoke,
         "cpu_count": os.cpu_count(),
+        "usable_cpus": usable,
         "bootstrap_path": boot,
         "queries": queries,
         "bootstrap_overhead": overhead,
@@ -462,16 +499,68 @@ def main(argv=None):
             failures.append(
                 f"query {entry['query']} diverged under workers=4"
             )
-    gate = None
-    if not args.smoke:
-        four = [m for m in boot["modes"] if m["workers"] == 4]
-        if four:
-            gate = four[0]["speedup_vs_baseline"]
-            if gate < args.target_speedup:
-                failures.append(
-                    f"workers=4 speedup {gate:.2f}x < "
-                    f"{args.target_speedup:.1f}x target"
-                )
+
+    # Workers-beat-serial gate: on a real multi-core host workers=4 must
+    # be strictly faster than serial wall-clock (smoke included — CI
+    # fails on regression, not just divergence).  On hosts with fewer
+    # usable cores than that the comparison measures IPC overhead, not
+    # parallelism, so the gate is skipped LOUDLY and the skip recorded.
+    serial_mode = next(
+        (m for m in boot["modes"] if m["workers"] == 0), None
+    )
+    four_mode = next(
+        (m for m in boot["modes"] if m["workers"] == 4), None
+    )
+    workers_gate = {
+        "gate": "workers=4 strictly faster than serial",
+        "enforced": False,
+        "passed": None,
+    }
+    if serial_mode is not None:
+        workers_gate["serial_seconds"] = serial_mode["seconds"]
+    if four_mode is not None:
+        workers_gate["workers4_seconds"] = four_mode["seconds"]
+    if serial_mode is None or four_mode is None:
+        workers_gate["reason"] = \
+            "serial or workers=4 mode not in --workers list"
+    elif usable < 4:
+        workers_gate["reason"] = (
+            f"host has {usable} usable core(s), fewer than the 4 "
+            f"workers benchmarked"
+        )
+        print(
+            "=" * 72 + "\n"
+            "WARNING: workers-beat-serial gate SKIPPED, not passed.\n"
+            f"  This host exposes {usable} usable core(s) "
+            f"(os.cpu_count()={os.cpu_count()}), fewer than the 4 "
+            "workers benchmarked;\n"
+            "  the parallel timings above measure dispatch/IPC overhead "
+            "rather than\n"
+            "  parallel speedup.  Re-run on a host with >= 4 usable "
+            "cores to enforce\n"
+            "  the gate.  The skip is recorded under \"workers_gate\" "
+            "in the JSON.\n" + "=" * 72,
+            file=sys.stderr,
+        )
+    else:
+        workers_gate["enforced"] = True
+        workers_gate["passed"] = \
+            four_mode["seconds"] < serial_mode["seconds"]
+        if not workers_gate["passed"]:
+            failures.append(
+                f"workers=4 ({four_mode['seconds']:.3f}s) not strictly "
+                f"faster than serial ({serial_mode['seconds']:.3f}s) "
+                f"on a {usable}-core host"
+            )
+    results["workers_gate"] = workers_gate
+
+    if not args.smoke and four_mode is not None:
+        gate = four_mode["speedup_vs_baseline"]
+        if gate < args.target_speedup:
+            failures.append(
+                f"workers=4 speedup {gate:.2f}x < "
+                f"{args.target_speedup:.1f}x target"
+            )
     results["target_speedup"] = None if args.smoke else args.target_speedup
     results["failures"] = failures
 

@@ -194,6 +194,26 @@ class ParallelConfig:
         task_retries: How many failed pool attempts (crash, hang,
             corrupt result) one shard tolerates before it is quarantined
             and run serially on the coordinator.
+        shared_memory: Publish each folded batch's columns (group
+            indices, aggregate arguments, surviving-row indices) once
+            into ``multiprocessing.shared_memory`` and ship shard
+            payloads as tiny (segment, dtype, shape, offset) specs
+            instead of pickled arrays (``repro.parallel.shm``).  Only
+            affects the process backend; degrades automatically to
+            inline payloads where shared memory is unavailable.  Pure
+            transport — results are bit-identical either way.
+        pipeline: Overlap the coordinator's merge/publish work with the
+            workers' fold of the next dispatch: sharded folds return
+            immediately after dispatch and their partial states are
+            merged at the next synchronization point (publish, snapshot,
+            checkpoint) in dispatch order — which keeps float
+            accumulation order, and therefore every bit of output,
+            identical to the eager path.
+        start_method: Process start method for pool workers: ``"auto"``
+            (fork where available, else the platform default),
+            ``"fork"``, ``"spawn"`` or ``"forkserver"``.  Spawn works
+            because task functions are module-level and payloads are
+            spec-sized; fork stays the default for its startup cost.
     """
 
     workers: int = 0
@@ -203,6 +223,9 @@ class ParallelConfig:
     supervise: bool = True
     task_deadline_s: float = 60.0
     task_retries: int = 2
+    shared_memory: bool = True
+    pipeline: bool = True
+    start_method: str = "auto"
 
     def __post_init__(self) -> None:
         if self.workers < 0:
@@ -217,6 +240,11 @@ class ParallelConfig:
             raise ValueError("task_deadline_s must be >= 0")
         if self.task_retries < 0:
             raise ValueError("task_retries must be >= 0")
+        if self.start_method not in ("auto", "fork", "spawn", "forkserver"):
+            raise ValueError(
+                "start_method must be one of 'auto', 'fork', 'spawn', "
+                "'forkserver'"
+            )
 
     @property
     def enabled(self) -> bool:

@@ -18,6 +18,7 @@ Drives one online query end to end:
 
 from __future__ import annotations
 
+import logging
 from contextlib import nullcontext
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Tuple, Union
@@ -54,6 +55,8 @@ from .uncertain import (
     ScalarSlotState,
     SetSlotState,
 )
+
+logger = logging.getLogger("repro.core")
 
 
 #: Shared no-op scope used when tracing is disabled (nullcontext is
@@ -400,8 +403,21 @@ class QueryController:
                 span.__exit__(None, None, None)
         if self._owns_parallel:
             # Pools restart lazily, so closing here keeps the controller
-            # reusable while releasing workers between runs.
+            # reusable while releasing workers between runs.  close()
+            # also settles pipelined folds and unlinks every
+            # shared-memory segment this run published.
             self.parallel.close()
+        else:
+            # A shared executor (serve scheduler) outlives this query:
+            # settle any fold still in flight so its shared-memory
+            # lease is released now, not at scheduler shutdown.
+            try:
+                self.parallel.drain()
+            except Exception:
+                logger.warning(
+                    "pending sharded folds abandoned at finish",
+                    exc_info=True,
+                )
 
     def release(self) -> None:
         """Finish the run and drop its mini-batch memory.

@@ -749,6 +749,7 @@ class BlockRuntime:
         The copy is detached from the live run: checkpointing between
         batches and continuing does not alias any mutable state.
         """
+        self.executor.drain(self.boot_states)
         return copy.deepcopy(
             {name: getattr(self, name) for name in self._CHECKPOINT_FIELDS}
         )
@@ -759,12 +760,17 @@ class BlockRuntime:
         The incoming dict is deep-copied again so one checkpoint can
         seed several resumed runs.
         """
+        # Settle any in-flight fold against the outgoing states before
+        # they are replaced; a merge deferred past this point would
+        # target a dict nothing reads anymore.
+        self.executor.drain(self.boot_states)
         state = copy.deepcopy(state)
         for name in self._CHECKPOINT_FIELDS:
             setattr(self, name, state[name])
 
     def reset(self) -> None:
         """Drop all folded state (the rebuild entry point)."""
+        self.executor.drain(self.boot_states)
         self._init_states()
         self.presence_counts = np.empty(0, dtype=np.int64)
         self.group_index = GroupIndex()
@@ -1050,7 +1056,8 @@ class BlockRuntime:
         for alias, state in self.exact_states.items():
             state.update(rows.group_idx, rows.values[alias])
         self.executor.fold_boot_states(
-            self.boot_states, rows.group_idx, rows.values, rows.weights
+            self.boot_states, rows.group_idx, rows.values, rows.weights,
+            lazy=True,
         )
 
     def _fold_delta(self, rows: CachedRows, wsrc,
@@ -1071,7 +1078,7 @@ class BlockRuntime:
             state.update(rows.group_idx, rows.values[alias])
         self.executor.fold_boot_states(
             self.boot_states, rows.group_idx, rows.values, wsrc,
-            row_idx=pos,
+            row_idx=pos, lazy=True,
         )
 
     # ------------------------------------------------------------------
@@ -1086,6 +1093,10 @@ class BlockRuntime:
         (G,) boolean mask of groups with at least one qualifying row
         under the current point values.
         """
+        # Pipeline barrier: deferred sharded folds must land before the
+        # bootstrap states are finalized (publish and snapshots both
+        # come through here).
+        self.executor.drain(self.boot_states)
         num_groups = max(self.group_index.num_groups, 1)
         passing = None
         if self.cache.size:

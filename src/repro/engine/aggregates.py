@@ -236,19 +236,25 @@ class AggState:
             self._alloc(groups)
             self.num_groups = groups
 
-    def update(self, group_idx: np.ndarray, values, weights=None) -> None:
+    def update(self, group_idx: np.ndarray, values, weights=None,
+               groups: Optional[int] = None) -> None:
         """Fold a vector of rows into the state.
 
         Args:
             group_idx: ``(n,)`` dense group indices (all >= 0).
             values: ``(n,)`` argument values, or None for COUNT(*).
             weights: None (weight 1), ``(n,)``, or ``(n, W)`` trial weights.
+            groups: Precomputed ``group_idx.max() + 1``; shard workers
+                pass their per-segment memo so multi-alias folds scan
+                the index vector for its max only once.
         """
         group_idx = np.asarray(group_idx, dtype=np.int64)
         n = len(group_idx)
         if n == 0:
             return
-        self.ensure_groups(int(group_idx.max()) + 1)
+        self.ensure_groups(
+            int(group_idx.max()) + 1 if groups is None else groups
+        )
         if values is not None:
             values = np.asarray(values, dtype=np.float64)
             if len(values) != n:

@@ -1,16 +1,22 @@
 """Parallel bootstrap & delta maintenance (``repro.parallel``).
 
-A process/thread worker pool that shards each mini-batch's bootstrap
-trial columns across workers and fans independent lineage blocks out
-across threads, merging partial aggregate states on the coordinator.
-Bit-identical to serial execution for any worker count — see
-``docs/architecture.md`` ("Parallel execution") for the sharding model,
-seed derivation and merge semantics.
+A persistent process/thread worker pool that shards each mini-batch's
+bootstrap trial columns across workers and fans independent lineage
+blocks out across threads, merging partial aggregate states on the
+coordinator.  Batch columns are published once into shared-memory
+segments (``repro.parallel.shm``) so shard payloads are spec-sized and
+workers read zero-copy; sharded folds can be pipelined (dispatch batch
+*i+1* while batch *i* merges/publishes).  Bit-identical to serial
+execution for any worker count and any of these knobs — see
+``docs/parallel-execution.md`` for the sharding model, segment
+lifecycle and pipeline semantics.
 """
 
 from .executor import SERIAL_EXECUTOR, ParallelExecutor
 from .pool import WorkerPool
 from .shards import make_shard_payloads, run_fold_shard, shard_ranges
+from .shm import HAVE_SHM, ArraySpec, ShmLease, ShmRegistry, resolve, \
+    segment_exists
 from .supervisor import (
     CORRUPT_SENTINEL,
     SupervisedPool,
@@ -20,13 +26,19 @@ from .supervisor import (
 
 __all__ = [
     "CORRUPT_SENTINEL",
+    "HAVE_SHM",
+    "ArraySpec",
     "SERIAL_EXECUTOR",
     "ParallelExecutor",
+    "ShmLease",
+    "ShmRegistry",
     "SupervisedPool",
     "WorkerKilledError",
     "WorkerPool",
     "make_shard_payloads",
+    "resolve",
     "run_fold_shard",
+    "segment_exists",
     "shard_ranges",
     "validate_fold_shard",
 ]

@@ -13,6 +13,23 @@ the disabled :data:`SERIAL_EXECUTOR`).  It owns two pools:
   mutate in place) that runs independent lineage blocks of one
   dependency level concurrently.
 
+Two transport/scheduling optimizations ride on top (both default-on,
+both pure transport — outputs never change):
+
+* **Zero-copy publishing** — each folded batch's columns are written
+  once into a shared-memory segment (``repro.parallel.shm``) and every
+  shard payload carries only specs; the executor holds the segment's
+  lease until the batch's shards have merged, then releases it (the
+  registry unlinks at refcount zero, and ``close()`` force-unlinks on
+  teardown so no run can leak ``/dev/shm`` segments).
+* **Pipelined folds** — with ``lazy=True`` a sharded fold returns right
+  after dispatch and is merged at the next drain point (the caller's
+  publish/snapshot/checkpoint), so the coordinator's single-threaded
+  merge/classify/publish work overlaps the workers' compute.  Deferred
+  merges apply in dispatch order per states dict — float addition is
+  not associative, so that order is exactly what keeps every bit
+  identical to the eager path.
+
 Everything here is a pure throughput optimization: outputs are
 bit-identical for any worker count because weight columns come from
 per-(batch, trial) RNG streams and per-cell accumulation order is fixed
@@ -21,7 +38,11 @@ by ``_grouped_sum`` (see ``repro.parallel.shards``).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+import logging
+import threading
+import time
+from collections import OrderedDict
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -32,13 +53,35 @@ from ..faults import FaultInjector, NULL_INJECTOR, RetryPolicy
 from ..obs import NULL_TRACER
 from .pool import WorkerPool
 from .shards import make_shard_payloads, run_fold_shard, shard_ranges
+from .shm import ShmRegistry
 from .supervisor import SupervisedPool, validate_fold_shard
+
+logger = logging.getLogger("repro.parallel")
 
 
 #: Trial columns folded per inline chunk on the streamed serial path:
 #: small enough that a chunk's weights stay cache-resident, large enough
 #: that per-chunk state setup is noise.
 STREAM_CHUNK_COLS = 8
+
+
+class _PendingFold:
+    """One dispatched-but-unmerged sharded fold (the pipeline slot).
+
+    Holds a strong reference to the target states dict (so its ``id``
+    cannot be recycled while pending), the dispatch handle, and the
+    shared-memory lease to release once the merge lands or fails.
+    """
+
+    __slots__ = ("states", "ranges", "handle", "lease", "dispatched_at")
+
+    def __init__(self, states: Dict[str, AggState],
+                 ranges: List[Tuple[int, int]], handle, lease):
+        self.states = states
+        self.ranges = ranges
+        self.handle = handle
+        self.lease = lease
+        self.dispatched_at = time.perf_counter()
 
 
 class ParallelExecutor:
@@ -53,6 +96,13 @@ class ParallelExecutor:
         self.injector = injector if injector is not None else NULL_INJECTOR
         self._shard_pool = None
         self._block_pool: Optional[WorkerPool] = None
+        self._shm: Optional[ShmRegistry] = None
+        #: id(states dict) -> _PendingFold, in dispatch order.  At most
+        #: one entry per states dict: dispatching the next fold first
+        #: merges the previous one, so drains always apply merges in
+        #: dispatch order (the bit-identity invariant).
+        self._pending: "OrderedDict[int, _PendingFold]" = OrderedDict()
+        self._pending_lock = threading.Lock()
 
     @classmethod
     def from_config(cls, config, tracer=None,
@@ -80,7 +130,8 @@ class ParallelExecutor:
                          group_idx: np.ndarray,
                          values: Dict[str, np.ndarray],
                          weights,
-                         row_idx: Optional[np.ndarray] = None) -> None:
+                         row_idx: Optional[np.ndarray] = None,
+                         lazy: bool = False) -> None:
         """Fold one batch's rows into every bootstrap state.
 
         ``weights`` is an ``(n, B)`` array or a batch-weight handle over
@@ -89,6 +140,14 @@ class ParallelExecutor:
         states are sharded along the trial axis across the pool; the
         rest (reservoir quantiles, UDAFs) take the dense path.  Both
         paths produce bit-identical states.
+
+        With ``lazy=True`` (and ``config.pipeline`` on) a pooled fold
+        returns right after its shards are dispatched; the caller must
+        :meth:`drain` before reading ``boot_states`` (the block runtime
+        drains at publish/snapshot/checkpoint/reset).  Dispatching the
+        next fold for the same states dict first merges the previous
+        one, so deferred merges always land in dispatch order and the
+        result stays bit-identical to the eager path.
         """
         weights = as_batch_weights(weights)
         n = len(group_idx)
@@ -111,6 +170,11 @@ class ParallelExecutor:
             and weights.spec() is not None
             and getattr(weights, "_dense", None) is None
         )
+        if not pooled:
+            # Every inline path mutates states directly, so any deferred
+            # merge for this states dict must land first (fold order is
+            # accumulation order).
+            self.drain(boot_states)
         if not pooled and not streamed:
             dense = weights.rows(row_idx)
             for alias, state in boot_states.items():
@@ -139,23 +203,96 @@ class ParallelExecutor:
         backend = cfg.backend if pooled else "stream"
         with tracer.span("parallel.shard", rows_in=n, trials=trials,
                          shards=len(ranges), backend=backend):
+            published, lease = None, None
+            if pooled:
+                lease = self._publish_columns(group_idx, shard_values,
+                                              row_idx)
+                published = lease.specs if lease is not None else None
             payloads = make_shard_payloads(
                 shardable, group_idx, shard_values, weights, ranges,
-                row_idx=row_idx,
+                row_idx=row_idx, published=published,
             )
             if pooled:
-                results = self._ensure_shard_pool().map(
+                handle = self._ensure_shard_pool().map_async(
                     run_fold_shard, payloads
                 )
             else:
                 results = [run_fold_shard(p) for p in payloads]
-        with tracer.span("parallel.merge", shards=len(results)):
-            for (lo, _hi), shard_states in zip(ranges, results):
-                for alias, shard_state in shard_states:
-                    boot_states[alias].merge_columns(shard_state, lo)
         if tracer.metrics.enabled:
             tracer.metrics.counter("parallel.shard_tasks").inc(len(ranges))
             tracer.metrics.counter("parallel.sharded_cells").inc(n * trials)
+        if not pooled:
+            with tracer.span("parallel.merge", shards=len(results)):
+                _merge_shards(boot_states, ranges, results)
+            return
+        pending = _PendingFold(boot_states, ranges, handle, lease)
+        with self._pending_lock:
+            previous = self._pending.pop(id(boot_states), None)
+            self._pending[id(boot_states)] = pending
+        if previous is not None:
+            # Pipeline step: the new dispatch is already running while
+            # the previous batch's partial states merge here.
+            self._merge_pending(previous)
+        if not (lazy and cfg.pipeline):
+            self.drain(boot_states)
+
+    def _publish_columns(self, group_idx, shard_values, row_idx):
+        """Publish one batch's columns to shared memory (None = inline).
+
+        Only worth it for process pools — threads share the address
+        space already — and silently skipped where shared memory is
+        unavailable (the registry degrades itself after one warning).
+        """
+        cfg = self.config
+        if not cfg.shared_memory or cfg.backend != "process":
+            return None
+        if self._shm is None:
+            self._shm = ShmRegistry(metrics=self.tracer.metrics)
+        if not self._shm.available:
+            return None
+        arrays = {"group_idx": np.ascontiguousarray(group_idx)}
+        for alias, arr in shard_values.items():
+            arrays[f"value:{alias}"] = np.ascontiguousarray(arr)
+        if row_idx is not None:
+            arrays["row_idx"] = np.ascontiguousarray(row_idx)
+        return self._shm.publish(arrays)
+
+    def _merge_pending(self, pending: _PendingFold) -> None:
+        """Gather one deferred fold's shards and merge them (in order)."""
+        tracer = self.tracer
+        overlap_s = time.perf_counter() - pending.dispatched_at
+        try:
+            results = pending.handle.result()
+            with tracer.span("parallel.merge", shards=len(results)):
+                _merge_shards(pending.states, pending.ranges, results)
+        finally:
+            if pending.lease is not None:
+                pending.lease.release()
+        if tracer.metrics.enabled:
+            tracer.metrics.counter(
+                "parallel.pipeline_overlap_s"
+            ).inc(overlap_s)
+
+    def drain(self, boot_states: Optional[Dict[str, AggState]] = None,
+              ) -> None:
+        """Merge deferred sharded folds (one states dict, or all).
+
+        The synchronization point of the pipelined path: callers invoke
+        it before any read of ``boot_states`` (publish, snapshot,
+        checkpoint, reset, inline folds).  No-op when nothing is
+        pending; merges apply in dispatch order.
+        """
+        if not self._pending:
+            return
+        with self._pending_lock:
+            if boot_states is None:
+                items = list(self._pending.values())
+                self._pending.clear()
+            else:
+                pending = self._pending.pop(id(boot_states), None)
+                items = [pending] if pending is not None else []
+        for pending in items:
+            self._merge_pending(pending)
 
     # -- block fan-out ---------------------------------------------------
 
@@ -203,13 +340,20 @@ class ParallelExecutor:
                     injector=self.injector, tracer=self.tracer,
                     validate=validate_fold_shard,
                     backoff=RetryPolicy.from_faults(self.injector.config),
+                    start_method=cfg.start_method,
                 )
             else:
                 self._shard_pool = WorkerPool(
                     cfg.workers, backend=cfg.backend,
                     metrics=self.tracer.metrics,
+                    start_method=cfg.start_method,
                 )
         return self._shard_pool
+
+    @property
+    def shm_registry(self) -> Optional[ShmRegistry]:
+        """The live segment registry (None before the first publish)."""
+        return self._shm
 
     def worker_pids(self) -> List[int]:
         """Live shard-pool worker PIDs ([] before first use / threads).
@@ -221,7 +365,22 @@ class ParallelExecutor:
         return pool.worker_pids() if pool is not None else []
 
     def close(self) -> None:
-        """Release both pools (idempotent; pools restart lazily)."""
+        """Drain, unlink shared memory, release pools (idempotent).
+
+        A failed leftover merge is logged and dropped — the states are
+        being discarded anyway — because cleanup must be guaranteed:
+        after ``close()`` no shared-memory segment of this executor
+        exists, whatever the pools were doing.
+        """
+        try:
+            self.drain()
+        except Exception:
+            logger.warning(
+                "pending sharded folds abandoned at close", exc_info=True
+            )
+        if self._shm is not None:
+            self._shm.close()
+            self._shm = None
         if self._shard_pool is not None:
             self._shard_pool.close()
             self._shard_pool = None
@@ -238,6 +397,14 @@ class ParallelExecutor:
 
 def _call(thunk: Callable[[], object]):
     return thunk()
+
+
+def _merge_shards(boot_states: Dict[str, AggState],
+                  ranges: List[Tuple[int, int]], results: List) -> None:
+    """Column-merge shard states back into the live states, in order."""
+    for (lo, _hi), shard_states in zip(ranges, results):
+        for alias, shard_state in shard_states:
+            boot_states[alias].merge_columns(shard_state, lo)
 
 
 #: Shared disabled executor: the default wiring of every BlockRuntime.

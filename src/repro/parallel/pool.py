@@ -2,9 +2,17 @@
 
 Three interchangeable backends:
 
-* ``process`` — a :class:`concurrent.futures.ProcessPoolExecutor` using
-  the ``fork`` start method (cheap worker startup, no import replay).
-  Task functions must be module-level and payloads picklable.
+* ``process`` — a :class:`concurrent.futures.ProcessPoolExecutor`.  The
+  start method defaults to ``fork`` where available (cheap worker
+  startup, no import replay) and falls back to the platform default
+  (``spawn`` on macOS/Windows); ``start_method`` pins it explicitly.
+  Task functions must be module-level and payloads picklable — shard
+  payloads are spec-sized (see ``repro.parallel.shm``), so even the
+  spawn path ships only a few primitives per task.
+* Workers are **persistent**: the executor (and therefore its worker
+  processes) lives across ``map`` calls until :meth:`WorkerPool.close`,
+  so per-process caches (attached shared-memory segments, GroupIndex
+  digest memos) stay warm across batches and queries.
 * ``thread`` — a :class:`concurrent.futures.ThreadPoolExecutor`; no
   pickling, relies on numpy releasing the GIL in the hot kernels.
 * ``serial`` — runs tasks inline.  Same code path, zero concurrency;
@@ -33,13 +41,18 @@ class WorkerPool:
     """A lazily-started pool of ``workers`` executing ordered maps."""
 
     def __init__(self, workers: int, backend: str = "process",
-                 metrics=None):
+                 metrics=None, start_method: str = "auto"):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if backend not in ("process", "thread", "serial"):
             raise ValueError(f"unknown pool backend {backend!r}")
+        if start_method not in ("auto", "fork", "spawn", "forkserver"):
+            raise ValueError(f"unknown start method {start_method!r}")
         self.workers = workers
         self.backend = backend
+        #: Process start method; ``"auto"`` prefers ``fork`` and falls
+        #: back to the platform default where fork does not exist.
+        self.start_method = start_method
         #: Optional :class:`~repro.obs.MetricsRegistry`; when set, a
         #: forced process→thread degradation bumps ``parallel.degraded``
         #: so degraded runs show up in ``/metrics`` and ``repro report``.
@@ -56,10 +69,16 @@ class WorkerPool:
                     thread_name_prefix="repro-pool",
                 )
             else:
-                try:
-                    ctx = multiprocessing.get_context("fork")
-                except ValueError:  # platform without fork
-                    ctx = multiprocessing.get_context()
+                if self.start_method == "auto":
+                    try:
+                        ctx = multiprocessing.get_context("fork")
+                    except ValueError:  # platform without fork
+                        ctx = multiprocessing.get_context()
+                else:
+                    # An explicit start method is a hard requirement
+                    # (the spawn-path tests pin it); let an unsupported
+                    # choice raise rather than silently substituting.
+                    ctx = multiprocessing.get_context(self.start_method)
                 try:
                     self._executor = ProcessPoolExecutor(
                         max_workers=self.workers, mp_context=ctx
@@ -114,6 +133,24 @@ class WorkerPool:
         futures = [executor.submit(fn, task) for task in tasks]
         return [f.result() for f in futures]
 
+    def map_async(self, fn: Callable, tasks: Sequence) -> "MapHandle":
+        """Dispatch now, gather later: the pipelining primitive.
+
+        Tasks are submitted before this returns, so workers compute
+        while the caller does other coordinator work; ``.result()``
+        blocks for the ordered results.  Serial (or degraded-to-serial)
+        backends run inline here — there is nothing to overlap with.
+        """
+        tasks = list(tasks)
+        if not tasks or self.backend == "serial":
+            return MapHandle(results=[fn(task) for task in tasks])
+        executor = self._ensure_executor()
+        if executor is None:  # serial after degradation
+            return MapHandle(results=[fn(task) for task in tasks])
+        return MapHandle(
+            futures=[executor.submit(fn, task) for task in tasks]
+        )
+
     def close(self) -> None:
         """Shut the underlying executor down (idempotent)."""
         if self._executor is not None:
@@ -148,3 +185,30 @@ class WorkerPool:
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+
+class MapHandle:
+    """Deferred ordered results of one :meth:`WorkerPool.map_async`.
+
+    Either pre-computed ``results`` (inline/serial dispatch) or a list
+    of futures still executing.  ``result()`` is idempotent and raises
+    the first task's exception, matching ``WorkerPool.map`` semantics.
+    """
+
+    __slots__ = ("_results", "_futures")
+
+    def __init__(self, results: Optional[List] = None,
+                 futures: Optional[List] = None):
+        self._results = results
+        self._futures = futures
+
+    def result(self) -> List:
+        if self._results is None:
+            self._results = [f.result() for f in self._futures]
+            self._futures = None
+        return self._results
+
+    def done(self) -> bool:
+        return self._results is not None or all(
+            f.done() for f in self._futures
+        )

@@ -13,6 +13,13 @@ Weights travel as a :class:`~repro.estimate.bootstrap.BatchWeights` spec
 (a few primitives) whenever possible: each worker regenerates exactly
 its own trial columns from the per-(batch, trial) RNG streams, so the
 dense ``(n, B)`` matrix is never materialized anywhere.
+
+Column data travels the same way: when the executor has published the
+batch into shared memory (``repro.parallel.shm``), ``group_idx`` /
+``values`` / ``row_idx`` arrive as :class:`~repro.parallel.shm.ArraySpec`
+descriptors and the worker resolves them to zero-copy read-only views —
+a whole shard payload is then a few hundred bytes regardless of batch
+size, which is also what makes the ``spawn`` start method viable.
 """
 
 from __future__ import annotations
@@ -22,6 +29,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from ..estimate.bootstrap import BatchWeights
+from .shm import cached_group_count, resolve
 
 
 def shard_ranges(trials: int, shards: int) -> List[Tuple[int, int]]:
@@ -52,30 +60,34 @@ def run_fold_shard(payload: dict) -> List[Tuple[str, object]]:
 
     * ``aliases`` — list of ``(alias, state_class)`` pairs to fold;
     * ``lo``/``hi`` — the trial-column range of this shard;
-    * ``group_idx`` — ``(n,)`` dense group indices;
-    * ``values`` — alias -> ``(n,)`` argument values;
+    * ``group_idx`` — ``(n,)`` dense group indices (ndarray or
+      shared-memory :class:`~repro.parallel.shm.ArraySpec`);
+    * ``values`` — alias -> ``(n,)`` argument values (ndarray or spec);
     * ``weight_spec`` — :meth:`BatchWeights.spec` dict to regenerate the
       shard's columns locally, or None when ``weights`` ships dense;
     * ``weights`` — the dense ``(n, hi-lo)`` slice (spec-less fallback);
     * ``row_idx`` — surviving row positions into the batch's weight
-      matrix, or None for all rows.
+      matrix (ndarray or spec), or None for all rows.
 
     Module-level (not a closure) so process pools can pickle it.
     Returns ``[(alias, shard_state), ...]`` with each state of width
     ``hi - lo``.
     """
     lo, hi = payload["lo"], payload["hi"]
-    group_idx = payload["group_idx"]
-    row_idx = payload.get("row_idx")
+    group_spec = payload["group_idx"]
+    group_idx = resolve(group_spec)
+    row_idx = resolve(payload.get("row_idx"))
     spec = payload.get("weight_spec")
     if spec is not None:
         weights = BatchWeights.from_spec(spec).shard(lo, hi, row_idx)
     else:
         weights = payload["weights"]
+    groups = cached_group_count(group_spec, group_idx)
     out = []
     for alias, state_cls in payload["aliases"]:
         state = state_cls(hi - lo)
-        state.update(group_idx, payload["values"][alias], weights)
+        state.update(group_idx, resolve(payload["values"][alias]),
+                     weights, groups=groups)
         out.append((alias, state))
     return out
 
@@ -84,23 +96,38 @@ def make_shard_payloads(
     aliases, group_idx: np.ndarray, values: dict, weights,
     ranges: List[Tuple[int, int]],
     row_idx: Optional[np.ndarray] = None,
+    published: Optional[dict] = None,
 ) -> List[dict]:
     """One :func:`run_fold_shard` payload per trial range.
 
     ``weights`` is a batch-weight handle; when it carries a regeneration
     spec only the spec crosses the process boundary, otherwise the dense
     column slice for each range is cut here.
+
+    ``published`` optionally maps payload keys (``"group_idx"``,
+    ``"row_idx"``, ``"value:<alias>"``) to shared-memory specs from one
+    :meth:`~repro.parallel.shm.ShmRegistry.publish` call; specs replace
+    the arrays inside every payload (the batch is published once and
+    referenced by all shards), while coordinator-side dense-weight
+    slicing keeps using the raw ``row_idx``.
     """
     spec = weights.spec()
+    published = published or {}
+    pub_group = published.get("group_idx", group_idx)
+    pub_row = published.get("row_idx", row_idx)
+    pub_values = {
+        alias: published.get(f"value:{alias}", arr)
+        for alias, arr in values.items()
+    }
     payloads = []
     for lo, hi in ranges:
         payload = {
             "aliases": list(aliases),
             "lo": lo,
             "hi": hi,
-            "group_idx": group_idx,
-            "values": values,
-            "row_idx": row_idx,
+            "group_idx": pub_group,
+            "values": pub_values,
+            "row_idx": pub_row,
             "weight_spec": spec,
         }
         if spec is None:

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import os
 import signal
+import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, BrokenExecutor
 from concurrent.futures import wait as futures_wait
@@ -50,6 +51,7 @@ from ..errors import ExecutionError, ShardLostError
 from ..faults import NULL_INJECTOR, RetryPolicy
 from ..obs import NULL_TRACER
 from .pool import WorkerPool
+from .shm import resolve
 
 #: Worker-side stand-in for a result too mangled to poison in place.
 CORRUPT_SENTINEL = "__repro-corrupted-result__"
@@ -150,8 +152,12 @@ def validate_fold_shard(payload: dict, result) -> Optional[str]:
                 return f"{alias}.{name} dtype {arr.dtype} != float64"
             if np.isnan(arr).any():
                 if nan_allowed is None:
+                    # Values may arrive as shared-memory specs; resolve
+                    # to the zero-copy view before inspecting them.
                     nan_allowed = any(
-                        np.isnan(np.asarray(v, dtype=np.float64)).any()
+                        np.isnan(
+                            np.asarray(resolve(v), dtype=np.float64)
+                        ).any()
                         for v in payload["values"].values()
                     )
                 if not nan_allowed:
@@ -180,13 +186,15 @@ class SupervisedPool:
                  injector=None, tracer=None,
                  validate: Optional[Callable[[object, object],
                                              Optional[str]]] = None,
-                 backoff: Optional[RetryPolicy] = None):
+                 backoff: Optional[RetryPolicy] = None,
+                 start_method: str = "auto"):
         if backend == "serial":
             raise ValueError(
                 "serial tasks run inline; there is nothing to supervise"
             )
         self.workers = workers
         self.backend = backend
+        self.start_method = start_method
         self.deadline_s = deadline_s
         self.retries = retries
         self.injector = injector if injector is not None else NULL_INJECTOR
@@ -209,6 +217,7 @@ class SupervisedPool:
             self._pool = WorkerPool(
                 self.workers, backend=self.backend,
                 metrics=self.tracer.metrics,
+                start_method=self.start_method,
             )
         return self._pool
 
@@ -253,6 +262,44 @@ class SupervisedPool:
             return []
         plans = self.injector.worker_faults(n)
         hang_s = getattr(self.injector.config, "worker_hang_s", 0.0)
+        return self._map_with_plans(fn, tasks, plans, hang_s)
+
+    def map_async(self, fn: Callable, tasks: Sequence
+                  ) -> "SupervisedMapHandle":
+        """Dispatch now, supervise in the background, gather later.
+
+        The fault plans are drawn here, on the **caller** thread, so
+        deferring the gather never reorders the injector's RNG draws —
+        pipelined and eager runs misbehave (and therefore recover)
+        identically.  The recovery ladder itself (heartbeats, rebuilds,
+        re-dispatch, quarantine) runs on a daemon thread; ``.result()``
+        re-raises :class:`ShardLostError` from the caller's context.
+        """
+        tasks = list(tasks)
+        handle = SupervisedMapHandle()
+        if not tasks:
+            handle._finish(results=[])
+            return handle
+        plans = self.injector.worker_faults(len(tasks))
+        hang_s = getattr(self.injector.config, "worker_hang_s", 0.0)
+
+        def _supervise() -> None:
+            try:
+                handle._finish(
+                    results=self._map_with_plans(fn, tasks, plans, hang_s)
+                )
+            except BaseException as exc:  # noqa: BLE001 - relayed
+                handle._finish(exc=exc)
+
+        threading.Thread(
+            target=_supervise, name="repro-supervise", daemon=True
+        ).start()
+        return handle
+
+    def _map_with_plans(self, fn: Callable, tasks: List, plans,
+                        hang_s: float) -> List:
+        """The recovery-ladder loop shared by :meth:`map`/:meth:`map_async`."""
+        n = len(tasks)
         results: List = [None] * n
         settled = [False] * n
         attempts = [0] * n
@@ -456,3 +503,29 @@ class SupervisedPool:
                 f"serial fallback produced an invalid result: {error}",
             )
         return result
+
+
+class SupervisedMapHandle:
+    """Deferred results of one :meth:`SupervisedPool.map_async`."""
+
+    __slots__ = ("_done", "_results", "_exc")
+
+    def __init__(self):
+        self._done = threading.Event()
+        self._results: Optional[List] = None
+        self._exc: Optional[BaseException] = None
+
+    def _finish(self, results: Optional[List] = None,
+                exc: Optional[BaseException] = None) -> None:
+        self._results = results
+        self._exc = exc
+        self._done.set()
+
+    def result(self) -> List:
+        self._done.wait()
+        if self._exc is not None:
+            raise self._exc
+        return self._results
+
+    def done(self) -> bool:
+        return self._done.is_set()

@@ -1,0 +1,119 @@
+"""Shared-memory segment lifecycle: no ``/dev/shm`` leaks, ever.
+
+ISSUE 8's lifecycle contract, probed by segment name (the registry
+records every name it ever created, and :func:`segment_exists` asks the
+OS): segments are unlinked after a normal drain+release, after a
+mid-run cancel with folds still pending, after a session run stops
+early, and after SIGKILL-induced supervised-pool rebuilds.
+"""
+
+import numpy as np
+import pytest
+
+from repro import FaultsConfig, GolaConfig, GolaSession
+from repro.config import ParallelConfig
+from repro.engine.aggregates import AvgState, SumState
+from repro.estimate.bootstrap import PoissonWeightSource
+from repro.faults import FaultInjector
+from repro.parallel import HAVE_SHM, ParallelExecutor, segment_exists
+from repro.workloads import SBI_QUERY, generate_sessions
+
+pytestmark = pytest.mark.skipif(
+    not HAVE_SHM, reason="multiprocessing.shared_memory unavailable"
+)
+
+CONFIG = ParallelConfig(workers=2, backend="process", min_shard_rows=1)
+
+
+def _fold_batches(executor, batches=3, n=4000, trials=12, lazy=True):
+    rng = np.random.default_rng(8)
+    gi = rng.integers(0, 7, n)
+    values = {"s": rng.normal(size=n), "a": rng.normal(size=n)}
+    states = {"s": SumState(trials), "a": AvgState(trials)}
+    source = PoissonWeightSource(trials, 99, label="shm-life")
+    for _ in range(batches):
+        executor.fold_boot_states(states, gi, values,
+                                  source.batch_weights(n), lazy=lazy)
+    return states
+
+
+def _serial_reference(**kw):
+    executor = ParallelExecutor(ParallelConfig())
+    try:
+        states = _fold_batches(executor, lazy=False, **kw)
+    finally:
+        executor.close()
+    return {k: s.finalize() for k, s in states.items()}
+
+
+class TestSegmentsNeverLeak:
+    def test_unlinked_after_drain_and_release(self):
+        executor = ParallelExecutor(CONFIG)
+        try:
+            _fold_batches(executor)
+            executor.drain()
+            registry = executor.shm_registry
+            assert registry is not None and registry.created
+            assert registry.live_segments() == []
+            assert not any(segment_exists(n) for n in registry.created)
+        finally:
+            executor.close()
+
+    def test_unlinked_after_midrun_cancel(self):
+        # close() with a lazy fold still pending = the cancel path: the
+        # pending lease must be released and every segment unlinked.
+        executor = ParallelExecutor(CONFIG)
+        _fold_batches(executor)  # last fold still holds its lease
+        registry = executor.shm_registry
+        created = list(registry.created)
+        assert created and registry.live_segments()
+        executor.close()
+        assert not any(segment_exists(n) for n in created)
+
+    def test_unlinked_after_session_stops_early(self):
+        session = GolaSession(
+            GolaConfig(num_batches=6, bootstrap_trials=16, seed=3,
+                       parallel=CONFIG)
+        )
+        session.register_table(
+            "sessions", generate_sessions(12_000, seed=5)
+        )
+        query = session.sql(SBI_QUERY)
+        run = query.run_online()
+        next(run)
+        registry = query._controller.parallel.shm_registry
+        assert registry is not None and registry.created
+        query.stop()
+        assert list(run) == []  # stop takes effect after the batch
+        created = list(registry.created)
+        assert not any(segment_exists(n) for n in created)
+
+    def test_unlinked_after_sigkill_pool_rebuilds(self):
+        # Workers are SIGKILLed mid-fold; the supervisor abandons and
+        # rebuilds the pool and re-dispatches lost shards against the
+        # still-live segments.  Results stay bit-identical and every
+        # segment is still unlinked afterwards.
+        injector = FaultInjector(
+            FaultsConfig(enabled=True, seed=11, worker_kill_prob=0.5),
+            master_seed=11,
+        )
+        executor = ParallelExecutor(
+            ParallelConfig(workers=2, backend="process",
+                           min_shard_rows=1, task_deadline_s=30.0),
+            injector=injector,
+        )
+        try:
+            states = _fold_batches(executor)
+            executor.drain()
+            registry = executor.shm_registry
+            created = list(registry.created)
+            restarts = executor._shard_pool.restarts
+            out = {k: s.finalize() for k, s in states.items()}
+        finally:
+            executor.close()
+        assert restarts >= 1, "chaos never killed a worker"
+        assert created
+        assert not any(segment_exists(n) for n in created)
+        ref = _serial_reference()
+        for alias in ref:
+            assert np.array_equal(ref[alias], out[alias]), alias

@@ -32,8 +32,11 @@ from repro.estimate.bootstrap import (
     poisson_trial_column,
 )
 from repro.estimate.random_source import derive_rng
+from repro.obs import MetricsRegistry, Tracer
 from repro.parallel import (
+    HAVE_SHM,
     SERIAL_EXECUTOR,
+    ArraySpec,
     ParallelExecutor,
     WorkerPool,
     make_shard_payloads,
@@ -294,7 +297,8 @@ class TestVectorizedFinalizers:
         assert np.array_equal(state.finalize(), ref)
 
 
-def _fold_with(config, trials=16, batches=2, n=6000, groups=9):
+def _fold_with(config, trials=16, batches=2, n=6000, groups=9,
+               lazy=False, tracer=None):
     rng = np.random.default_rng(6)
     gi = rng.integers(0, groups, n)
     values = {
@@ -309,14 +313,16 @@ def _fold_with(config, trials=16, batches=2, n=6000, groups=9):
         gi = np.zeros(n, dtype=np.int64)
     else:
         del values["q"]
-    executor = ParallelExecutor(config)
+    executor = ParallelExecutor(config, tracer=tracer)
     source = PoissonWeightSource(trials, 2015, label="unit")
     handles = []
     try:
         for _ in range(batches):
             handle = source.batch_weights(n)
             handles.append(handle)
-            executor.fold_boot_states(states, gi, values, handle)
+            executor.fold_boot_states(states, gi, values, handle,
+                                      lazy=lazy)
+        executor.drain()
     finally:
         executor.close()
     return {k: s.finalize() for k, s in states.items()}, handles
@@ -392,6 +398,88 @@ class TestParallelExecutor:
         assert all(p["weight_spec"] == handle.spec() for p in payloads)
         (alias, state), = run_fold_shard(payloads[1])
         assert alias == "x" and state.width == 4
+
+
+class TestZeroCopyPipeline:
+    """Shared-memory publish + pipelined lazy folds (ISSUE 8) stay
+    bit-identical to the classic eager inline-payload path, for every
+    combination of the transport knobs and start methods."""
+
+    def test_process_shm_pipeline_identical_to_serial(self):
+        ref, _ = _fold_with(ParallelConfig())
+        out, _ = _fold_with(
+            ParallelConfig(workers=2, backend="process"), lazy=True
+        )
+        for alias in ref:
+            assert np.array_equal(ref[alias], out[alias]), alias
+
+    def test_transport_knobs_off_identical(self):
+        ref, _ = _fold_with(ParallelConfig())
+        for config in (
+            ParallelConfig(workers=2, backend="process",
+                           shared_memory=False),
+            ParallelConfig(workers=2, backend="process",
+                           pipeline=False),
+        ):
+            out, _ = _fold_with(config, lazy=True)
+            for alias in ref:
+                assert np.array_equal(ref[alias], out[alias]), \
+                    (config, alias)
+
+    @pytest.mark.slow
+    def test_spawn_start_method_identical(self):
+        # spawn re-imports workers from scratch: only module-level task
+        # functions and spec-sized payloads survive the trip.
+        ref, _ = _fold_with(ParallelConfig())
+        out, _ = _fold_with(
+            ParallelConfig(workers=2, backend="process",
+                           start_method="spawn"),
+            lazy=True,
+        )
+        for alias in ref:
+            assert np.array_equal(ref[alias], out[alias]), alias
+
+    @pytest.mark.skipif(not HAVE_SHM, reason="no shared memory")
+    def test_shm_and_pipeline_counters(self):
+        tracer = Tracer(metrics=MetricsRegistry(enabled=True))
+        _fold_with(ParallelConfig(workers=2, backend="process"),
+                   lazy=True, tracer=tracer)
+        counters = tracer.metrics.snapshot().counters
+        assert counters["parallel.shm_segments_created"] == 2
+        assert counters["parallel.shm_bytes"] > 0
+        assert counters["parallel.pipeline_overlap_s"] > 0
+
+    @pytest.mark.skipif(not HAVE_SHM, reason="no shared memory")
+    def test_published_payloads_carry_specs(self):
+        from repro.parallel.shm import ShmRegistry, detach_all
+
+        handle = BatchWeights(8, 1, "p", 0, 64)
+        gi = np.zeros(64, dtype=np.int64)
+        vals = {"x": np.ones(64)}
+        try:
+            with ShmRegistry() as registry:
+                lease = registry.publish(
+                    {"group_idx": gi, "value:x": vals["x"]}
+                )
+                payloads = make_shard_payloads(
+                    [("x", SumState)], gi, vals, handle,
+                    shard_ranges(8, 2), published=lease.specs,
+                )
+                assert all(isinstance(p["group_idx"], ArraySpec)
+                           for p in payloads)
+                assert all(isinstance(p["values"]["x"], ArraySpec)
+                           for p in payloads)
+                (alias, state), = run_fold_shard(payloads[0])
+                assert alias == "x" and state.width == 4
+                lease.release()
+        finally:
+            detach_all()
+
+    def test_invalid_start_method_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelConfig(start_method="greenlet")
+        with pytest.raises(ValueError):
+            WorkerPool(2, start_method="gevent")
 
 
 class TestBlockLevels:
