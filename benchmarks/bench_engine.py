@@ -378,6 +378,93 @@ def _bench_bootstrap_overhead(rows, trials, batches, seed):
     }
 
 
+def _bench_colstore_scan(rows, batches, seed, chunk_rows=2048):
+    """Colstore scan mode: selective predicate over a clustered column.
+
+    Converts a clustered table (sorted key, the layout zone maps are
+    built for) once, then runs the same selective online query three
+    ways: in-memory, colstore with pruning off, colstore with pruning
+    on.  The pruning run must skip chunks (``colstore.chunks_pruned``
+    > 0 — gated in main) and every stream must be bit-identical to the
+    in-memory reference.
+    """
+    import tempfile
+    import time
+    from pathlib import Path
+
+    from repro import GolaConfig, GolaSession, StorageConfig
+    from repro.faults.chaos import snapshot_fingerprint
+    from repro.obs import MetricsRegistry, Tracer
+    from repro.storage.colstore import convert_table
+    from repro.storage.table import Table
+
+    rng = np.random.default_rng(seed)
+    table = Table.from_columns({
+        "ts": np.arange(rows, dtype=np.int64),  # clustered scan key
+        "v": rng.normal(100.0, 12.0, rows),
+        "grp": rng.integers(0, 16, rows).astype(np.int64),
+    })
+    cutoff = rows // 50  # ~2% of rows pass: most chunks are prunable
+    sql = f"SELECT AVG(v) FROM events WHERE ts < {cutoff}"
+
+    def config(prune):
+        return GolaConfig(
+            num_batches=batches, seed=seed, shuffle=False,
+            storage=StorageConfig(prune=prune),
+        )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        ds_path = Path(tmp) / "events"
+        start = time.perf_counter()
+        dataset = convert_table(
+            table, ds_path, num_batches=batches, seed=seed,
+            shuffle=False, chunk_rows=chunk_rows,
+        )
+        convert_s = time.perf_counter() - start
+        encoded = sum(p["bytes"] for p in dataset.manifest["partitions"])
+
+        mem = GolaSession(config(True))
+        mem.register_table("events", table)
+        start = time.perf_counter()
+        mem_fp = snapshot_fingerprint(mem.sql(sql).run_online())
+        mem_s = time.perf_counter() - start
+
+        modes = {}
+        pruned_chunks = 0
+        for prune in (False, True):
+            tracer = Tracer(metrics=MetricsRegistry(enabled=True))
+            session = GolaSession(config(prune), tracer=tracer)
+            session.register_colstore("events", ds_path)
+            start = time.perf_counter()
+            fp = snapshot_fingerprint(session.sql(sql).run_online())
+            elapsed = time.perf_counter() - start
+            counters = tracer.metrics.snapshot().counters
+            chunks = int(counters.get("colstore.chunks_pruned", 0))
+            if prune:
+                pruned_chunks = chunks
+            modes["prune" if prune else "noprune"] = {
+                "seconds": round(elapsed, 4),
+                "rows_per_s": round(rows / elapsed, 1),
+                "chunks_pruned": chunks,
+                "identical_to_memory": fp == mem_fp,
+            }
+    total_chunks = batches * -(-rows // (batches * chunk_rows))
+    return {
+        "rows": rows,
+        "batches": batches,
+        "chunk_rows": chunk_rows,
+        "query": sql,
+        "convert_seconds": round(convert_s, 4),
+        "encoded_bytes": encoded,
+        "encoded_fraction": round(encoded / max(table.num_rows * 24, 1),
+                                  4),
+        "memory_seconds": round(mem_s, 4),
+        "total_chunks": total_chunks,
+        "chunks_pruned": pruned_chunks,
+        "modes": modes,
+    }
+
+
 def _usable_cpus():
     """Cores this process may actually run on (affinity-aware).
 
@@ -480,6 +567,23 @@ def main(argv=None):
     print(f"bootstrap overhead (SBI, {overhead['trials']} trials vs 2): "
           f"{overhead['overhead_ratio']:.2f}x")
 
+    print(f"colstore scan: {args.query_rows:,} clustered rows x "
+          f"{args.query_batches} partitions, selective predicate")
+    colstore = _bench_colstore_scan(
+        args.query_rows, args.query_batches, args.seed,
+    )
+    for label in ("noprune", "prune"):
+        mode = colstore["modes"][label]
+        extra = (f"  pruned {mode['chunks_pruned']}"
+                 f"/{colstore['total_chunks']} chunks"
+                 if label == "prune" else "")
+        print(f"  colstore {label:<8} {mode['seconds']:>8.3f}s  "
+              f"{mode['rows_per_s']:>12,.0f} rows/s  "
+              f"identical={mode['identical_to_memory']}{extra}")
+    print(f"  in-memory          {colstore['memory_seconds']:>8.3f}s  "
+          f"(convert {colstore['convert_seconds']:.3f}s, "
+          f"{colstore['encoded_bytes']:,} encoded bytes)")
+
     usable = _usable_cpus()
     results = {
         "benchmark": "bench_engine",
@@ -489,6 +593,7 @@ def main(argv=None):
         "bootstrap_path": boot,
         "queries": queries,
         "bootstrap_overhead": overhead,
+        "colstore_scan": colstore,
     }
 
     failures = []
@@ -499,6 +604,16 @@ def main(argv=None):
             failures.append(
                 f"query {entry['query']} diverged under workers=4"
             )
+    for label, mode in colstore["modes"].items():
+        if not mode["identical_to_memory"]:
+            failures.append(
+                f"colstore {label} stream diverged from in-memory"
+            )
+    if colstore["chunks_pruned"] <= 0:
+        failures.append(
+            "colstore pruning skipped no chunks on a selective "
+            "predicate over a clustered column"
+        )
 
     # Workers-beat-serial gate: on a real multi-core host workers=4 must
     # be strictly faster than serial wall-clock (smoke included — CI

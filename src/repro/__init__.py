@@ -24,7 +24,7 @@ Quickstart::
 """
 
 from .config import ClusterConfig, FaultsConfig, GolaConfig, QaConfig, \
-    ServeConfig
+    ServeConfig, StorageConfig
 from .core.result import OnlineSnapshot
 from .core.session import GolaSession, OnlineQuery
 from .errors import (
@@ -40,6 +40,7 @@ from .errors import (
     RangeViolation,
     ReproError,
     SchemaError,
+    StorageError,
     UnsupportedQueryError,
 )
 from .faults import RunCheckpoint
@@ -72,6 +73,8 @@ __all__ = [
     "Schema",
     "ServeConfig",
     "SchemaError",
+    "StorageConfig",
+    "StorageError",
     "Table",
     "UnsupportedQueryError",
     "__version__",

@@ -8,6 +8,8 @@ Commands:
     report    render the per-phase/per-operator profile of a trace file
     serve     start the concurrent multi-query HTTP server
     submit    submit a query to a running server, stream its snapshots
+    convert   write a CSV or generated workload as a colstore dataset
+    inspect   report a colstore dataset's layout and stored state
     fuzz      differential query fuzzing across every execution path
     calibrate measure empirical bootstrap-CI coverage vs nominal
     chaos     kill/hang/corrupt workers mid-run; assert answers are
@@ -321,6 +323,161 @@ def _loadgen(args) -> int:
     return 1 if failed else 0
 
 
+def _convert(args) -> int:
+    from .faults.quarantine import RowQuarantine
+    from .errors import ReproError
+    from .storage.colstore import convert_table
+
+    quarantine = None
+    source = None
+    try:
+        if args.csv is not None:
+            from .storage.io import read_csv
+
+            source = args.csv
+            quarantine = RowQuarantine(
+                error_budget=args.error_budget, label=args.csv
+            )
+            print(f"loading {args.csv} ...")
+            table = read_csv(args.csv, quarantine=quarantine)
+        else:
+            from .workloads import (
+                generate_conviva,
+                generate_sessions,
+                generate_tpch,
+            )
+
+            generate = {"sessions": generate_sessions,
+                        "conviva": generate_conviva,
+                        "tpch": generate_tpch}[args.workload]
+            source = f"workload:{args.workload}"
+            print(f"generating {args.rows:,} {args.workload} rows ...")
+            table = generate(args.rows, seed=args.seed)
+        dataset = convert_table(
+            table, args.out, num_batches=args.batches, seed=args.seed,
+            shuffle=not args.no_shuffle, codec=args.codec,
+            chunk_rows=args.chunk_rows, quarantine=quarantine,
+            source=source,
+        )
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    encoded = sum(p["bytes"] for p in dataset.manifest["partitions"])
+    print(
+        f"wrote {dataset.num_batches} partitions, "
+        f"{dataset.num_rows:,} rows, {encoded:,} encoded bytes "
+        f"(~{encoded / max(dataset.estimated_bytes, 1):.0%} of decoded) "
+        f"to {args.out}"
+    )
+    if quarantine is not None and quarantine.rows:
+        print(f"quarantined {len(quarantine.rows)} malformed row(s) "
+              "(recorded in the manifest; see 'repro inspect')")
+    print(f"fingerprint: {dataset.fingerprint}")
+    return 0
+
+
+def _inspect(args) -> int:
+    import json
+
+    from .errors import ReproError
+    from .storage.colstore import ProjectionStore, open_dataset
+
+    try:
+        dataset = open_dataset(args.dataset)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    manifest = dataset.manifest
+    partitions = manifest["partitions"]
+    encoded = sum(p["bytes"] for p in partitions)
+    codec_counts = {}
+    zone_summary = {}
+    for index in range(dataset.num_batches):
+        for col in dataset.reader(index).footer["columns"]:
+            codec_counts[col["codec"]] = \
+                codec_counts.get(col["codec"], 0) + 1
+            zones = col.get("zones") or []
+            entry = zone_summary.setdefault(
+                col["name"],
+                {"type": col["type"], "chunks": 0, "nulls": 0,
+                 "lo": None, "hi": None},
+            )
+            entry["chunks"] += len(zones)
+            for z in zones:
+                entry["nulls"] += z["nulls"]
+                if z["lo"] is not None and entry["type"] != "string":
+                    entry["lo"] = z["lo"] if entry["lo"] is None \
+                        else min(entry["lo"], z["lo"])
+                    entry["hi"] = z["hi"] if entry["hi"] is None \
+                        else max(entry["hi"], z["hi"])
+    projections = ProjectionStore(dataset.projection_dir).entries()
+    quarantine = manifest.get("quarantine")
+    report = {
+        "path": dataset.path,
+        "fingerprint": dataset.fingerprint,
+        "num_rows": dataset.num_rows,
+        "num_batches": dataset.num_batches,
+        "seed": dataset.seed,
+        "shuffle": dataset.shuffle,
+        "chunk_rows": manifest["chunk_rows"],
+        "schema": manifest["schema"],
+        "source": manifest.get("source"),
+        "encoded_bytes": encoded,
+        "estimated_decoded_bytes": dataset.estimated_bytes,
+        "codec_segments": codec_counts,
+        "zones": zone_summary,
+        "partitions": partitions,
+        "quarantine": quarantine,
+        "projections": projections,
+    }
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0
+    print(f"{dataset.path}: colstore dataset "
+          f"(fingerprint {dataset.fingerprint})")
+    print(f"  rows {dataset.num_rows:,} in {dataset.num_batches} "
+          f"partitions (seed={dataset.seed}, shuffle={dataset.shuffle}, "
+          f"chunk_rows={manifest['chunk_rows']})")
+    if manifest.get("source"):
+        print(f"  source: {manifest['source']}")
+    print(f"  encoded {encoded:,} bytes "
+          f"(~{encoded / max(dataset.estimated_bytes, 1):.0%} of "
+          f"estimated decoded {dataset.estimated_bytes:,})")
+    print("  columns:")
+    for name, entry in zone_summary.items():
+        span = ""
+        if entry["lo"] is not None:
+            span = f", range [{entry['lo']:g}, {entry['hi']:g}]"
+        print(f"    {name:<16} {entry['type']:<8} "
+              f"{entry['chunks']} zone chunks, "
+              f"{entry['nulls']} nulls{span}")
+    print("  codec segments: " + ", ".join(
+        f"{codec}={count}" for codec, count in sorted(codec_counts.items())
+    ))
+    if quarantine and quarantine["rows"]:
+        rows = quarantine["rows"]
+        print(f"  quarantined rows: {len(rows)} "
+              f"(budget {quarantine['error_budget']}, "
+              f"seen {quarantine['total_seen']})")
+        for row in rows[:10]:
+            print(f"    line {row['line_number']}: "
+                  f"{row['column']}={row['value']!r} ({row['reason']})")
+        if len(rows) > 10:
+            print(f"    ... and {len(rows) - 10} more")
+    else:
+        print("  quarantined rows: none")
+    if projections:
+        print(f"  projections: {len(projections)}")
+        for entry in projections[:10]:
+            print(f"    {entry['state_file']}: "
+                  f"batch {entry['batch_index']}, "
+                  f"query {entry['query_fp'][:12]}..., "
+                  f"{entry['state_bytes']:,} bytes")
+    else:
+        print("  projections: none")
+    return 0
+
+
 def _fuzz(args) -> int:
     from .qa.cli import main_fuzz
 
@@ -535,6 +692,48 @@ def main(argv=None) -> int:
                          help="also write the report JSON here")
     loadgen.set_defaults(fn=_loadgen)
 
+    convert = sub.add_parser(
+        "convert",
+        help="convert a CSV file or generated workload into a "
+             "compressed colstore dataset directory",
+    )
+    convert_src = convert.add_mutually_exclusive_group(required=True)
+    convert_src.add_argument("--csv", default=None, metavar="PATH",
+                             help="source CSV file (malformed rows are "
+                                  "quarantined into the manifest)")
+    convert_src.add_argument("--workload", default=None,
+                             choices=("sessions", "conviva", "tpch"),
+                             help="generate this paper workload instead")
+    convert.add_argument("--out", required=True, metavar="DIR",
+                         help="dataset directory to write")
+    convert.add_argument("--rows", type=int, default=100_000,
+                         help="rows when generating a workload")
+    convert.add_argument("--batches", type=int, default=20,
+                         help="mini-batch partitions to write")
+    convert.add_argument("--seed", type=int, default=2015)
+    convert.add_argument("--no-shuffle", action="store_true",
+                         help="partition without the random shuffle")
+    convert.add_argument("--codec", default="auto",
+                         choices=("auto", "plain", "dict", "rle", "delta"),
+                         help="column codec (auto picks the smallest "
+                              "per column chunk)")
+    convert.add_argument("--chunk-rows", type=int, default=4096,
+                         help="rows per zone-map chunk")
+    convert.add_argument("--error-budget", type=float, default=0.05,
+                         help="malformed-row fraction tolerated before "
+                              "the CSV load aborts")
+    convert.set_defaults(fn=_convert)
+
+    inspect_p = sub.add_parser(
+        "inspect",
+        help="report a colstore dataset's layout: partitions, codecs, "
+             "zone maps, quarantined rows, projections",
+    )
+    inspect_p.add_argument("dataset", help="dataset directory")
+    inspect_p.add_argument("--json", action="store_true",
+                           help="emit the full report as JSON")
+    inspect_p.set_defaults(fn=_inspect)
+
     fuzz = sub.add_parser(
         "fuzz",
         help="differential fuzzing: random queries through every "
@@ -548,13 +747,17 @@ def main(argv=None) -> int:
                       help="rows in the generated fact table")
     fuzz.add_argument("--serve", action="store_true",
                       help="also run each query through the scheduler")
+    fuzz.add_argument("--colstore", action="store_true",
+                      help="also stream each query from a converted "
+                           "on-disk colstore dataset (bit-identity "
+                           "checked against the in-memory stream)")
     fuzz.add_argument("--no-shrink", action="store_true",
                       help="skip minimizing divergent queries")
     fuzz.add_argument("--artifact-dir", default=None, metavar="DIR",
                       help="where reproducer artifacts are written")
     fuzz.add_argument("--inject-bug", default=None, metavar="PATH",
                       choices=("batch", "cdm", "serial", "parallel",
-                               "serve"),
+                               "serve", "colstore"),
                       help="corrupt this path's results (harness "
                            "self-check: the sweep must then fail)")
     fuzz.add_argument("--replay", default=None, metavar="ARTIFACT",

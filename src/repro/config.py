@@ -407,6 +407,95 @@ class ServeConfig:
 
 
 @dataclass(frozen=True)
+class StorageConfig:
+    """Knobs for the colstore storage tier (``repro.storage.colstore``).
+
+    All of these are throughput/memory knobs, never correctness knobs:
+    a catalog-registered colstore dataset produces snapshot streams
+    bit-identical to the in-memory table it was converted from, with
+    pruning on or off and at any worker count.  None of these fields
+    participate in checkpoint fingerprints.
+
+    Attributes:
+        format: Substrate for converted datasets: ``"colstore"`` (the
+            partition-file format) is the only on-disk format today.
+        codec: Default column codec for ``repro convert``: ``"auto"``
+            (smallest encoding per column), ``"plain"``, ``"dict"``,
+            ``"rle"`` or ``"delta"``.
+        mmap: Open partition files through ``np.memmap`` so column
+            segments page in lazily and plain-coded numerics decode to
+            zero-copy views (datasets larger than RAM stream
+            batch-by-batch).  False reads files into heap buffers.
+        prune: Consult per-chunk zone maps in the filter operators and
+            the uncertain-set re-evaluation to skip predicate-disjoint
+            chunks (``colstore.chunks_pruned``).  Pruned and unpruned
+            runs are bit-identical; this only skips provably dead work.
+        chunk_rows: Zone-map granularity (rows per chunk) used when
+            writing partitions.
+        projections: Persist per-lineage-block partial-aggregate fold
+            states next to the dataset and warm-start recurring queries
+            from them.  Off by default: a warm-started stream *starts*
+            at a later batch, so it is deliberately not part of the
+            bit-identity contract.
+        projection_dir: Where projections live (None = the dataset's
+            ``_projections`` subdirectory).
+        projection_every: Save a projection every N folded batches
+            (the final batch never saves — a warm start must still
+            have at least one snapshot to emit).
+    """
+
+    format: str = "colstore"
+    codec: str = "auto"
+    mmap: bool = True
+    prune: bool = True
+    chunk_rows: int = 4096
+    projections: bool = False
+    projection_dir: Optional[str] = None
+    projection_every: int = 1
+
+    def __post_init__(self) -> None:
+        if self.format not in ("colstore",):
+            raise ValueError("format must be 'colstore'")
+        if self.codec not in ("auto", "plain", "dict", "rle", "delta"):
+            raise ValueError(
+                "codec must be one of 'auto', 'plain', 'dict', 'rle', "
+                "'delta'"
+            )
+        if self.chunk_rows < 16:
+            raise ValueError("chunk_rows must be >= 16")
+        if self.projection_every < 1:
+            raise ValueError("projection_every must be >= 1")
+
+    @classmethod
+    def parse(cls, spec: str) -> "StorageConfig":
+        """Build a config from a ``key=value,key=value`` CLI string."""
+        known = {f.name: f.type for f in fields(cls)}
+        kwargs: dict = {}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            key, sep, value = part.partition("=")
+            key = key.strip()
+            if not sep or key not in known:
+                raise ValueError(
+                    f"unknown --storage key {key!r}; valid keys: "
+                    + ", ".join(sorted(known))
+                )
+            value = value.strip()
+            ftype = known[key]
+            if "bool" in str(ftype):
+                kwargs[key] = value.lower() in ("1", "true", "t", "yes")
+            elif "int" in str(ftype):
+                kwargs[key] = int(value)
+            elif "float" in str(ftype):
+                kwargs[key] = float(value)
+            else:
+                kwargs[key] = value
+        return cls(**kwargs)
+
+
+@dataclass(frozen=True)
 class QaConfig:
     """Knobs for the QA harness (``repro.qa``): fuzzing + calibration.
 
@@ -429,6 +518,10 @@ class QaConfig:
         workers: Worker count for the parallel differential path.
         include_serve: Also run every query through the concurrent
             serving scheduler (slower; on in the nightly sweep).
+        include_colstore: Also run every query's streamed table through
+            a converted colstore dataset (zone-map pruning on) and
+            require the snapshot stream to be bit-identical to the
+            in-memory serial path.
         shrink: Minimize failing queries and write reproducer artifacts.
         artifact_dir: Where failing-query reproducers are written.
         calibration_runs: Seeds per query in a calibration sweep.
@@ -446,6 +539,7 @@ class QaConfig:
     atol: float = 1e-9
     workers: int = 2
     include_serve: bool = False
+    include_colstore: bool = False
     shrink: bool = True
     artifact_dir: str = "qa-artifacts"
     calibration_runs: int = 100
@@ -562,6 +656,10 @@ class GolaConfig:
         qa: QA-harness configuration (see :class:`QaConfig`): the
             differential query fuzzer and the CI-calibration sweep.
             Inert during normal execution.
+        storage: Colstore storage-tier configuration (see
+            :class:`StorageConfig`).  Only consulted when a colstore
+            dataset is registered in the catalog; pure in-memory runs
+            never read it.
     """
 
     num_batches: int = 10
@@ -581,6 +679,7 @@ class GolaConfig:
     parallel: ParallelConfig = field(default_factory=ParallelConfig)
     serve: ServeConfig = field(default_factory=ServeConfig)
     qa: QaConfig = field(default_factory=QaConfig)
+    storage: StorageConfig = field(default_factory=StorageConfig)
 
     def __post_init__(self) -> None:
         if self.num_batches < 1:

@@ -18,6 +18,7 @@ Drives one online query end to end:
 
 from __future__ import annotations
 
+import hashlib
 import logging
 from contextlib import nullcontext
 from pathlib import Path
@@ -44,6 +45,8 @@ from ..faults import (
 from ..obs import Timer, Tracer, tracer_from_config
 from ..parallel import ParallelExecutor
 from ..plan.logical import Query
+from ..storage.colstore.dataset import ColstoreDataset
+from ..storage.colstore.projections import ProjectionStore
 from ..storage.partition import MiniBatchPartitioner
 from ..storage.table import Table
 from .meta_plan import compile_meta_plan
@@ -78,6 +81,14 @@ class QueryController:
         self.config = config
         self.tables = {k.lower(): v for k, v in tables.items()}
         self.streamed = {k.lower(): v for k, v in streamed.items()}
+        # Colstore datasets stay lazy only on the streamed side; a
+        # dimension table is read whole by static subqueries and block
+        # joins, so materialize it up front (original row order, hence
+        # bit-identical to registering the in-memory table).
+        for name, value in list(self.tables.items()):
+            if (isinstance(value, ColstoreDataset)
+                    and not self.streamed.get(name, False)):
+                self.tables[name] = value.to_table()
         self.udafs = udafs
         self.functions = functions
         self.tracer = (
@@ -122,6 +133,7 @@ class QueryController:
         self._retry_policy = RetryPolicy.from_faults(config.faults)
         self._run_state: Optional[dict] = None
         self._exec: Optional[dict] = None
+        self._projection_ctx: Optional[dict] = None
         self._stopped = False
 
     # ------------------------------------------------------------------
@@ -223,7 +235,28 @@ class QueryController:
         self._stopped = False
         tracer = self.tracer
         table = self.tables[self.streamed_table]
-        if self.scan_cache is not None:
+        storage = self.config.storage
+        dataset: Optional[ColstoreDataset] = (
+            table if isinstance(table, ColstoreDataset) else None
+        )
+        if dataset is not None:
+            if dataset.config_matches(self.config):
+                # Stream the stored partition files directly (decoded
+                # lazily, one batch per step); zone maps ride along on
+                # each batch only when pruning is enabled.
+                batches = dataset.batches(prune=storage.prune)
+            else:
+                # The stored partitioning does not match this run's
+                # config: materialize (original row order) and re-slice
+                # like any in-memory table.  No warm starts — the
+                # stored batch layout is not what this run folds.
+                dataset = None
+                partitioner = MiniBatchPartitioner(
+                    self.config.num_batches, seed=self.config.seed,
+                    shuffle=self.config.shuffle,
+                )
+                batches = partitioner.partition(table.to_table())
+        elif self.scan_cache is not None:
             batches = self.scan_cache.partitions(
                 self.streamed_table, table, self.config
             )
@@ -262,6 +295,61 @@ class QueryController:
             if tracer.enabled:
                 tracer.event("checkpoint.resumed",
                              batch_index=ck.batch_index, folded=folded)
+        self._projection_ctx = None
+        if (dataset is not None and storage.projections
+                and resume_from is None):
+            store = ProjectionStore(
+                Path(storage.projection_dir) if storage.projection_dir
+                else dataset.projection_dir
+            )
+            digests = self._block_digests()
+            self._projection_ctx = {
+                "store": store, "table_fp": dataset.fingerprint,
+                "digests": digests,
+            }
+            pck = store.load(
+                dataset.fingerprint, query_fingerprint(self.query),
+                config_fingerprint(self.config), block_digests=digests,
+            )
+            if pck is not None:
+                try:
+                    pck.verify(self.query, self.config)
+                except CheckpointError:
+                    pck = None
+            if (pck is not None and not pck.skipped_batches
+                    and pck.batch_index < k):
+                weight_source.restore_state(pck.weights_rng_state)
+                self.injector.restore(pck.injector_state)
+                for block_id, state in pck.copy_block_states().items():
+                    self.runtimes[block_id].restore_checkpoint(state)
+                folded = pck.folded_count
+                lost_rows = pck.lost_rows
+                start_at = pck.batch_index + 1
+                if self.config.retain_batches:
+                    # Projections persist no raw batches; rebuild the
+                    # retained list by replaying a fresh weight stream
+                    # over the already-folded prefix.  The draws are
+                    # identical to the original run's (per-batch
+                    # streams keyed by seed and batch size), so later
+                    # guard-violation rebuilds stay bit-exact.
+                    replay = PoissonWeightSource(
+                        self.config.bootstrap_trials, self.config.seed,
+                        label=f"bootstrap:{self.streamed_table}",
+                        tracer=tracer,
+                    )
+                    for bi in range(pck.batch_index):
+                        bt = batches[bi]
+                        retained.append(
+                            (bt, replay.batch_weights(bt.num_rows))
+                        )
+                if tracer.enabled:
+                    tracer.event("colstore.projection_warm",
+                                 batch_index=pck.batch_index,
+                                 folded=folded)
+                if tracer.metrics.enabled:
+                    tracer.metrics.counter(
+                        "colstore.projection_warm_starts"
+                    ).inc()
         # The query span stays open across steps, so its elapsed time
         # includes consumer think time between snapshots; per-batch work
         # is what the child batch spans measure.  It is entered here and
@@ -376,6 +464,19 @@ class QueryController:
                 "weight_source": ex["weight_source"],
                 "retained": ex["retained"],
             }
+            pj = self._projection_ctx
+            if (pj is not None and not ex["skipped"] and i < ex["k"]
+                    and i % self.config.storage.projection_every == 0):
+                # Partial-aggregate projection: the fold state after
+                # batch i, minus the retained raw batches (rebuilt at
+                # warm start by replaying the stateless weight streams).
+                pck = self.checkpoint()
+                pck.retained = []
+                pj["store"].save(pck, pj["table_fp"],
+                                 block_digests=pj["digests"])
+                if tracer.enabled:
+                    tracer.event("colstore.projection_saved",
+                                 batch_index=i)
             if (faults.checkpoint_every
                     and faults.checkpoint_path is not None
                     and i % faults.checkpoint_every == 0):
@@ -463,6 +564,22 @@ class QueryController:
         )
 
     # ------------------------------------------------------------------
+
+    def _block_digests(self) -> Dict[str, str]:
+        """Stable per-lineage-block plan digests.
+
+        Projections are keyed by these in addition to the query and
+        config fingerprints, so any change to how a block's plan prints
+        (operator reordering, rewrite-rule changes across versions)
+        invalidates persisted fold state instead of resuming into an
+        incompatible shape.
+        """
+        return {
+            block.block_id: hashlib.sha256(
+                block.plan.describe().encode()
+            ).hexdigest()[:16]
+            for block in self._online_blocks
+        }
 
     def _publish_chain(self, slot_states: Dict[int, object],
                        penv: Environment, scale: float):
@@ -637,6 +754,11 @@ class QueryController:
             bspan.set("rows_processed", total_rows)
             bspan.set("uncertain", total_uncertain)
             bspan.set("rebuilds", len(rebuilds))
+        # The snapshot above is the last consumer of this batch's dense
+        # weights; drop the cached matrix so the retained-batch list
+        # holds spec-only handles.  A later guard rebuild regenerates
+        # identical columns from the stateless streams.
+        weights.release()
         elapsed = batch_timer.elapsed_s
         metrics = tracer.metrics
         if metrics.enabled:

@@ -183,6 +183,26 @@ class GolaSession:
         """
         self.catalog.register(name, table, streamed=streamed, replace=replace)
 
+    def register_colstore(self, name: str, dataset, streamed: bool = True,
+                          replace: bool = False):
+        """Register a converted colstore dataset (see ``repro convert``).
+
+        ``dataset`` is a dataset directory path or an already-opened
+        :class:`~repro.storage.colstore.ColstoreDataset`.  A streamed
+        registration keeps the partition files on disk and decodes them
+        one mini-batch per step (memory-mapped by default), so datasets
+        larger than RAM stream through online queries; a dimension
+        (``streamed=False``) registration is materialized in full when a
+        query first needs it.  Returns the dataset.
+        """
+        from ..storage.colstore import ColstoreDataset, open_dataset
+
+        if not isinstance(dataset, ColstoreDataset):
+            dataset = open_dataset(dataset, mmap=self.config.storage.mmap)
+        self.catalog.register(name, dataset, streamed=streamed,
+                              replace=replace)
+        return dataset
+
     def load_csv(self, name: str, path, streamed: bool = True) -> Table:
         """Load a CSV file and register it under ``name``.
 
@@ -240,8 +260,16 @@ class GolaSession:
         """Run a query exactly (the traditional batch engine)."""
         if isinstance(query, str):
             query = self.sql(query)
+        tables = {
+            # The exact engine scans whole relations; materialize any
+            # registered colstore dataset (original row order) up front.
+            name: value.to_table()
+            if not isinstance(value, Table) and hasattr(value, "to_table")
+            else value
+            for name, value in self._tables().items()
+        }
         executor = BatchExecutor(
-            self._tables(), self.udafs, self.functions,
+            tables, self.udafs, self.functions,
             tracer=self.tracer,
         )
         return executor.execute(query.query)

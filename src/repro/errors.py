@@ -73,6 +73,14 @@ class CatalogError(ReproError):
     """Unknown or duplicate table in the catalog."""
 
 
+class StorageError(ReproError):
+    """A colstore partition file or manifest is malformed or unreadable.
+
+    Raised on magic/footer corruption, unknown codecs, segment length
+    mismatches, and manifest/schema inconsistencies.
+    """
+
+
 class RangeViolation(ReproError):
     """A running value or bootstrap replica escaped its variation range.
 

@@ -145,6 +145,20 @@ class BatchWeights:
                     )
         return self._dense
 
+    def release(self) -> None:
+        """Drop the cached dense matrix.
+
+        Retained-batch lists hold weight handles for the lifetime of a
+        run; without this, every processed batch pins its ``(n, B)``
+        rectangle and the weights dwarf the data under memory budgets.
+        Safe at any time: the per-(batch, trial) streams are stateless,
+        so a later :meth:`dense`/:meth:`shard` call (a guard rebuild
+        replaying retained batches) regenerates bit-identical columns,
+        and arrays already handed out stay alive with their holders.
+        """
+        with self._lock:
+            self._dense = None
+
     def rows(self, row_idx: Optional[np.ndarray]) -> np.ndarray:
         """Dense weight rows for ``row_idx`` (all rows when None)."""
         dense = self.dense()
@@ -197,6 +211,9 @@ class DenseBatchWeights:
               row_idx: Optional[np.ndarray] = None) -> np.ndarray:
         block = self._weights[:, lo:hi]
         return block if row_idx is None else block[row_idx]
+
+    def release(self) -> None:
+        """No-op: a concrete matrix cannot be regenerated from a spec."""
 
 
 def as_batch_weights(weights):

@@ -108,7 +108,17 @@ def snapshot_fingerprint(snapshots) -> Tuple[str, int]:
         digest.update(str(s.batch_index).encode())
         for name in s.table.schema.names:
             digest.update(name.encode())
-            digest.update(s.table.column(name).tobytes())
+            arr = s.table.column(name)
+            if arr.dtype == object:
+                # tobytes() on an object array hashes pointers, which
+                # differ between value-identical strings produced by
+                # different decode paths; hash the values instead.
+                for value in arr:
+                    encoded = str(value).encode()
+                    digest.update(len(encoded).to_bytes(4, "little"))
+                    digest.update(encoded)
+            else:
+                digest.update(arr.tobytes())
         for name in sorted(s.errors):
             err = s.errors[name]
             digest.update(name.encode())

@@ -63,7 +63,8 @@ def run_fuzz(qa: QaConfig, out: Optional[str] = None,
 
     runner = DifferentialRunner(
         rtol=qa.rtol, atol=qa.atol, workers=qa.workers,
-        include_serve=qa.include_serve, tracer=tracer,
+        include_serve=qa.include_serve,
+        include_colstore=qa.include_colstore, tracer=tracer,
     )
 
     if replay is not None:
@@ -90,7 +91,7 @@ def run_fuzz(qa: QaConfig, out: Optional[str] = None,
     )
     paths = "batch/cdm/serial/parallel" + (
         "/serve" if qa.include_serve else ""
-    )
+    ) + ("/colstore" if qa.include_colstore else "")
     _print(f"fuzzing {qa.queries} queries (seed={qa.seed}, "
            f"rows={qa.rows}, paths={paths})"
            + (f", injected bug in path {inject_bug!r}" if inject_bug
@@ -222,6 +223,8 @@ def main_fuzz(args) -> int:
         overrides["rows"] = args.rows
     if args.serve:
         overrides["include_serve"] = True
+    if getattr(args, "colstore", False):
+        overrides["include_colstore"] = True
     if args.no_shrink:
         overrides["shrink"] = False
     if args.artifact_dir is not None:

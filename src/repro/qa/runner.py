@@ -10,6 +10,11 @@ five) execution paths that must agree —
 * ``serve`` — the concurrent scheduler's finished-run snapshot
   (optional; one shared scheduler is reused across queries),
 
+* ``colstore`` — G-OLA online streaming a converted on-disk colstore
+  dataset, zone-map pruning on (optional); beyond the final-table
+  compare, its whole snapshot stream must be *bit-identical* to the
+  in-memory serial stream,
+
 compares every path's final table against ``batch`` with the
 float-tolerant structural comparator, and produces one JSON-ready report
 per query.  A query that every path *rejects with the same error class*
@@ -27,6 +32,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -40,7 +46,7 @@ from .compare import compare_tables
 from .generator import QuerySpec
 from .tables import TableSpec, generate_table
 
-PATHS = ("batch", "cdm", "serial", "parallel", "serve")
+PATHS = ("batch", "cdm", "serial", "parallel", "serve", "colstore")
 
 
 @dataclass
@@ -166,13 +172,20 @@ class DifferentialRunner:
 
     def __init__(self, rtol: float = 1e-6, atol: float = 1e-9,
                  workers: int = 2, include_serve: bool = False,
+                 include_colstore: bool = False,
                  tracer: Optional[Tracer] = None):
         self.rtol = rtol
         self.atol = atol
         self.workers = workers
         self.include_serve = include_serve
+        self.include_colstore = include_colstore
         self.tracer = tracer if tracer is not None else Tracer()
         self._table_cache: Dict[TableSpec, Table] = {}
+        # Converted-dataset cache for the colstore path: one temp dir
+        # per (table, partitioning) combination, kept for the runner's
+        # lifetime so repeated cases don't re-encode.
+        self._dataset_cache: Dict[tuple, "Path"] = {}
+        self._dataset_tmp = None
 
     # -- materialization -------------------------------------------------
 
@@ -242,6 +255,61 @@ class DifferentialRunner:
         )
         return session.sql(sql).run_to_completion(config).table
 
+    def _colstore(self, session: GolaSession, sql: str) -> Table:
+        """Serial stream over converted on-disk colstore datasets.
+
+        Runs the query twice in the given session — once over the
+        in-memory tables, once with every streamed table replaced by
+        its converted dataset (mmap decode, zone-map pruning on) — and
+        requires the two snapshot *streams* to be bit-identical, not
+        merely tolerance-close: conversion, memory-mapped decoding and
+        chunk pruning are storage concerns that must not perturb a
+        single user-visible byte.  The final table then also enters
+        the ordinary cross-path comparison.
+        """
+        import tempfile
+
+        from ..faults.chaos import snapshot_fingerprint
+        from ..storage.colstore import convert_table
+
+        config = session.config
+        mem_fp = snapshot_fingerprint(session.sql(sql).run_online())
+
+        if self._dataset_tmp is None:
+            self._dataset_tmp = tempfile.TemporaryDirectory(
+                prefix="repro-qa-colstore-"
+            )
+        for name in list(session.catalog):
+            if not session.catalog.is_streamed(name):
+                continue
+            table = session.catalog.get(name)
+            key = (id(table), config.num_batches, config.seed,
+                   config.shuffle)
+            ds_path = self._dataset_cache.get(key)
+            if ds_path is None:
+                ds_path = (Path(self._dataset_tmp.name)
+                           / f"ds-{len(self._dataset_cache):04d}")
+                convert_table(
+                    table, ds_path, num_batches=config.num_batches,
+                    seed=config.seed, shuffle=config.shuffle,
+                )
+                self._dataset_cache[key] = ds_path
+            session.register_colstore(name, ds_path, streamed=True,
+                                      replace=True)
+
+        snaps = []
+        for snap in session.sql(sql).run_online():
+            snaps.append(snap)
+        col_fp = snapshot_fingerprint(snaps)
+        if col_fp != mem_fp:
+            raise RuntimeError(
+                "colstore snapshot stream diverged from the in-memory "
+                f"stream: {col_fp} != {mem_fp}"
+            )
+        if not snaps:
+            raise RuntimeError("colstore run produced no snapshots")
+        return snaps[-1].table
+
     def _serve(self, session: GolaSession, sql: str) -> Table:
         from ..serve import QueryScheduler
 
@@ -272,6 +340,8 @@ class DifferentialRunner:
         ]
         if self.include_serve:
             paths.append(("serve", self._serve))
+        if self.include_colstore:
+            paths.append(("colstore", self._colstore))
 
         with self.tracer.span("qa.query", sql=sql.replace("\n", " ")):
             for name, fn in paths:

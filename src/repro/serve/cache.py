@@ -29,7 +29,16 @@ from ..storage.table import Table
 
 
 def table_bytes(table: Table) -> int:
-    """Estimated resident bytes of a table's column arrays."""
+    """Estimated resident bytes of a table's column arrays.
+
+    Colstore datasets (registered in place of a table) expose an
+    ``estimated_bytes`` of their *logical* decoded size — the admission
+    bound is deliberately conservative, since the scheduler cannot know
+    how much of a memory-mapped dataset a query will fault in.
+    """
+    est = getattr(table, "estimated_bytes", None)
+    if est is not None:
+        return int(est)
     total = 0
     for name in table.schema.names:
         arr = table.column(name)

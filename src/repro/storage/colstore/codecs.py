@@ -1,0 +1,270 @@
+"""Column codecs for the colstore partition format.
+
+Four codecs, all bit-exact on round-trip (NaN payloads included):
+
+``plain``
+    Raw little-endian numpy bytes.  INT64/FLOAT64/BOOL only; the
+    decoded array is a zero-copy view into the partition file when it
+    is opened via ``np.memmap``.
+
+``dict``
+    Dictionary encoding: an int32 code per row plus a unique-values
+    table.  Strings keep their values in the JSON footer; numeric
+    values become a second aligned segment.  Floats are factorized on
+    their int64 bit pattern so distinct NaN payloads stay distinct.
+
+``rle``
+    Run-length encoding: a values segment (original dtype) plus int32
+    run lengths.  Run boundaries for floats are found on the bit view,
+    so NaN runs compress like any other value.  Strings are factorized
+    to codes first (values in the footer).
+
+``delta``
+    Delta-of-delta with frame-of-reference packing into the smallest
+    unsigned dtype.  INT64 only; falls back to ``plain`` when the
+    value span is too wide for an exact int64 reconstruction.
+
+``auto`` picks whichever candidate codec produces the smallest
+encoded payload for each column.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ...errors import StorageError
+from ..table import ColumnType
+
+CODECS = ("plain", "dict", "rle", "delta")
+
+#: Value span above which delta-of-delta packing may overflow int64
+#: arithmetic; such columns silently fall back to ``plain``.
+_DELTA_SPAN_LIMIT = float(2 ** 61)
+
+
+@dataclass
+class EncodedColumn:
+    """One encoded column: numpy segments plus JSON-safe metadata."""
+
+    codec: str
+    segments: List[np.ndarray] = field(default_factory=list)
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def encoded_bytes(self) -> int:
+        payload = sum(int(seg.nbytes) for seg in self.segments)
+        return payload + len(json.dumps(self.meta, default=str))
+
+
+def _bit_view(arr: np.ndarray, ctype: ColumnType) -> np.ndarray:
+    """An integer view with the same equality structure as ``arr``.
+
+    Floats compare by bit pattern (NaN == NaN, -0.0 != 0.0) which is
+    exactly what an exact round-trip needs.
+    """
+    if ctype == ColumnType.FLOAT64:
+        return arr.view(np.int64)
+    if ctype == ColumnType.BOOL:
+        return arr.view(np.uint8)
+    return arr
+
+
+def _encode_plain(arr: np.ndarray, ctype: ColumnType) -> EncodedColumn:
+    if ctype == ColumnType.STRING:
+        raise StorageError("plain codec does not support string columns")
+    seg = np.ascontiguousarray(_bit_view(arr, ctype))
+    if ctype == ColumnType.FLOAT64:
+        seg = seg.view(np.float64)
+    return EncodedColumn("plain", [seg], {})
+
+
+def _encode_dict(arr: np.ndarray, ctype: ColumnType) -> EncodedColumn:
+    if ctype == ColumnType.STRING:
+        # Stable first-occurrence dictionary so equal inputs encode
+        # identically regardless of value order statistics.
+        mapping: Dict[str, int] = {}
+        codes = np.empty(len(arr), dtype=np.int32)
+        for i, value in enumerate(arr):
+            code = mapping.setdefault(value, len(mapping))
+            codes[i] = code
+        return EncodedColumn(
+            "dict", [codes], {"values": list(mapping.keys())}
+        )
+    view = _bit_view(arr, ctype)
+    values, inverse = np.unique(view, return_inverse=True)
+    if len(values) >= 2 ** 31:  # pragma: no cover - pathological
+        raise StorageError("dictionary too large for int32 codes")
+    if ctype == ColumnType.FLOAT64:
+        values = values.view(np.float64)
+    codes = inverse.astype(np.int32)
+    return EncodedColumn("dict", [codes, np.ascontiguousarray(values)], {})
+
+
+def _run_bounds(view: np.ndarray) -> np.ndarray:
+    """Start indices of equal-value runs in ``view`` (1-D, len > 0)."""
+    change = np.flatnonzero(view[1:] != view[:-1]) + 1
+    return np.concatenate(([0], change))
+
+
+def _encode_rle(arr: np.ndarray, ctype: ColumnType) -> EncodedColumn:
+    if len(arr) == 0:
+        return EncodedColumn("rle", [np.empty(0, np.int64),
+                                     np.empty(0, np.int32)], {})
+    if ctype == ColumnType.STRING:
+        mapping: Dict[str, int] = {}
+        codes = np.empty(len(arr), dtype=np.int32)
+        for i, value in enumerate(arr):
+            codes[i] = mapping.setdefault(value, len(mapping))
+        starts = _run_bounds(codes)
+        lengths = np.diff(np.concatenate((starts, [len(arr)])))
+        return EncodedColumn(
+            "rle",
+            [codes[starts], lengths.astype(np.int32)],
+            {"values": list(mapping.keys())},
+        )
+    view = _bit_view(arr, ctype)
+    starts = _run_bounds(view)
+    lengths = np.diff(np.concatenate((starts, [len(arr)])))
+    values = np.ascontiguousarray(view[starts])
+    if ctype == ColumnType.FLOAT64:
+        values = values.view(np.float64)
+    return EncodedColumn("rle", [values, lengths.astype(np.int32)], {})
+
+
+def _encode_delta(arr: np.ndarray, ctype: ColumnType) -> EncodedColumn:
+    if ctype != ColumnType.INT64:
+        raise StorageError("delta codec supports int64 columns only")
+    n = len(arr)
+    if n == 0:
+        return EncodedColumn("delta", [], {"n": 0})
+    if n == 1:
+        return EncodedColumn("delta", [], {"n": 1, "first": int(arr[0])})
+    span = float(arr.max()) - float(arr.min())
+    if span > _DELTA_SPAN_LIMIT:
+        return _encode_plain(arr, ctype)
+    diffs = np.diff(arr)
+    dod = np.diff(diffs)
+    if len(dod):
+        lo = int(dod.min())
+        rng = int(dod.max()) - lo
+    else:
+        lo, rng = 0, 0
+    for utype in (np.uint8, np.uint16, np.uint32, np.uint64):
+        if rng <= np.iinfo(utype).max:
+            packed = (dod - lo).astype(utype)
+            break
+    meta = {"n": n, "first": int(arr[0]), "d0": int(diffs[0]), "lo": lo,
+            "packed_dtype": np.dtype(utype).name}
+    return EncodedColumn("delta", [packed], meta)
+
+
+_ENCODERS = {
+    "plain": _encode_plain,
+    "dict": _encode_dict,
+    "rle": _encode_rle,
+    "delta": _encode_delta,
+}
+
+#: Candidate codecs per column type, tried by ``auto``.
+_AUTO_CANDIDATES = {
+    ColumnType.INT64: ("plain", "rle", "delta", "dict"),
+    ColumnType.FLOAT64: ("plain", "rle", "dict"),
+    ColumnType.BOOL: ("plain", "rle"),
+    ColumnType.STRING: ("dict", "rle"),
+}
+
+
+def encode_column(arr: np.ndarray, ctype: ColumnType,
+                  codec: str = "auto") -> EncodedColumn:
+    """Encode one column array; ``auto`` picks the smallest payload."""
+    if codec == "auto":
+        best: Optional[EncodedColumn] = None
+        for name in _AUTO_CANDIDATES[ctype]:
+            candidate = _ENCODERS[name](arr, ctype)
+            if best is None or candidate.encoded_bytes < best.encoded_bytes:
+                best = candidate
+        assert best is not None
+        return best
+    if codec not in _ENCODERS:
+        raise StorageError(f"unknown codec {codec!r}")
+    if ctype == ColumnType.STRING and codec in ("plain", "delta"):
+        return encode_column(arr, ctype, "dict")
+    if codec == "delta" and ctype != ColumnType.INT64:
+        return _encode_plain(arr, ctype)
+    return _ENCODERS[codec](arr, ctype)
+
+
+def _decode_plain(segments, meta, ctype, num_rows):
+    if not segments:
+        return np.empty(0, ctype.numpy_dtype)
+    seg = segments[0]
+    if ctype == ColumnType.BOOL:
+        return seg.view(np.bool_)
+    return seg
+
+
+def _decode_dict(segments, meta, ctype, num_rows):
+    codes = segments[0]
+    if ctype == ColumnType.STRING:
+        values = np.array(meta["values"], dtype=object)
+        if len(values) == 0:
+            return np.empty(0, dtype=object)
+        return values[codes]
+    values = segments[1]
+    if ctype == ColumnType.BOOL:
+        values = values.view(np.bool_)
+    return values[codes] if len(values) else np.empty(0, ctype.numpy_dtype)
+
+
+def _decode_rle(segments, meta, ctype, num_rows):
+    values, lengths = segments[0], segments[1]
+    if num_rows == 0:
+        return np.empty(0, ctype.numpy_dtype)
+    expanded = np.repeat(values, lengths)
+    if ctype == ColumnType.STRING:
+        table = np.array(meta["values"], dtype=object)
+        return table[expanded]
+    if ctype == ColumnType.BOOL:
+        return expanded.view(np.bool_)
+    return expanded
+
+
+def _decode_delta(segments, meta, ctype, num_rows):
+    n = int(meta["n"])
+    if n == 0:
+        return np.empty(0, np.int64)
+    if n == 1:
+        return np.array([meta["first"]], dtype=np.int64)
+    packed = segments[0]
+    dod = packed.astype(np.int64) + int(meta["lo"])
+    diffs = np.cumsum(np.concatenate(([int(meta["d0"])], dod)))
+    out = np.empty(n, dtype=np.int64)
+    out[0] = int(meta["first"])
+    out[1:] = out[0] + np.cumsum(diffs)
+    return out
+
+
+_DECODERS = {
+    "plain": _decode_plain,
+    "dict": _decode_dict,
+    "rle": _decode_rle,
+    "delta": _decode_delta,
+}
+
+
+def decode_column(codec: str, segments: List[np.ndarray],
+                  meta: Dict[str, object], ctype: ColumnType,
+                  num_rows: int) -> np.ndarray:
+    """Decode segments written by :func:`encode_column`."""
+    if codec not in _DECODERS:
+        raise StorageError(f"unknown codec {codec!r}")
+    out = _DECODERS[codec](segments, meta, ctype, num_rows)
+    if len(out) != num_rows:
+        raise StorageError(
+            f"codec {codec!r} decoded {len(out)} rows, expected {num_rows}"
+        )
+    return out

@@ -1,0 +1,119 @@
+"""Partial-aggregate projections: persisted warm-start fold states.
+
+A projection is a :class:`~repro.faults.checkpoint.RunCheckpoint`
+persisted next to a dataset's partitions, keyed by
+
+* the dataset's content **fingerprint** (re-converting the data, or
+  converting different data, invalidates every projection),
+* the **query fingerprint** (hash of the rewritten plan description),
+* the **config fingerprint** (batching/bootstrap parameters), and
+* per-lineage-block **digests** (hash of each block's plan), checked
+  at load so a planner change that re-shapes blocks under the same
+  query text can never resurrect stale fold state.
+
+Retained batches are *not* persisted: Poisson bootstrap weights come
+from stateless per-(batch, trial) RNG streams, so a warm start replays
+a fresh weight source over the stored batches and reconstructs the
+retained list exactly.  That keeps projection files at fold-state size
+(KBs) instead of dataset size.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Dict, List, Optional
+
+from ...errors import CheckpointError
+from ...faults.checkpoint import RunCheckpoint
+
+_META_SUFFIX = ".json"
+_STATE_SUFFIX = ".proj"
+
+
+def projection_key(table_fp: str, query_fp: str, config_fp: str) -> str:
+    """Stable file stem for one (table, query, config) combination."""
+    blob = f"{table_fp}:{query_fp}:{config_fp}".encode()
+    return hashlib.sha256(blob).hexdigest()[:24]
+
+
+class ProjectionStore:
+    """Directory of projection files (usually ``<dataset>/_projections``)."""
+
+    def __init__(self, root):
+        self.root = os.fspath(root)
+
+    def _stem(self, table_fp: str, query_fp: str, config_fp: str) -> str:
+        return os.path.join(
+            self.root, projection_key(table_fp, query_fp, config_fp)
+        )
+
+    def save(self, checkpoint: RunCheckpoint, table_fp: str,
+             block_digests: Dict[str, str]) -> str:
+        """Persist ``checkpoint`` (with ``retained`` already emptied)."""
+        os.makedirs(self.root, exist_ok=True)
+        stem = self._stem(table_fp, checkpoint.query_fp,
+                          checkpoint.config_fp)
+        checkpoint.save(stem + _STATE_SUFFIX)
+        meta = {
+            "table_fp": table_fp,
+            "query_fp": checkpoint.query_fp,
+            "config_fp": checkpoint.config_fp,
+            "batch_index": checkpoint.batch_index,
+            "folded_count": checkpoint.folded_count,
+            "block_digests": dict(block_digests),
+        }
+        tmp = stem + _META_SUFFIX + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(meta, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, stem + _META_SUFFIX)
+        return stem + _STATE_SUFFIX
+
+    def load(self, table_fp: str, query_fp: str, config_fp: str,
+             block_digests: Dict[str, str]) -> Optional[RunCheckpoint]:
+        """The stored checkpoint for this key, or None.
+
+        Returns None (never raises) on missing files, unreadable
+        pickles, or any digest mismatch — a cold start is always a
+        safe answer.
+        """
+        stem = self._stem(table_fp, query_fp, config_fp)
+        try:
+            with open(stem + _META_SUFFIX, "r", encoding="utf-8") as fh:
+                meta = json.load(fh)
+        except (OSError, ValueError):
+            return None
+        if meta.get("table_fp") != table_fp:
+            return None
+        if meta.get("block_digests") != dict(block_digests):
+            return None
+        try:
+            return RunCheckpoint.load(stem + _STATE_SUFFIX)
+        except (CheckpointError, OSError):
+            return None
+
+    def entries(self) -> List[dict]:
+        """Metadata for every stored projection (for ``repro inspect``)."""
+        if not os.path.isdir(self.root):
+            return []
+        out = []
+        for name in sorted(os.listdir(self.root)):
+            if not name.endswith(_META_SUFFIX):
+                continue
+            try:
+                with open(os.path.join(self.root, name), "r",
+                          encoding="utf-8") as fh:
+                    meta = json.load(fh)
+            except (OSError, ValueError):
+                continue
+            state = name[: -len(_META_SUFFIX)] + _STATE_SUFFIX
+            state_path = os.path.join(self.root, state)
+            meta["state_file"] = state
+            meta["state_bytes"] = (
+                os.path.getsize(state_path)
+                if os.path.isfile(state_path) else 0
+            )
+            out.append(meta)
+        return out

@@ -59,8 +59,25 @@ class MiniBatchPartitioner:
         return [table.slice(*bounds[i]) for i in order]
 
     def iter_batches(self, table: Table) -> Iterator[Table]:
-        """Iterate mini-batches lazily in processing order."""
-        return iter(self.partition(table))
+        """Iterate mini-batches lazily in processing order.
+
+        Yields the same batches as :meth:`partition` (``shuffled.slice(lo,
+        hi)`` equals ``table.take(perm[lo:hi])`` row for row) but
+        materializes only one batch at a time — no full shuffled copy —
+        so conversion and streaming runs over mmap-backed tables peak at
+        one batch of gathered rows instead of 2x the table.
+        """
+        rng = np.random.default_rng(self.seed)
+        n = table.num_rows
+        if self.shuffle:
+            perm = rng.permutation(n)
+            for lo, hi in self._bounds(n):
+                yield table.take(perm[lo:hi])
+            return
+        bounds = self._bounds(n)
+        order = rng.permutation(len(bounds))
+        for i in order:
+            yield table.slice(*bounds[i])
 
     def _bounds(self, n: int):
         edges = np.linspace(0, n, self.num_batches + 1).astype(np.int64)

@@ -1,0 +1,105 @@
+"""`repro convert` / `repro inspect` / `repro fuzz --colstore` smoke."""
+
+import json
+import subprocess
+import sys
+
+from repro.storage.colstore import open_dataset
+
+
+def run_module(*args, timeout=300):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True, text=True, timeout=timeout,
+    )
+
+
+class TestConvertInspect:
+    def test_workload_round_trip(self, tmp_path):
+        out = tmp_path / "sessions-ds"
+        proc = run_module(
+            "convert", "--workload", "sessions", "--rows", "4000",
+            "--batches", "4", "--out", str(out),
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "wrote 4 partitions" in proc.stdout
+        assert "fingerprint:" in proc.stdout
+
+        inspect = run_module("inspect", str(out))
+        assert inspect.returncode == 0, inspect.stderr
+        assert "colstore dataset" in inspect.stdout
+        assert "rows 4,000 in 4 partitions" in inspect.stdout
+        assert "quarantined rows: none" in inspect.stdout
+
+        as_json = run_module("inspect", str(out), "--json")
+        assert as_json.returncode == 0, as_json.stderr
+        report = json.loads(as_json.stdout)
+        assert report["num_rows"] == 4000
+        assert report["num_batches"] == 4
+        assert report["source"] == "workload:sessions"
+        assert report["codec_segments"]
+
+    def test_csv_quarantine_round_trip(self, tmp_path):
+        csv_path = tmp_path / "input.csv"
+        lines = ["id,value"]
+        lines += [f"{i},{i * 1.5}" for i in range(200)]
+        lines.insert(50, "oops,not-a-number")  # malformed row
+        csv_path.write_text("\n".join(lines) + "\n")
+
+        out = tmp_path / "csv-ds"
+        proc = run_module(
+            "convert", "--csv", str(csv_path), "--batches", "2",
+            "--error-budget", "0.05", "--out", str(out),
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "quarantined 1 malformed row" in proc.stdout
+
+        ds = open_dataset(out)
+        assert ds.num_rows == 200
+        rows = ds.quarantined_rows
+        assert len(rows) == 1
+
+        inspect = run_module("inspect", str(out))
+        assert inspect.returncode == 0, inspect.stderr
+        assert "quarantined rows: 1" in inspect.stdout
+        report = json.loads(
+            run_module("inspect", str(out), "--json").stdout
+        )
+        assert len(report["quarantine"]["rows"]) == 1
+
+    def test_csv_over_budget_aborts(self, tmp_path):
+        # Per column the bad fraction stays under the inference
+        # tolerance (so id/value keep their numeric types), but the
+        # union of bad rows exceeds the 5% budget: the load must abort.
+        csv_path = tmp_path / "garbage.csv"
+        rows = [[str(i), str(i * 2.0)] for i in range(200)]
+        for i in range(0, 9):
+            rows[i][0] = "bad"
+        for i in range(20, 29):
+            rows[i][1] = "worse"
+        lines = ["id,value"] + [",".join(r) for r in rows]
+        csv_path.write_text("\n".join(lines) + "\n")
+        proc = run_module(
+            "convert", "--csv", str(csv_path), "--batches", "2",
+            "--error-budget", "0.05", "--out", str(tmp_path / "nope"),
+        )
+        assert proc.returncode == 1
+        assert "error budget" in proc.stderr
+
+    def test_inspect_rejects_non_dataset(self, tmp_path):
+        proc = run_module("inspect", str(tmp_path))
+        assert proc.returncode == 1
+        assert "error:" in proc.stderr
+
+
+class TestFuzzColstore:
+    def test_fuzz_includes_colstore_path(self, tmp_path):
+        out = tmp_path / "fuzz.json"
+        proc = run_module(
+            "fuzz", "--queries", "4", "--rows", "600", "--seed", "5",
+            "--colstore", "--no-shrink", "--out", str(out),
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        report = json.loads(out.read_text())
+        assert "colstore" in report["paths"]
+        assert report["divergences"] == 0

@@ -1,0 +1,198 @@
+"""Unit tests for zone-map pruning: soundness against the exact paths."""
+
+import numpy as np
+import pytest
+
+from repro.core.uncertain import TRI_FALSE, TRI_TRUE, TRI_UNKNOWN
+from repro.expr.expressions import (
+    BinaryOp,
+    BooleanOp,
+    ColumnRef,
+    Comparison,
+    Environment,
+    Literal,
+    evaluate_mask,
+)
+from repro.storage import Table
+from repro.storage.colstore import write_partition
+from repro.storage.colstore.format import PartitionReader
+from repro.storage.colstore import prune as prune_mod
+from repro.storage.colstore.prune import (
+    chunk_decisions,
+    chunk_keep,
+    pruned_filter_mask,
+)
+
+OPS = ("<", "<=", ">", ">=", "=", "!=")
+
+
+def zones_for(table: Table, chunk_rows: int, tmp_path):
+    path = tmp_path / "z.gcp"
+    write_partition(path, table, chunk_rows=chunk_rows)
+    return PartitionReader(path).zone_index()
+
+
+@pytest.fixture
+def table():
+    rng = np.random.default_rng(42)
+    f = rng.normal(50.0, 20.0, 2000)
+    f[rng.random(2000) < 0.05] = np.nan
+    return Table.from_columns({
+        "i": np.sort(rng.integers(0, 100, 2000)).astype(np.int64),
+        "f": np.sort(f),  # NaNs sort to the end: some chunks all-NaN
+        "s": np.array([f"k{v}" for v in rng.integers(0, 5, 2000)],
+                      dtype=object),
+    })
+
+
+class TestTriConstants:
+    def test_match_core_uncertain(self):
+        assert prune_mod.TRI_FALSE == TRI_FALSE
+        assert prune_mod.TRI_UNKNOWN == TRI_UNKNOWN
+        assert prune_mod.TRI_TRUE == TRI_TRUE
+
+
+class TestCertainFilterPruning:
+    @pytest.mark.parametrize("op", OPS)
+    @pytest.mark.parametrize("column,const", [
+        ("i", 10), ("i", 50), ("i", 99), ("f", 30.0), ("f", 80.0),
+    ])
+    def test_mask_identical_to_evaluate_mask(self, table, tmp_path,
+                                             op, column, const):
+        zones = zones_for(table, 64, tmp_path)
+        predicate = Comparison(op, ColumnRef(column), Literal(const))
+        env = Environment()
+        mask, pruned = pruned_filter_mask(predicate, table, env, zones)
+        np.testing.assert_array_equal(
+            mask, np.asarray(evaluate_mask(predicate, table, env),
+                             dtype=bool)
+        )
+
+    def test_selective_predicate_prunes(self, table, tmp_path):
+        zones = zones_for(table, 64, tmp_path)
+        predicate = Comparison("<", ColumnRef("i"), Literal(5))
+        mask, pruned = pruned_filter_mask(
+            predicate, table, Environment(), zones
+        )
+        assert pruned > 0
+        assert zones.pruned_total == pruned
+
+    def test_conjunction_intersects_chunk_masks(self, table, tmp_path):
+        zones = zones_for(table, 64, tmp_path)
+        predicate = BooleanOp("AND", [
+            Comparison(">", ColumnRef("i"), Literal(20)),
+            Comparison("<", ColumnRef("i"), Literal(40)),
+        ])
+        env = Environment()
+        mask, pruned = pruned_filter_mask(predicate, table, env, zones)
+        assert pruned > 0
+        np.testing.assert_array_equal(
+            mask, np.asarray(evaluate_mask(predicate, table, env),
+                             dtype=bool)
+        )
+
+    def test_nan_rows_never_pass_comparisons(self, table, tmp_path):
+        # The last chunks are all-NaN after the sort; < must not keep
+        # them, and != must not prune chunks that merely contain NaNs.
+        zones = zones_for(table, 64, tmp_path)
+        env = Environment()
+        for op, const in (("<", 1e9), ("!=", 50.0)):
+            predicate = Comparison(op, ColumnRef("f"), Literal(const))
+            mask, _ = pruned_filter_mask(predicate, table, env, zones)
+            np.testing.assert_array_equal(
+                mask, np.asarray(evaluate_mask(predicate, table, env),
+                                 dtype=bool)
+            )
+
+    def test_string_predicate_not_pruned_but_exact(self, table, tmp_path):
+        zones = zones_for(table, 64, tmp_path)
+        predicate = Comparison("=", ColumnRef("s"), Literal("k3"))
+        env = Environment()
+        mask, pruned = pruned_filter_mask(predicate, table, env, zones)
+        np.testing.assert_array_equal(
+            mask, np.asarray(evaluate_mask(predicate, table, env),
+                             dtype=bool)
+        )
+
+    def test_row_count_mismatch_disables_pruning(self, table, tmp_path):
+        zones = zones_for(table, 64, tmp_path)
+        shorter = table.slice(0, 100)
+        predicate = Comparison("<", ColumnRef("i"), Literal(5))
+        mask, pruned = pruned_filter_mask(
+            predicate, shorter, Environment(), zones
+        )
+        assert pruned == 0
+        assert mask.shape == (100,)
+
+    def test_chunk_keep_none_for_unusable_predicate(self, table,
+                                                    tmp_path):
+        zones = zones_for(table, 64, tmp_path)
+        # column-vs-column comparison has no literal side
+        predicate = Comparison("<", ColumnRef("i"), ColumnRef("f"))
+        assert chunk_keep(predicate, zones) is None
+
+
+class TestChunkTriDecisions:
+    @pytest.mark.parametrize("op", OPS)
+    def test_decisions_match_per_row_tri_eval(self, table, tmp_path, op):
+        from repro.core.classify import IntervalEnv, tri_eval
+        from repro.core.uncertain import ScalarSlotState
+        from repro.estimate.variation import VariationRange
+        from repro.expr.expressions import SubqueryRef
+
+        zones = zones_for(table, 64, tmp_path)
+        for lo, hi in ((25.0, 30.0), (49.9, 50.1), (-1e9, 1e9)):
+            decisions = chunk_decisions(zones, "f", op, lo, hi)
+            assert decisions is not None
+            # A slot-bearing predicate whose variation range is
+            # [lo, hi]: col op <subquery#0>.
+            predicate = Comparison(op, ColumnRef("f"), SubqueryRef(0))
+            state = ScalarSlotState(
+                slot=0, estimate=(lo + hi) / 2.0,
+                replicas=np.array([lo, hi]),
+                vrange=VariationRange(lo, hi),
+            )
+            env = IntervalEnv(slots={0: state})
+            per_row = tri_eval(predicate, table, env)
+            for c in range(zones.num_chunks):
+                if decisions[c] == TRI_UNKNOWN:
+                    continue
+                rows = per_row[c * 64:(c + 1) * 64]
+                assert (rows == decisions[c]).all(), (op, lo, hi, c)
+
+    def test_string_column_returns_none(self, table, tmp_path):
+        zones = zones_for(table, 64, tmp_path)
+        assert chunk_decisions(zones, "s", "<", 0.0, 1.0) is None
+        assert chunk_decisions(zones, "missing", "<", 0.0, 1.0) is None
+
+
+class TestUncertainMatching:
+    def test_scalar_subquery_matches(self):
+        from repro.expr.expressions import SubqueryRef
+        from repro.storage.colstore.prune import match_uncertain_comparison
+
+        pred = Comparison(">", ColumnRef("x3"), SubqueryRef(0))
+        assert match_uncertain_comparison(pred)[:2] == ("x3", ">")
+        # flipped operand order flips the operator
+        pred = Comparison(">", SubqueryRef(0), ColumnRef("x3"))
+        assert match_uncertain_comparison(pred)[:2] == ("x3", "<")
+
+    def test_correlated_subquery_rejected(self):
+        from repro.expr.expressions import SubqueryRef
+        from repro.storage.colstore.prune import match_uncertain_comparison
+
+        pred = Comparison(
+            ">", ColumnRef("x3"),
+            SubqueryRef(0, correlation=ColumnRef("k1")),
+        )
+        assert match_uncertain_comparison(pred) is None
+
+    def test_non_column_side_rejected(self):
+        from repro.expr.expressions import SubqueryRef
+        from repro.storage.colstore.prune import match_uncertain_comparison
+
+        pred = Comparison(
+            ">", BinaryOp("+", ColumnRef("x3"), Literal(1.0)),
+            SubqueryRef(0),
+        )
+        assert match_uncertain_comparison(pred) is None
