@@ -751,6 +751,12 @@ def main(argv=None) -> int:
                       help="also stream each query from a converted "
                            "on-disk colstore dataset (bit-identity "
                            "checked against the in-memory stream)")
+    fuzz.add_argument("--grammar", default=None,
+                      choices=("default", "deep"),
+                      help="query-generation profile: 'deep' adds "
+                           "window functions, DISTINCT/quantile "
+                           "aggregates, multi-fact subqueries and "
+                           "NULL-heavy/empty-group edge biases")
     fuzz.add_argument("--no-shrink", action="store_true",
                       help="skip minimizing divergent queries")
     fuzz.add_argument("--artifact-dir", default=None, metavar="DIR",
@@ -778,7 +784,8 @@ def main(argv=None) -> int:
     calibrate.add_argument(
         "--queries", default=None, metavar="NAMES",
         help="comma-separated workload queries (default: all of "
-             "sbi,c3,q17,q20)",
+             "sbi,c3,q17,q20,t_roll,t_dist,t_p95; the t_* names are "
+             "the deep-surface taxi queries)",
     )
     calibrate.add_argument("--runs", type=int, default=None,
                            help="runs (seeds) per query")

@@ -524,6 +524,11 @@ class QaConfig:
             in-memory serial path.
         shrink: Minimize failing queries and write reproducer artifacts.
         artifact_dir: Where failing-query reproducers are written.
+        grammar: Query-generation profile: "default" for the classic
+            nested-aggregate grammar, "deep" to also generate window
+            functions, DISTINCT/quantile aggregates, multi-fact
+            subqueries over a second streamed fact, and NULL-heavy /
+            empty-group edge biases.
         calibration_runs: Seeds per query in a calibration sweep.
         calibration_fraction: Batch fraction at which coverage is
             measured (0.5 = the mid-run snapshot).
@@ -542,6 +547,7 @@ class QaConfig:
     include_colstore: bool = False
     shrink: bool = True
     artifact_dir: str = "qa-artifacts"
+    grammar: str = "default"
     calibration_runs: int = 100
     calibration_fraction: float = 0.5
     calibration_alpha: float = 1e-3
@@ -557,6 +563,11 @@ class QaConfig:
             raise ValueError("bootstrap_trials must be >= 2")
         if self.rtol < 0 or self.atol < 0:
             raise ValueError("tolerances must be >= 0")
+        if self.grammar not in ("default", "deep"):
+            raise ValueError(
+                f"unknown grammar {self.grammar!r}; "
+                "one of 'default', 'deep'"
+            )
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
         if self.calibration_runs < 10:

@@ -99,6 +99,8 @@ class QueryController:
             query, self.tables, self.streamed, config, udafs
         )
         self.streamed_table = self.meta_plan.streamed_table
+        self.streamed_tables = self.meta_plan.streamed_tables
+        self.block_tables = self.meta_plan.block_tables
         self.runtimes = self.meta_plan.runtimes
         self.injector = FaultInjector.from_config(config, tracer=self.tracer)
         # A scheduler may inject a pool shared by many concurrent
@@ -234,44 +236,22 @@ class QueryController:
             self.finish()
         self._stopped = False
         tracer = self.tracer
-        table = self.tables[self.streamed_table]
         storage = self.config.storage
-        dataset: Optional[ColstoreDataset] = (
-            table if isinstance(table, ColstoreDataset) else None
-        )
-        if dataset is not None:
-            if dataset.config_matches(self.config):
-                # Stream the stored partition files directly (decoded
-                # lazily, one batch per step); zone maps ride along on
-                # each batch only when pruning is enabled.
-                batches = dataset.batches(prune=storage.prune)
-            else:
-                # The stored partitioning does not match this run's
-                # config: materialize (original row order) and re-slice
-                # like any in-memory table.  No warm starts — the
-                # stored batch layout is not what this run folds.
-                dataset = None
-                partitioner = MiniBatchPartitioner(
-                    self.config.num_batches, seed=self.config.seed,
-                    shuffle=self.config.shuffle,
-                )
-                batches = partitioner.partition(table.to_table())
-        elif self.scan_cache is not None:
-            batches = self.scan_cache.partitions(
-                self.streamed_table, table, self.config
+        batches: Dict[str, List[Table]] = {}
+        datasets: Dict[str, Optional[ColstoreDataset]] = {}
+        for name in self.streamed_tables:
+            batches[name], datasets[name] = self._make_batches(name)
+        dataset = datasets[self.streamed_table]
+        weight_sources = {
+            name: PoissonWeightSource(
+                self.config.bootstrap_trials, self.config.seed,
+                label=f"bootstrap:{name}", tracer=tracer,
             )
-        else:
-            partitioner = MiniBatchPartitioner(
-                self.config.num_batches, seed=self.config.seed,
-                shuffle=self.config.shuffle,
-            )
-            batches = partitioner.partition(table)
-        weight_source = PoissonWeightSource(
-            self.config.bootstrap_trials, self.config.seed,
-            label=f"bootstrap:{self.streamed_table}",
-            tracer=tracer,
-        )
-        retained: List[Tuple[Table, np.ndarray]] = []
+            for name in self.streamed_tables
+        }
+        retained: Dict[str, List[Tuple[Table, np.ndarray]]] = {
+            name: [] for name in self.streamed_tables
+        }
         k = self.config.num_batches
         folded = 0
         skipped: List[int] = []
@@ -283,11 +263,11 @@ class QueryController:
                 else RunCheckpoint.load(resume_from)
             )
             ck.verify(self.query, self.config)
-            weight_source.restore_state(ck.weights_rng_state)
+            self._restore_weights(weight_sources, ck.weights_rng_state)
             self.injector.restore(ck.injector_state)
             for block_id, state in ck.copy_block_states().items():
                 self.runtimes[block_id].restore_checkpoint(state)
-            retained = list(ck.retained)
+            retained = self._restore_retained(ck.retained)
             folded = ck.folded_count
             skipped = list(ck.skipped_batches)
             lost_rows = ck.lost_rows
@@ -296,8 +276,12 @@ class QueryController:
                 tracer.event("checkpoint.resumed",
                              batch_index=ck.batch_index, folded=folded)
         self._projection_ctx = None
+        # Projection warm-starts cover the common single-fact case; a
+        # multi-fact run's fold state spans several weight streams and is
+        # simply recomputed from scratch.
         if (dataset is not None and storage.projections
-                and resume_from is None):
+                and resume_from is None
+                and len(self.streamed_tables) == 1):
             store = ProjectionStore(
                 Path(storage.projection_dir) if storage.projection_dir
                 else dataset.projection_dir
@@ -318,7 +302,7 @@ class QueryController:
                     pck = None
             if (pck is not None and not pck.skipped_batches
                     and pck.batch_index < k):
-                weight_source.restore_state(pck.weights_rng_state)
+                self._restore_weights(weight_sources, pck.weights_rng_state)
                 self.injector.restore(pck.injector_state)
                 for block_id, state in pck.copy_block_states().items():
                     self.runtimes[block_id].restore_checkpoint(state)
@@ -338,8 +322,8 @@ class QueryController:
                         tracer=tracer,
                     )
                     for bi in range(pck.batch_index):
-                        bt = batches[bi]
-                        retained.append(
+                        bt = batches[self.streamed_table][bi]
+                        retained[self.streamed_table].append(
                             (bt, replay.batch_weights(bt.num_rows))
                         )
                 if tracer.enabled:
@@ -366,11 +350,73 @@ class QueryController:
             if stack and stack[-1] == qspan_id:
                 stack.pop()
         self._exec = {
-            "batches": batches, "weight_source": weight_source,
+            "batches": batches, "weight_sources": weight_sources,
             "retained": retained, "k": k, "folded": folded,
             "skipped": skipped, "lost_rows": lost_rows,
             "cursor": start_at, "span": qspan, "span_id": qspan_id,
         }
+
+    def _make_batches(self, name: str):
+        """Mini-batch partitions (and the backing colstore dataset, if
+        any) for one streamed relation.  Every streamed table is cut
+        into the same ``num_batches`` under the same seed, so batch ``i``
+        is a consistent uniform slice across facts."""
+        table = self.tables[name]
+        storage = self.config.storage
+        dataset: Optional[ColstoreDataset] = (
+            table if isinstance(table, ColstoreDataset) else None
+        )
+        if dataset is not None:
+            if dataset.config_matches(self.config):
+                # Stream the stored partition files directly (decoded
+                # lazily, one batch per step); zone maps ride along on
+                # each batch only when pruning is enabled.
+                return dataset.batches(prune=storage.prune), dataset
+            # The stored partitioning does not match this run's
+            # config: materialize (original row order) and re-slice
+            # like any in-memory table.  No warm starts — the
+            # stored batch layout is not what this run folds.
+            partitioner = MiniBatchPartitioner(
+                self.config.num_batches, seed=self.config.seed,
+                shuffle=self.config.shuffle,
+            )
+            return partitioner.partition(table.to_table()), None
+        if self.scan_cache is not None:
+            return self.scan_cache.partitions(
+                name, table, self.config
+            ), None
+        partitioner = MiniBatchPartitioner(
+            self.config.num_batches, seed=self.config.seed,
+            shuffle=self.config.shuffle,
+        )
+        return partitioner.partition(table), None
+
+    def _restore_weights(self, weight_sources: Dict[str, PoissonWeightSource],
+                         state) -> None:
+        """Restore per-table weight streams from a checkpoint.
+
+        Accepts both the current per-table mapping and the legacy flat
+        single-stream state (pre-multi-fact checkpoints/projections).
+        """
+        if set(state) == set(weight_sources) and all(
+            isinstance(v, dict) for v in state.values()
+        ):
+            for name, source in weight_sources.items():
+                source.restore_state(state[name])
+        else:
+            weight_sources[self.streamed_table].restore_state(state)
+
+    def _restore_retained(self, retained):
+        """Per-table retained batches from a checkpoint (legacy lists
+        belong to the primary streamed table)."""
+        if isinstance(retained, dict):
+            return {
+                name: list(retained.get(name, ()))
+                for name in self.streamed_tables
+            }
+        out = {name: [] for name in self.streamed_tables}
+        out[self.streamed_table] = list(retained)
+        return out
 
     @property
     def is_done(self) -> bool:
@@ -395,7 +441,11 @@ class QueryController:
         tracer = self.tracer
         faults = self.config.faults
         i = ex["cursor"]
-        batch = ex["batches"][i - 1]
+        table_batches = {
+            name: ex["batches"][name][i - 1]
+            for name in self.streamed_tables
+        }
+        batch_rows = sum(b.num_rows for b in table_batches.values())
         with tracer.scoped_parent(ex["span_id"]) if tracer.enabled \
                 else _NO_SCOPE:
             failures = self.injector.batch_load_failures(
@@ -403,9 +453,9 @@ class QueryController:
             )
             if self._retry_policy.gives_up_after(failures):
                 ex["skipped"].append(i)
-                ex["lost_rows"] += batch.num_rows
+                ex["lost_rows"] += batch_rows
                 snapshot = self._skip_batch(
-                    i, batch, ex["k"], ex["folded"], ex["skipped"],
+                    i, batch_rows, ex["k"], ex["folded"], ex["skipped"],
                     ex["lost_rows"],
                 )
             else:
@@ -426,9 +476,9 @@ class QueryController:
                 ex["folded"] += 1
                 try:
                     snapshot = self._run_batch(
-                        i, batch, ex["weight_source"], ex["retained"],
-                        ex["k"], ex["folded"], ex["skipped"],
-                        ex["lost_rows"],
+                        i, table_batches, ex["weight_sources"],
+                        ex["retained"], ex["k"], ex["folded"],
+                        ex["skipped"], ex["lost_rows"],
                     )
                 except ShardLostError as exc:
                     # The supervised pool exhausted its whole recovery
@@ -441,27 +491,28 @@ class QueryController:
                     # (flagged) estimate.
                     ex["folded"] -= 1
                     ex["skipped"].append(i)
-                    ex["lost_rows"] += batch.num_rows
-                    retained = ex["retained"]
-                    if retained and retained[-1][0] is batch:
-                        # Keep retained batches consistent with the
-                        # skip: a dropped batch must not resurface in
-                        # later uncertain-set rebuilds.
-                        retained.pop()
+                    ex["lost_rows"] += batch_rows
+                    for name, batch in table_batches.items():
+                        kept = ex["retained"][name]
+                        if kept and kept[-1][0] is batch:
+                            # Keep retained batches consistent with the
+                            # skip: a dropped batch must not resurface in
+                            # later uncertain-set rebuilds.
+                            kept.pop()
                     if tracer.enabled:
                         tracer.event("fault.shard_lost", batch_index=i,
                                      error=str(exc))
                     if tracer.metrics.enabled:
                         tracer.metrics.counter("faults.shards_lost").inc()
                     snapshot = self._skip_batch(
-                        i, batch, ex["k"], ex["folded"], ex["skipped"],
-                        ex["lost_rows"],
+                        i, batch_rows, ex["k"], ex["folded"],
+                        ex["skipped"], ex["lost_rows"],
                     )
             self._run_state = {
                 "batch_index": i, "folded": ex["folded"],
                 "skipped": list(ex["skipped"]),
                 "lost_rows": ex["lost_rows"],
-                "weight_source": ex["weight_source"],
+                "weight_sources": ex["weight_sources"],
                 "retained": ex["retained"],
             }
             pj = self._projection_ctx
@@ -554,13 +605,19 @@ class QueryController:
             folded_count=state["folded"],
             skipped_batches=list(state["skipped"]),
             lost_rows=state["lost_rows"],
-            weights_rng_state=state["weight_source"].state_dict(),
+            weights_rng_state={
+                name: source.state_dict()
+                for name, source in state["weight_sources"].items()
+            },
             injector_state=self.injector.state_dict(),
             block_states={
                 block_id: runtime.state_checkpoint()
                 for block_id, runtime in self.runtimes.items()
             },
-            retained=list(state["retained"]),
+            retained={
+                name: list(kept)
+                for name, kept in state["retained"].items()
+            },
         )
 
     # ------------------------------------------------------------------
@@ -616,7 +673,7 @@ class QueryController:
             )
         return errors
 
-    def _skip_batch(self, i: int, batch: Table, k: int, folded: int,
+    def _skip_batch(self, i: int, batch_rows: int, k: int, folded: int,
                     skipped: List[int], lost_rows: int) -> OnlineSnapshot:
         """Drop a permanently failed batch; snapshot without folding it.
 
@@ -627,11 +684,11 @@ class QueryController:
         delta state the next folded batch builds on.
         """
         tracer = self.tracer
-        with tracer.span("batch", batch_index=i, rows_in=batch.num_rows,
+        with tracer.span("batch", batch_index=i, rows_in=batch_rows,
                          skipped=True) as bspan, Timer() as batch_timer:
             if tracer.enabled:
                 tracer.event("fault.batch_skipped", batch_index=i,
-                             rows_lost=batch.num_rows)
+                             rows_lost=batch_rows)
             scale = k / max(folded, 1)
             slot_states: Dict[int, object] = dict(self.static_states)
             penv = Environment(functions=self.functions)
@@ -645,7 +702,7 @@ class QueryController:
         metrics = tracer.metrics
         if metrics.enabled:
             metrics.counter("faults.batches_skipped").inc()
-            metrics.counter("faults.rows_lost").inc(batch.num_rows)
+            metrics.counter("faults.rows_lost").inc(batch_rows)
         return OnlineSnapshot(
             batch_index=i, num_batches=k, table=out_table,
             errors=errors, uncertain_sizes={}, rows_processed={},
@@ -679,25 +736,44 @@ class QueryController:
                     bl.set("rebuilt", True)
         return stats, bl.elapsed_s
 
-    def _run_batch(self, i: int, batch: Table,
-                   weight_source: PoissonWeightSource,
-                   retained: List[Tuple[Table, np.ndarray]],
+    def _run_batch(self, i: int, table_batches: Dict[str, Table],
+                   weight_sources: Dict[str, PoissonWeightSource],
+                   retained: Dict[str, List[Tuple[Table, np.ndarray]]],
                    k: int, folded: int, skipped: List[int],
                    lost_rows: int) -> OnlineSnapshot:
-        """Fold one mini-batch into every block and snapshot the result."""
+        """Fold one mini-batch into every block and snapshot the result.
+
+        ``table_batches`` maps each streamed relation to its ``i``-th
+        mini-batch; each block folds its own relation's batch under that
+        relation's weight stream.  Trial ``j`` pairs across tables —
+        every block's j-th replica sees the same simulated database —
+        which is what makes multi-fact variance estimates consistent
+        under correlated resampling.
+        """
         tracer = self.tracer
         phases: Optional[Dict[str, float]] = (
             {"fold": 0.0, "publish": 0.0, "snapshot": 0.0}
             if tracer.enabled else None
         )
+        batch = table_batches[self.streamed_table]
         with tracer.span("batch", batch_index=i,
                          rows_in=batch.num_rows) as bspan, \
                 Timer() as batch_timer:
-            weights = weight_source.batch_weights(batch.num_rows)
+            weights = {
+                name: weight_sources[name].batch_weights(
+                    table_batches[name].num_rows
+                )
+                for name in self.streamed_tables
+            }
             if self.config.retain_batches:
-                retained.append((batch, weights))
+                for name in self.streamed_tables:
+                    retained[name].append(
+                        (table_batches[name], weights[name])
+                    )
             # Multiplicity over batches actually folded: k/i on the clean
-            # path, k/folded after a skip (skip-and-reweight).
+            # path, k/folded after a skip (skip-and-reweight).  Every
+            # streamed table is cut into the same k batches, so one scale
+            # serves all of them.
             scale = k / folded
 
             slot_states: Dict[int, object] = dict(self.static_states)
@@ -708,7 +784,7 @@ class QueryController:
             rows_processed: Dict[str, int] = {}
             uncertain_sizes: Dict[str, int] = {}
             rebuilds: List[str] = []
-            retained_arg = retained if self.config.retain_batches else None
+            retain = self.config.retain_batches
             parent_id = getattr(bspan, "span_id", None)
 
             # Blocks within one level are independent (they only consume
@@ -718,9 +794,11 @@ class QueryController:
             # what the serial loop would have produced.
             for level in self._block_levels:
                 results = self.parallel.map_block_tasks([
-                    (lambda b=block: self._process_block(
-                        b, i, batch, weights, slot_states, penv,
-                        retained_arg, parent_id))
+                    (lambda b=block, t=self.block_tables[block.block_id]:
+                        self._process_block(
+                            b, i, table_batches[t], weights[t],
+                            slot_states, penv,
+                            retained[t] if retain else None, parent_id))
                     for block in level
                 ])
                 for block, (stats, elapsed_s) in zip(level, results):
@@ -755,10 +833,11 @@ class QueryController:
             bspan.set("uncertain", total_uncertain)
             bspan.set("rebuilds", len(rebuilds))
         # The snapshot above is the last consumer of this batch's dense
-        # weights; drop the cached matrix so the retained-batch list
-        # holds spec-only handles.  A later guard rebuild regenerates
+        # weights; drop the cached matrices so the retained-batch lists
+        # hold spec-only handles.  A later guard rebuild regenerates
         # identical columns from the stateless streams.
-        weights.release()
+        for handle in weights.values():
+            handle.release()
         elapsed = batch_timer.elapsed_s
         metrics = tracer.metrics
         if metrics.enabled:

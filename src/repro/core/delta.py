@@ -52,6 +52,7 @@ from ..expr.expressions import (
 from ..obs import NULL_TRACER
 from ..parallel import SERIAL_EXECUTOR
 from ..plan.lineage_blocks import LineageBlock
+from ..engine.operators import window_order, windowed_values
 from ..plan.logical import (
     Aggregate,
     Filter,
@@ -62,6 +63,7 @@ from ..plan.logical import (
     Scan,
     Sort,
     SubquerySpec,
+    Window,
 )
 from ..storage.colstore.prune import (
     chunk_decisions,
@@ -90,19 +92,23 @@ class BlockPipeline:
     uncertain_predicates: List[Expression]
     aggregate: Aggregate
     project: Optional[Project]
+    window: Optional[Window]
     sort: Optional[Sort]
     limit: Optional[Limit]
 
 
 def parse_block(plan: LogicalPlan) -> BlockPipeline:
     """Decompose a block plan into its online-executable pieces."""
-    sort = limit = project = None
+    sort = limit = project = window = None
     node = plan
     if isinstance(node, Limit):
         limit = node
         node = node.input
     if isinstance(node, Sort):
         sort = node
+        node = node.input
+    if isinstance(node, Window):
+        window = node
         node = node.input
     if isinstance(node, Project):
         project = node
@@ -154,6 +160,7 @@ def parse_block(plan: LogicalPlan) -> BlockPipeline:
         uncertain_predicates=uncertain_predicates,
         aggregate=aggregate,
         project=project,
+        window=window,
         sort=sort,
         limit=limit,
     )
@@ -644,8 +651,11 @@ class BlockRuntime:
         """
         pos: Optional[np.ndarray] = None
         for step_id, (kind, step) in enumerate(self.pipeline.certain_steps):
-            if table.num_rows == 0:
-                break
+            # No early-out on an empty table: join steps must still run
+            # for their schema effect, or a batch filtered to zero rows
+            # loses the dimension columns its group-by/aggregates
+            # reference (caught by the deep fuzz grammar's empty-group
+            # bias).
             if kind == "filter":
                 zones = getattr(table, "_colstore_zones", None)
                 if zones is not None:
@@ -1435,6 +1445,10 @@ class BlockRuntime:
                 except Exception:
                     pass  # non-replicable projection: no error bars
 
+        if self.pipeline.window is not None:
+            out_columns, col_replicas = self._apply_window(
+                out_columns, col_replicas
+            )
         table = Table.from_columns(out_columns)
         if self.pipeline.sort is not None:
             order = _sort_order(table, self.pipeline.sort)
@@ -1445,6 +1459,28 @@ class BlockRuntime:
             table = table.slice(0, n)
             col_replicas = {k: v[:n] for k, v in col_replicas.items()}
         return table, col_replicas
+
+    def _apply_window(self, out_columns: Dict[str, np.ndarray],
+                      col_replicas: Dict[str, np.ndarray]):
+        """Evaluate the block's window calls over the snapshot rows.
+
+        The total order comes from the *point* columns (the ORDER BY
+        column plus group-key tiebreaks are exact values, identical
+        across execution paths); the rolling transform is linear, so the
+        same permutation applied per replica column yields each window
+        column's bootstrap replicas.
+        """
+        window = self.pipeline.window
+        for call in window.calls:
+            order = window_order(out_columns, call, window.tiebreak)
+            arg = out_columns[call.arg] if call.arg is not None else None
+            out_columns[call.alias] = windowed_values(call, arg, order)
+            if call.arg is not None and call.arg in col_replicas:
+                col_replicas[call.alias] = windowed_values(
+                    call, col_replicas[call.arg], order
+                )
+        ordered = {n: out_columns[n] for n in window.output_order}
+        return ordered, col_replicas
 
     # ------------------------------------------------------------------
 

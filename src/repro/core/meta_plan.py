@@ -38,6 +38,12 @@ class MetaPlan:
 
     query: Query
     streamed_table: str
+    #: Every streamed relation some online block scans, primary (the
+    #: main block's fact table) first.  Multi-fact queries stream each
+    #: fact independently: same batch count, independent weight streams.
+    streamed_tables: List[str]
+    #: block_id -> the streamed relation that block scans.
+    block_tables: Dict[str, str]
     #: Online blocks in dependency order (inner producers first, the
     #: main block last).
     online_blocks: List[LineageBlock]
@@ -60,8 +66,9 @@ class MetaPlan:
             )
             runtime = self.runtimes[block.block_id]
             uncertain = len(runtime.pipeline.uncertain_predicates)
+            table = self.block_tables[block.block_id]
             lines.append(
-                f"{block.block_id}: streams {self.streamed_table!r}, "
+                f"{block.block_id}: streams {table!r}, "
                 f"consumes {consumes}, {uncertain} uncertain predicate(s)"
             )
         for spec in self.static_specs:
@@ -93,6 +100,8 @@ def compile_meta_plan(query: Query, tables: Dict[str, Table],
     online_blocks: List[LineageBlock] = []
     runtimes: Dict[str, BlockRuntime] = {}
     static_specs: List[SubquerySpec] = []
+    streamed_tables: List[str] = [streamed_table]
+    block_tables: Dict[str, str] = {}
 
     for block in lineage_blocks(query):
         spec = (
@@ -105,14 +114,21 @@ def compile_meta_plan(query: Query, tables: Dict[str, Table],
                 raise UnsupportedQueryError(
                     "the main query must scan the streamed relation"
                 )
-            if spec.plan.subquery_slots():
-                raise UnsupportedQueryError(
-                    "static subqueries cannot reference streamed "
-                    "subqueries"
-                )
-            static_specs.append(spec)
-            continue
+            # A subquery over a *different streamed fact* is itself an
+            # online block over that relation (multi-fact join); only
+            # subqueries over pure dimension tables are static.
+            if not streamed.get(scan_name, False):
+                if spec.plan.subquery_slots():
+                    raise UnsupportedQueryError(
+                        "static subqueries cannot reference streamed "
+                        "subqueries"
+                    )
+                static_specs.append(spec)
+                continue
         online_blocks.append(block)
+        block_tables[block.block_id] = scan_name
+        if scan_name not in streamed_tables:
+            streamed_tables.append(scan_name)
         runtimes[block.block_id] = BlockRuntime(
             block, spec, config, dimension_tables, udafs
         )
@@ -120,6 +136,8 @@ def compile_meta_plan(query: Query, tables: Dict[str, Table],
     return MetaPlan(
         query=query,
         streamed_table=streamed_table,
+        streamed_tables=streamed_tables,
+        block_tables=block_tables,
         online_blocks=online_blocks,
         runtimes=runtimes,
         static_specs=static_specs,

@@ -564,10 +564,11 @@ class MaxState(MinState):
 class QuantileState(AggState):
     """Approximate QUANTILE via a bounded uniform reservoir.
 
-    Global (non-grouped) aggregates only; the reservoir keeps up to
-    ``capacity`` values together with their per-trial weight rows so
-    bootstrap replicas are weighted quantiles over the same reservoir.
-    The reservoir is a uniform sample of everything seen, so the estimate
+    Supports grouped aggregation: the reservoir keeps up to ``capacity``
+    rows — value, dense group index, and per-trial weight row — so
+    bootstrap replicas are weighted quantiles over the same reservoir,
+    evaluated per group segment.  The reservoir is a uniform sample of
+    everything seen (uniform within every group too), so the estimate
     converges like any other running aggregate.
     """
 
@@ -580,17 +581,16 @@ class QuantileState(AggState):
         self.capacity = capacity
         self.seen = 0
         self.values = np.empty(0)
+        self.group_of = np.empty(0, dtype=np.int64)
         self.weights = np.empty((0, self.width))
         self._rng = np.random.default_rng(seed)
 
     def _alloc(self, groups):
-        if groups > 1:
-            raise ExecutionError("QUANTILE supports global aggregation only")
+        pass  # rows carry their own group index; no per-group storage
 
     def _update(self, group_idx, values, weights):
-        if group_idx.size and group_idx.max() > 0:
-            raise ExecutionError("QUANTILE supports global aggregation only")
         self.values = np.concatenate([self.values, values])
+        self.group_of = np.concatenate([self.group_of, group_idx])
         self.weights = np.concatenate([self.weights, weights])
         self.seen += len(values)
         self._shrink()
@@ -603,29 +603,36 @@ class QuantileState(AggState):
         )
         keep.sort()
         self.values = self.values[keep]
+        self.group_of = self.group_of[keep]
         self.weights = self.weights[keep]
 
     def _merge(self, other):
         self.values = np.concatenate([self.values, other.values])
+        self.group_of = np.concatenate([self.group_of, other.group_of])
         self.weights = np.concatenate([self.weights, other.weights])
         self.seen += other.seen
         self._shrink()
 
     def _finalize(self, scale):
-        out = np.zeros((max(self.num_groups, 1), self.width))
+        # Exactly num_groups rows: a grouped aggregate over empty input
+        # has zero groups and must produce zero rows (group-key columns
+        # are empty too); the global path always ensures group 0 exists.
+        out = np.zeros((self.num_groups, self.width))
         if len(self.values) == 0:
             return out
-        order = np.argsort(self.values, kind="stable")
-        vals = self.values[order]
-        w = self.weights[order]
-        cum = np.cumsum(w, axis=0)
-        total = cum[-1]
-        # Batched left-searchsorted of each column's target into its own
-        # cumulative column: count of entries strictly below the target.
-        targets = self.q * total
-        pos = np.count_nonzero(cum < targets[None, :], axis=0)
-        est = vals[np.minimum(pos, len(vals) - 1)]
-        out[0] = np.where(total > 0, est, 0.0)
+        for g in np.unique(self.group_of):
+            mask = self.group_of == g
+            order = np.argsort(self.values[mask], kind="stable")
+            vals = self.values[mask][order]
+            w = self.weights[mask][order]
+            cum = np.cumsum(w, axis=0)
+            total = cum[-1]
+            # Batched left-searchsorted of each column's target into its
+            # own cumulative column: entries strictly below the target.
+            targets = self.q * total
+            pos = np.count_nonzero(cum < targets[None, :], axis=0)
+            est = vals[np.minimum(pos, len(vals) - 1)]
+            out[g] = np.where(total > 0, est, 0.0)
         return out
 
     def copy(self):
@@ -633,8 +640,218 @@ class QuantileState(AggState):
         out.num_groups = self.num_groups
         out.seen = self.seen
         out.values = self.values.copy()
+        out.group_of = self.group_of.copy()
         out.weights = self.weights.copy()
         out._rng = np.random.default_rng(self._rng.integers(2 ** 63))
+        return out
+
+
+class DistinctState(AggState):
+    """COUNT/SUM/AVG DISTINCT via per-(group, value) pair weight sums.
+
+    Deduplication happens *after* resampling: a (group, value) pair
+    contributes to trial ``t`` iff its accumulated Poisson weight in that
+    trial is positive — a value "survives" a bootstrap replica when at
+    least one of its rows does, which is the resampling-consistent
+    semantics.
+
+    Replicating seen rows adds no distinct value, so the ``k/i``
+    multiset rescaling cannot account for species not yet observed:
+    mid-run, "distinct seen so far" is biased low and its bootstrap
+    intervals under-cover (caught by the ``t_dist`` calibration query).
+    ``finalize`` therefore adds a two-term Good-Toulmin correction:
+    with fraction ``1/scale`` of the data folded and ``t = scale - 1``,
+    the expected number of still-unseen species is
+    ``t * phi_1 - t^2 * phi_2 + ...`` (alternating series over the
+    singleton/doubleton counts), clamped at zero per group because the
+    truth is never below distinct-seen.  The correction vanishes at the
+    final batch (``scale == 1``) where the answer equals the exact
+    batch answer.  Trial columns compute their own per-replica phi
+    counts (so the bootstrap spread reflects the extrapolation's
+    uncertainty) plus a deterministic recentering term derived from the
+    raw multiplicities — Poissonized replicas of a distinct count are
+    biased low by ``sum_i e^-c_i``, and without the recentering the
+    basic (reverse-percentile) intervals sit systematically off the
+    estimate (caught by the ``t_dist`` calibration query).
+
+    Values are keyed by their float64 bit pattern (NaNs canonicalized
+    first) so dedup is exact and identical however the rows are batched.
+    """
+
+    def __init__(self, trials=None, mode: str = "count"):
+        super().__init__(trials)
+        if mode not in ("count", "sum", "avg"):
+            raise ExecutionError(f"unsupported DISTINCT mode {mode!r}")
+        self.mode = mode
+        self.pairs = GroupIndex()
+        self.wsum = np.zeros((0, self.width))
+        # Raw (unweighted) row multiplicity per pair: the trial state
+        # sees only Poisson weights, but both the Good-Toulmin singleton
+        # set and the replica recentering need the true counts.
+        self.raw = np.zeros(0)
+
+    def _alloc(self, groups):
+        pass  # num_groups sizes the output; pair storage grows in _update
+
+    def _ensure_pairs(self, count: int) -> None:
+        if count > len(self.wsum):
+            grown = np.zeros((count, self.width))
+            grown[: len(self.wsum)] = self.wsum
+            self.wsum = grown
+            raw = np.zeros(count)
+            raw[: len(self.raw)] = self.raw
+            self.raw = raw
+
+    @staticmethod
+    def _value_bits(values: np.ndarray) -> np.ndarray:
+        vals = np.array(values, dtype=np.float64)
+        nan = np.isnan(vals)
+        if nan.any():
+            vals[nan] = np.nan  # one canonical NaN bit pattern
+        return vals.view(np.int64)
+
+    def _update(self, group_idx, values, weights):
+        if values is None:
+            raise ExecutionError("DISTINCT aggregates require an argument")
+        n = len(group_idx)
+        bits = self._value_bits(values)
+        keys = np.empty(n, dtype=object)
+        keys[:] = list(zip(group_idx.tolist(), bits.tolist()))
+        pair_idx = self.pairs.encode(keys)
+        self._ensure_pairs(self.pairs.num_groups)
+        self.wsum += _grouped_sum(pair_idx, weights, len(self.wsum))
+        self.raw += np.bincount(pair_idx, minlength=len(self.raw))
+
+    def _merge(self, other):
+        count = other.pairs.num_groups
+        if count == 0:
+            return
+        keys = np.empty(count, dtype=object)
+        keys[:] = other.pairs.keys()
+        idx = self.pairs.encode(keys)
+        self._ensure_pairs(self.pairs.num_groups)
+        np.add.at(self.wsum, idx, other.wsum[:count])
+        np.add.at(self.raw, idx, other.raw[:count])
+
+    def _finalize(self, scale):
+        # num_groups rows exactly — see QuantileState._finalize: one
+        # phantom row over an empty grouped input makes a ragged table.
+        groups = self.num_groups
+        out = np.zeros((groups, self.width))
+        npairs = self.pairs.num_groups
+        if npairs == 0:
+            return out
+        pair_keys = self.pairs.keys()
+        group_of = np.fromiter(
+            (k[0] for k in pair_keys), dtype=np.int64, count=npairs
+        )
+        present = (self.wsum[:npairs] > 0).astype(np.float64)
+        # Per-pair mass decomposes into "seen" presence plus Good-Toulmin
+        # singleton/doubleton terms (combined per group further down).
+        # Exact state (trials is None): presence is 1 for every pair and
+        # the phi_k indicators test the raw multiplicity c.  Trial
+        # states keep the resampling variability — a pair with raw count
+        # c draws Poisson(c)-distributed weight, so its presence has
+        # mean 1 - e^-c, its weight==1 indicator mean c * e^-c and its
+        # weight==2 indicator mean c^2 * e^-c / 2, all biased away from
+        # the exact state's indicators — plus the deterministic residual
+        # recentering each replica on its point-column expectation.
+        # Without that recentering the basic (reverse-percentile)
+        # intervals sit systematically off the estimate.
+        t = max(float(scale) - 1.0, 0.0)
+        c_raw = self.raw[:npairs]
+        sing1 = (c_raw == 1.0).astype(np.float64)
+        sing2 = (c_raw == 2.0).astype(np.float64)
+        if self.trials is None:
+            base = present
+            phi1 = sing1[:, None] * np.ones((1, self.width))
+            phi2 = sing2[:, None] * np.ones((1, self.width))
+        else:
+            exp_absent = np.exp(-c_raw)
+            base = present + exp_absent[:, None]
+            phi1 = ((self.wsum[:npairs] == 1)
+                    + (sing1 - c_raw * exp_absent)[:, None])
+            phi2 = ((self.wsum[:npairs] == 2)
+                    + (sing2 - 0.5 * c_raw ** 2 * exp_absent)[:, None])
+
+        def _group(mass, guard=None):
+            outm = np.zeros((groups, self.width))
+            for col in range(self.width):
+                w = mass[:, col]
+                if guard is not None:
+                    # 0 * NaN is NaN: zero out zero-mass pairs so a
+                    # NaN-valued pair only poisons columns it has mass
+                    # in.
+                    w = np.where(guard[:, col] != 0, w, 0.0)
+                outm[:, col] = np.bincount(
+                    group_of, weights=w, minlength=groups
+                )
+            return outm
+
+        def _truncations(g1, g2):
+            """Clamped first-order and two-term GT unseen-count series.
+
+            Consecutive partial sums of the alternating Good-Toulmin
+            series bracket the expected unseen count: first order
+            (t * phi_1) over-extrapolates on near-saturated Zipf-ish
+            domains, the two-term sum under-extrapolates long tails.
+            The clamp at zero encodes that truth is never below
+            distinct-seen.  Both vanish at the final batch (t == 0),
+            keeping the last answer exact.
+            """
+            u1 = np.clip(t * g1, 0.0, None)
+            u2 = np.clip(t * g1 - t * t * g2, 0.0, None)
+            return u1, u2
+
+        def _blend(u1, u2):
+            """Mix the bracketing truncations across columns.
+
+            The exact state (width 1) takes the midpoint as the point
+            estimate; trial states alternate the truncation order by
+            column parity, so the replica spread covers the whole
+            bracket and the basic (reverse-percentile) interval spans
+            [D + u2 - noise, D + u1 + noise] — truncation uncertainty
+            becomes interval width instead of hidden bias.
+            """
+            if self.trials is None:
+                return 0.5 * (u1 + u2)
+            mixed = u2.copy()
+            mixed[:, 0::2] = u1[:, 0::2]
+            return mixed
+
+        counts = _group(base)
+        u_count = None
+        if t > 0.0:
+            u1, u2 = _truncations(_group(phi1), _group(phi2))
+            u_count = _blend(u1, u2)
+            counts = counts + u_count
+        if self.mode == "count":
+            return counts
+        vals = np.fromiter(
+            (k[1] for k in pair_keys), dtype=np.int64, count=npairs
+        ).view(np.float64)
+        sums = _group(vals[:, None] * base, guard=base)
+        if u_count is not None:
+            # Value-weighted GT for SUM: the k-ton pairs' own values
+            # stand in for the unseen tail; dropped wherever the count
+            # correction clamped to zero.
+            v1 = _group(vals[:, None] * phi1, guard=phi1)
+            v2 = _group(vals[:, None] * phi2, guard=phi2)
+            s1 = np.where(u_count > 0, t * v1, 0.0)
+            s2 = np.where(u_count > 0, t * v1 - t * t * v2, 0.0)
+            sums = sums + _blend(s1, s2)
+        if self.mode == "sum":
+            return sums
+        avg = np.zeros_like(sums)
+        np.divide(sums, counts, out=avg, where=counts > 0)
+        return avg
+
+    def copy(self):
+        out = DistinctState(self.trials, mode=self.mode)
+        out.num_groups = self.num_groups
+        out.pairs = self.pairs.copy()
+        out.wsum = self.wsum.copy()
+        out.raw = self.raw.copy()
         return out
 
 
@@ -735,6 +952,13 @@ def make_state(call: AggregateCall, trials: Optional[int] = None,
                seed: int = 0) -> AggState:
     """Create a fresh mergeable state for ``call``."""
     key = call.func
+    if call.distinct:
+        mode = {"mean": "avg"}.get(key, key)
+        if mode in ("count", "sum", "avg"):
+            return DistinctState(trials, mode=mode)
+        raise PlanError(
+            f"DISTINCT is not supported for aggregate {call.func!r}"
+        )
     if key in _BUILTIN_AGGREGATES:
         return _BUILTIN_AGGREGATES[key](trials)
     if key == "quantile":

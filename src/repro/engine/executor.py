@@ -29,6 +29,7 @@ from ..plan.logical import (
     Scan,
     Sort,
     SubquerySpec,
+    Window,
 )
 from ..storage.table import Table
 from .aggregates import UDAFRegistry
@@ -39,6 +40,7 @@ from .operators import (
     run_limit,
     run_project,
     run_sort,
+    run_window,
 )
 
 
@@ -154,7 +156,8 @@ class BatchExecutor:
                 span.set("rows_in", left.num_rows)
                 span.set("build_rows", right.num_rows)
             return hash_join(left, right, plan.keys, plan.how, span=span)
-        if isinstance(plan, (Filter, Project, Aggregate, Sort, Limit)):
+        if isinstance(plan, (Filter, Project, Aggregate, Sort, Limit,
+                             Window)):
             child = self._run_plan(plan.input, tables, env, scale, rows)
             if span is not None:
                 span.set("rows_in", child.num_rows)
@@ -165,6 +168,8 @@ class BatchExecutor:
             if isinstance(plan, Aggregate):
                 return run_aggregate(plan, child, env, scale, self.udafs,
                                      span=span)
+            if isinstance(plan, Window):
+                return run_window(plan, child)
             if isinstance(plan, Sort):
                 return run_sort(plan, child)
             return run_limit(plan, child)

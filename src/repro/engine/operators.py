@@ -15,7 +15,7 @@ import numpy as np
 
 from ..errors import ExecutionError
 from ..expr.expressions import Environment, Expression, evaluate_mask
-from ..plan.logical import Aggregate, Filter, Limit, Project, Sort
+from ..plan.logical import Aggregate, Filter, Limit, Project, Sort, Window, WindowCall
 from ..storage.table import ColumnType, Schema, Table
 from .aggregates import (
     GroupIndex,
@@ -228,6 +228,82 @@ def run_aggregate(node: Aggregate, table: Table, env: Environment,
     if node.having is not None and out.num_rows:
         out = out.take(evaluate_mask(node.having, out, env))
     return out
+
+
+def window_order(columns: Dict[str, np.ndarray], call: "WindowCall",
+                 tiebreak: Sequence[str]) -> np.ndarray:
+    """Deterministic total-order permutation for one window call.
+
+    Stable successive argsorts over (order column, then the tiebreak
+    columns — the projected group keys, whose tuple is unique per row),
+    so the resulting order is identical however the input rows were
+    physically arranged.  Shared by the batch operator and the online
+    snapshot path: both must place every row in the same frame.
+    """
+    n = len(columns[call.order_column])
+    order = np.arange(n)
+    keys = [call.order_column] + [
+        t for t in tiebreak if t != call.order_column
+    ]
+    for name in reversed(keys):
+        values = columns[name]
+        order = order[np.argsort(values[order], kind="stable")]
+    return order
+
+
+def windowed_values(call: "WindowCall", values: Optional[np.ndarray],
+                    order: np.ndarray) -> np.ndarray:
+    """Evaluate one window call given the total order.
+
+    ``values`` is the argument column — ``(n,)`` point values or an
+    ``(n, B)`` bootstrap replica matrix (the rolling transform is linear,
+    so applying it per trial column gives the replica of the windowed
+    value) — or None for COUNT, whose result is the frame row count.
+    Cumulative sums plus a shifted subtraction implement the rolling
+    frame in O(n) per column; the result scatters back to input order.
+    """
+    n = len(order)
+    width = None if call.preceding is None else call.preceding + 1
+    if call.func == "count":
+        counts = np.arange(1, n + 1, dtype=np.float64)
+        if width is not None:
+            counts = np.minimum(counts, float(width))
+        out = np.empty(n, dtype=np.float64)
+        out[order] = counts
+        return out
+    if values is None:
+        raise ExecutionError(f"window {call.func} requires an argument")
+    vals = np.asarray(values, dtype=np.float64)
+    sorted_vals = vals[order]
+    cum = np.cumsum(sorted_vals, axis=0)
+    if width is not None and n > width:
+        roll = cum.copy()
+        roll[width:] = cum[width:] - cum[:-width]
+    else:
+        roll = cum
+    if call.func == "avg":
+        counts = np.arange(1, n + 1, dtype=np.float64)
+        if width is not None:
+            counts = np.minimum(counts, float(width))
+        roll = roll / (counts[:, None] if roll.ndim == 2 else counts)
+    out = np.empty_like(roll)
+    out[order] = roll
+    return out
+
+
+def run_window(node: Window, table: Table) -> Table:
+    """Evaluate a Window node over a concrete (projected) table."""
+    columns = {name: table.column(name) for name in table.schema.names}
+    computed: Dict[str, np.ndarray] = {}
+    for call in node.calls:
+        order = window_order(columns, call, node.tiebreak)
+        arg = columns[call.arg] if call.arg is not None else None
+        computed[call.alias] = windowed_values(call, arg, order)
+    final = {
+        name: computed.get(name, columns.get(name))
+        for name in node.output_order
+    }
+    return Table(node.schema, final)
 
 
 def run_sort(node: Sort, table: Table) -> Table:

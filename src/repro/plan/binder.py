@@ -39,7 +39,6 @@ from ..expr.expressions import (
     Negate,
     SubqueryRef,
     conjoin,
-    conjuncts,
 )
 from ..sql import ast_nodes as ast
 from ..storage.catalog import Catalog
@@ -55,7 +54,12 @@ from .logical import (
     Scan,
     Sort,
     SubquerySpec,
+    Window,
+    WindowCall,
 )
+
+#: Window functions with an online-safe rolling implementation.
+WINDOW_FUNCS = ("sum", "avg", "mean", "count")
 
 
 class Scope:
@@ -126,6 +130,7 @@ class Binder:
                      outer_scope: Optional[Scope]) -> LogicalPlan:
         if stmt.distinct:
             raise UnsupportedQueryError("SELECT DISTINCT is not supported")
+        self._check_window_placement(stmt)
 
         plan, scope = self._bind_from(stmt)
 
@@ -329,11 +334,32 @@ class Binder:
         plan = Aggregate(plan, group_by, agg_calls, having_expr)
 
         # Final projection over the aggregate output, in SELECT order.
+        # Window items are carved out and evaluated above the projection.
         exprs: List[Tuple[Expression, str]] = []
+        window_items: List[Tuple[str, ast.WindowExpr]] = []
+        names_in_order: List[str] = []
+        projected_groups: List[str] = []
+        covered_groups = set()
         for i, item in enumerate(stmt.items):
+            if isinstance(item.expr, ast.WindowExpr):
+                alias = item.alias or f"win_{i}"
+                window_items.append((alias, item.expr))
+                names_in_order.append(alias)
+                continue
             bound = self._bind_post_aggregate(item.expr, post_scope)
-            exprs.append((bound, self._item_name(item, scope, i)))
-        return Project(plan, exprs)
+            name = self._item_name(item, scope, i)
+            exprs.append((bound, name))
+            names_in_order.append(name)
+            if item.expr in group_names:
+                projected_groups.append(name)
+                covered_groups.add(item.expr)
+        project = Project(plan, exprs)
+        if not window_items:
+            return project
+        return self._bind_windows(
+            stmt, project, window_items, names_in_order,
+            projected_groups, covered_groups,
+        )
 
     def _collect_aggregates(self, stmt: ast.SelectStmt, scope: Scope):
         """Find every aggregate call in SELECT items and HAVING.
@@ -348,9 +374,11 @@ class Binder:
             key = _canonical_call(call)
             if key in agg_aliases:
                 return agg_aliases[key]
-            if call.distinct:
+            if call.distinct and call.name.lower() not in (
+                "count", "sum", "avg", "mean"
+            ):
                 raise UnsupportedQueryError(
-                    "DISTINCT aggregates are not supported online"
+                    f"DISTINCT is not supported for {call.name.upper()}"
                 )
             param = None
             if call.star:
@@ -434,6 +462,102 @@ class Binder:
             value = self._bind_post_aggregate(expr.value, ctx)
             return self._bind_in_subquery(expr, ctx.scope, value)
         return self._rebuild(expr, lambda e: self._bind_post_aggregate(e, ctx))
+
+    # ------------------------------------------------------------------
+    # Window functions
+    # ------------------------------------------------------------------
+
+    def _check_window_placement(self, stmt: ast.SelectStmt) -> None:
+        """Windows are top-level SELECT items of a grouped query only."""
+        has_window = any(
+            isinstance(item.expr, ast.WindowExpr) for item in stmt.items
+        )
+        if has_window and not stmt.group_by:
+            raise UnsupportedQueryError("window functions require GROUP BY")
+        for item in stmt.items:
+            if isinstance(item.expr, ast.WindowExpr):
+                continue
+            if _contains_window(item.expr):
+                raise UnsupportedQueryError(
+                    "window functions must be top-level SELECT items"
+                )
+        for clause, name in ((stmt.where, "WHERE"), (stmt.having, "HAVING")):
+            if clause is not None and _contains_window(clause):
+                raise UnsupportedQueryError(
+                    f"window functions are not allowed in {name}"
+                )
+
+    def _bind_windows(self, stmt: ast.SelectStmt, project: Project,
+                      window_items: Sequence[Tuple[str, ast.WindowExpr]],
+                      names_in_order: Sequence[str],
+                      projected_groups: Sequence[str],
+                      covered_groups) -> LogicalPlan:
+        # Rolling frames need a deterministic total order; the projected
+        # group-key tuple is unique per row, so every GROUP BY expression
+        # must survive into the SELECT list to serve as the tiebreak.
+        if not all(g in covered_groups for g in stmt.group_by):
+            raise UnsupportedQueryError(
+                "window functions require every GROUP BY column in the "
+                "SELECT list"
+            )
+        available = set(project.schema.names)
+        calls: List[WindowCall] = []
+        for alias, wexpr in window_items:
+            call = wexpr.call
+            func = call.name.lower()
+            if func == "mean":
+                func = "avg"
+            if func not in ("sum", "avg", "count"):
+                raise UnsupportedQueryError(
+                    f"window function {call.name.upper()} is not supported "
+                    "(SUM/AVG/COUNT only)"
+                )
+            if call.distinct:
+                raise UnsupportedQueryError(
+                    "DISTINCT window functions are not supported"
+                )
+            if call.star or func == "count":
+                arg = None
+            else:
+                if len(call.args) != 1 or not isinstance(
+                    call.args[0], ast.Ident
+                ):
+                    raise UnsupportedQueryError(
+                        "window arguments must name an output column"
+                    )
+                arg = self._output_column(
+                    call.args[0], project.schema.names
+                )
+            if not isinstance(wexpr.order, ast.Ident):
+                raise UnsupportedQueryError(
+                    "window ORDER BY supports output column names only"
+                )
+            order_col = self._output_column(
+                wexpr.order, project.schema.names
+            )
+            if order_col not in projected_groups:
+                raise UnsupportedQueryError(
+                    "window ORDER BY must name a grouped output column"
+                )
+            if wexpr.preceding is not None and wexpr.preceding < 0:
+                raise BindError("ROWS n PRECEDING requires n >= 0")
+            if alias in available:
+                raise BindError(f"duplicate output column {alias!r}")
+            available.add(alias)
+            calls.append(
+                WindowCall(func, arg, order_col, wexpr.preceding, alias)
+            )
+        return Window(project, calls, projected_groups, names_in_order)
+
+    def _output_column(self, ident: ast.Ident,
+                       names: Sequence[str]) -> str:
+        for name in names:
+            if name.lower() == ident.name.lower():
+                return name
+        raise BindError(
+            f"window column {ident.name!r} is not an output column; "
+            f"have {list(names)}"
+        )
 
     # ------------------------------------------------------------------
     # Expression binding (pre-aggregate scope)
@@ -526,6 +650,10 @@ class Binder:
         if stmt.joins:
             raise UnsupportedQueryError("joins inside subqueries")
         item = stmt.items[0]
+        if isinstance(item.expr, ast.WindowExpr) or _contains_window(item.expr):
+            raise UnsupportedQueryError(
+                "window functions are not supported in subqueries"
+            )
         if not self._contains_aggregate(item.expr):
             raise UnsupportedQueryError(
                 "scalar subqueries must compute an aggregate"
@@ -585,6 +713,11 @@ class Binder:
             )
         if stmt.joins:
             raise UnsupportedQueryError("joins inside subqueries")
+        if any(isinstance(i.expr, ast.WindowExpr) or _contains_window(i.expr)
+               for i in stmt.items):
+            raise UnsupportedQueryError(
+                "window functions are not supported in subqueries"
+            )
         schema = self.catalog.schema(stmt.from_table.name)
         scope = Scope([(stmt.from_table.binding, schema)])
         plan: LogicalPlan = Scan(stmt.from_table.name.lower(), schema)
@@ -644,7 +777,17 @@ def _sql_conjuncts(expr: ast.SqlExpr) -> List[ast.SqlExpr]:
     return [expr]
 
 
+def _contains_window(expr: ast.SqlExpr) -> bool:
+    if isinstance(expr, ast.WindowExpr):
+        return True
+    return any(_contains_window(child) for child in _sql_children(expr))
+
+
 def _sql_children(expr: ast.SqlExpr) -> List[ast.SqlExpr]:
+    if isinstance(expr, ast.WindowExpr):
+        # The windowed call itself is NOT a child: its aggregate-named
+        # function must not be collected as a regular aggregate.
+        return [*expr.call.args, expr.order]
     if isinstance(expr, ast.Call):
         return list(expr.args)
     if isinstance(expr, ast.Unary):

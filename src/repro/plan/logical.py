@@ -200,6 +200,75 @@ class Aggregate(LogicalPlan):
         return label
 
 
+@dataclass(frozen=True)
+class WindowCall:
+    """One window function: ``func(arg) OVER (ORDER BY col [frame])``.
+
+    ``arg`` names an input (projected) column, or None for ``COUNT(*)``
+    frame counts.  ``preceding`` is the frame extent in rows before the
+    current row; None means a cumulative (unbounded preceding) frame.
+    """
+
+    func: str
+    arg: Optional[str]
+    order_column: str
+    preceding: Optional[int]
+    alias: str
+
+    def sql(self) -> str:
+        inner = self.arg if self.arg is not None else "*"
+        frame = (
+            f" ROWS {self.preceding} PRECEDING"
+            if self.preceding is not None else ""
+        )
+        return (
+            f"{self.func.upper()}({inner}) OVER "
+            f"(ORDER BY {self.order_column}{frame}) AS {self.alias}"
+        )
+
+
+class Window(LogicalPlan):
+    """Window functions over the projected aggregate output.
+
+    Evaluated per output row under a deterministic total order — the
+    window's ORDER BY column first, then ``tiebreak`` (the projected
+    group-key columns, which are unique per row) — so rolling frames are
+    identical however the input rows were physically ordered.
+
+    ``output_order`` is the final SELECT-order column list: projected
+    columns interleaved with window aliases.
+    """
+
+    def __init__(self, input_plan: LogicalPlan,
+                 calls: Sequence[WindowCall],
+                 tiebreak: Sequence[str],
+                 output_order: Sequence[str]):
+        if not calls:
+            raise PlanError("Window requires at least one window call")
+        self.input = input_plan
+        self.calls = list(calls)
+        self.tiebreak = list(tiebreak)
+        self.output_order = list(output_order)
+        by_alias = {c.alias for c in self.calls}
+        cols = []
+        for name in self.output_order:
+            if name in by_alias:
+                cols.append(Column(name, ColumnType.FLOAT64))
+            else:
+                cols.append(input_plan.schema.field(name))
+        for call in self.calls:
+            if call.arg is not None:
+                input_plan.schema.field(call.arg)
+            input_plan.schema.field(call.order_column)
+        self.schema = Schema(cols)
+
+    def children(self):
+        return (self.input,)
+
+    def _label(self) -> str:
+        return "Window(" + ", ".join(c.sql() for c in self.calls) + ")"
+
+
 class Sort(LogicalPlan):
     """ORDER BY on output columns."""
 

@@ -47,6 +47,7 @@ from ..plan.logical import (
     Scan,
     Sort,
     SubquerySpec,
+    Window,
 )
 
 _NEGATED_COMPARISON = {
@@ -200,6 +201,9 @@ def _rewrite_plan(plan: LogicalPlan) -> LogicalPlan:
             plan.aggregates,
             _rewrite_expr(plan.having) if plan.having is not None else None,
         )
+    if isinstance(plan, Window):
+        return Window(_rewrite_plan(plan.input), plan.calls,
+                      plan.tiebreak, plan.output_order)
     if isinstance(plan, Sort):
         return Sort(_rewrite_plan(plan.input), plan.keys)
     if isinstance(plan, Limit):

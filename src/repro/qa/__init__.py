@@ -30,7 +30,7 @@ from .calibrate import (
 from .compare import ComparatorBroken, assert_self_test, compare_tables, \
     self_test
 from .generator import AggItem, Predicate, QueryGenerator, QuerySpec, \
-    shrink_candidates
+    WindowItem, shrink_candidates
 from .runner import CaseReport, DifferentialRunner, FuzzCase, PathOutcome
 from .shrink import (
     Shrinker,
@@ -40,7 +40,7 @@ from .shrink import (
     save_artifact,
 )
 from .tables import ColumnSpec, TableSpec, generate_table, \
-    random_dim_spec, random_fact_spec
+    random_dim_spec, random_fact2_spec, random_fact_spec
 
 __all__ = [
     "AggItem",
@@ -58,6 +58,7 @@ __all__ = [
     "QuerySpec",
     "Shrinker",
     "TableSpec",
+    "WindowItem",
     "artifact_dict",
     "assert_self_test",
     "binomial_band",
@@ -67,6 +68,7 @@ __all__ = [
     "generate_table",
     "load_artifact",
     "random_dim_spec",
+    "random_fact2_spec",
     "random_fact_spec",
     "replay_artifact",
     "save_artifact",

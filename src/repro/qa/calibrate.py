@@ -86,12 +86,28 @@ def binomial_band(n: int, p: float, alpha: float = 1e-3
 
 @dataclass(frozen=True)
 class CalibrationQuery:
-    """One scalar-result workload query to calibrate against."""
+    """One workload query to calibrate against.
+
+    The classic entries are scalar (1x1) queries over a single streamed
+    table.  Two extensions cover the deep query surface:
+
+    * ``bundle`` — a generator returning several named tables at once
+      (``{name: (table, streamed)}``), for multi-fact and dimension-join
+      queries; when set, ``table``/``generator`` are ignored.
+    * ``target`` — ``(value_column, key_column, key_value)`` selecting
+      one cell of a multi-row result (e.g. the last day of a rolling
+      window); coverage is then measured on that cell's per-row interval
+      instead of the scalar ``snapshot.interval``.
+    """
 
     name: str
     sql: str
     table: str
     generator: Callable[[int, int], Table]  # (rows, seed) -> Table
+    bundle: Optional[
+        Callable[[int, int], Dict[str, Tuple[Table, bool]]]
+    ] = None
+    target: Optional[Tuple[str, str, float]] = None
 
 
 def _workloads() -> Dict[str, CalibrationQuery]:
@@ -102,6 +118,7 @@ def _workloads() -> Dict[str, CalibrationQuery]:
         generate_tpch,
     )
     from ..workloads.conviva import C3_QUERY
+    from ..workloads.taxi import NUM_DAYS, QUERIES as TAXI, generate_taxi
     from ..workloads.tpch import Q17_QUERY, Q20_QUERY
 
     def sessions(rows, seed):
@@ -113,16 +130,44 @@ def _workloads() -> Dict[str, CalibrationQuery]:
     def tpch(rows, seed):
         return generate_tpch(rows, seed=seed)
 
+    def taxi(rows, seed):
+        tables = generate_taxi(rows, seed=seed)
+        return {
+            "trips": (tables["trips"], True),
+            "surcharges": (tables["surcharges"], True),
+            "zones": (tables["zones"], False),
+            "vendors": (tables["vendors"], False),
+        }
+
+    def _taxi_query(name, sql, target=None):
+        return CalibrationQuery(name, sql, "trips", lambda r, s: None,
+                                bundle=taxi, target=target)
+
     return {
         "sbi": CalibrationQuery("sbi", SBI_QUERY, "sessions", sessions),
         "c3": CalibrationQuery("c3", C3_QUERY, "conviva", conviva),
         "q17": CalibrationQuery("q17", Q17_QUERY, "tpch", tpch),
         "q20": CalibrationQuery("q20", Q20_QUERY, "tpch", tpch),
+        # Deep query-surface calibration (taxi workload): a rolling
+        # window cell, a filtered COUNT DISTINCT, and a p95 over a
+        # dimension join.  The window target is the cumulative sum at
+        # the final day — the cell with the most accumulated variance.
+        "t_roll": _taxi_query(
+            "t_roll", TAXI["T1"],
+            target=("cum_trips", "day", float(NUM_DAYS - 1)),
+        ),
+        "t_dist": _taxi_query("t_dist", TAXI["T4"]),
+        "t_p95": _taxi_query("t_p95", TAXI["T6"]),
     }
 
 
 def calibration_queries() -> Dict[str, CalibrationQuery]:
-    """The paper workload queries with scalar answers (by short name)."""
+    """All calibration workload queries by short name.
+
+    ``sbi``/``c3``/``q17``/``q20`` are the paper's scalar workloads;
+    ``t_roll``/``t_dist``/``t_p95`` cover the deep query surface
+    (window, DISTINCT, quantile-over-join) on the taxi dataset.
+    """
     return _workloads()
 
 
@@ -191,6 +236,25 @@ class CalibrationConfig:
     data_seed: int = 7
 
 
+def _cell(table: Table, value_column: str, key_column: str,
+          key_value: float) -> Tuple[Optional[int], Optional[float]]:
+    """Locate ``value_column`` at the row where ``key_column == key``.
+
+    Returns ``(row_index, value)``; ``(None, None)`` if the key is
+    absent (possible in an early online snapshot before every group has
+    been observed — counted as a coverage miss, since the interval for
+    an unseen cell cannot cover the truth).
+    """
+    import numpy as np
+
+    keys = np.asarray(table.column(key_column))
+    matches = np.nonzero(keys == key_value)[0]
+    if len(matches) == 0:
+        return None, None
+    idx = int(matches[0])
+    return idx, float(np.asarray(table.column(value_column))[idx])
+
+
 def calibrate_query(query: CalibrationQuery,
                     config: Optional[CalibrationConfig] = None,
                     tracer: Optional[Tracer] = None) -> CalibrationResult:
@@ -203,7 +267,16 @@ def calibrate_query(query: CalibrationQuery,
     """
     cal = config or CalibrationConfig()
     tracer = tracer if tracer is not None else Tracer()
-    table = query.generator(cal.rows, cal.data_seed)
+    if query.bundle is not None:
+        bundle = query.bundle(cal.rows, cal.data_seed)
+    else:
+        bundle = {query.table: (query.generator(cal.rows, cal.data_seed),
+                                True)}
+
+    def _register(session: GolaSession) -> None:
+        for name, (tbl, streamed) in bundle.items():
+            session.register_table(name, tbl, streamed=streamed)
+
     target_batch = max(1, min(cal.num_batches,
                               round(cal.fraction * cal.num_batches)))
     band = binomial_band(cal.runs, cal.confidence, cal.alpha)
@@ -215,9 +288,19 @@ def calibrate_query(query: CalibrationQuery,
         seed=cal.base_seed,
     )
     truth_session = GolaSession(base)
-    truth_session.register_table(query.table, table)
+    _register(truth_session)
     exact = truth_session.execute_batch(query.sql)
-    truth = float(exact.column(exact.schema.names[0])[0])
+    if query.target is not None:
+        value_col, key_col, key_value = query.target
+        _, truth_val = _cell(exact, value_col, key_col, key_value)
+        if truth_val is None:
+            raise ValueError(
+                f"calibration target {key_col}=={key_value!r} absent "
+                f"from the exact result of {query.name!r}"
+            )
+        truth = truth_val
+    else:
+        truth = float(exact.column(exact.schema.names[0])[0])
 
     hits = 0
     width_sum = 0.0
@@ -226,7 +309,7 @@ def calibrate_query(query: CalibrationQuery,
         for r in range(cal.runs):
             run_config = base.with_options(seed=cal.base_seed + r)
             session = GolaSession(run_config)
-            session.register_table(query.table, table)
+            _register(session)
             online = session.sql(query.sql)
             snapshot = None
             for snap in online.run_online():
@@ -235,10 +318,23 @@ def calibrate_query(query: CalibrationQuery,
                     online.stop()
             if snapshot is None:
                 raise RuntimeError("online run produced no snapshots")
-            interval = snapshot.interval
-            width_sum += interval.width
-            if interval.contains(truth):
-                hits += 1
+            if query.target is not None:
+                value_col, key_col, key_value = query.target
+                idx, _ = _cell(snapshot.table, value_col, key_col,
+                               key_value)
+                if idx is None:
+                    continue  # unseen cell: a miss with zero width
+                errs = snapshot.errors[value_col]
+                lo = float(errs.lows[idx])
+                hi = float(errs.highs[idx])
+                width_sum += hi - lo
+                if lo <= truth <= hi:
+                    hits += 1
+            else:
+                interval = snapshot.interval
+                width_sum += interval.width
+                if interval.contains(truth):
+                    hits += 1
             if tracer.metrics.enabled:
                 tracer.metrics.counter("qa.calibration_runs").inc()
     result = CalibrationResult(
@@ -273,7 +369,7 @@ class CalibrationReport:
 def calibrate(names: Optional[List[str]] = None,
               config: Optional[CalibrationConfig] = None,
               tracer: Optional[Tracer] = None) -> CalibrationReport:
-    """Calibrate the named workload queries (all four by default)."""
+    """Calibrate the named workload queries (all of them by default)."""
     workloads = calibration_queries()
     if names is None:
         names = list(workloads)

@@ -22,7 +22,12 @@ from .compare import self_test
 from .generator import QueryGenerator
 from .runner import DifferentialRunner, FuzzCase
 from .shrink import Shrinker, replay_artifact, save_artifact
-from .tables import generate_table, random_dim_spec, random_fact_spec
+from .tables import (
+    generate_table,
+    random_dim_spec,
+    random_fact2_spec,
+    random_fact_spec,
+)
 
 
 def _print(msg: str) -> None:
@@ -81,19 +86,26 @@ def run_fuzz(qa: QaConfig, out: Optional[str] = None,
         return 0
 
     rng = np.random.default_rng(qa.seed)
-    fact = random_fact_spec(rng, rows=qa.rows, seed=qa.seed)
+    fact = random_fact_spec(rng, rows=qa.rows, seed=qa.seed,
+                            grammar=qa.grammar)
     dim = random_dim_spec(rng, fact, seed=qa.seed + 1)
     fact_table = generate_table(fact)
     dim_table = generate_table(dim)
+    specs = (fact, dim)
+    fact2_pair = None
+    if qa.grammar == "deep":
+        fact2 = random_fact2_spec(rng, fact, seed=qa.seed + 2)
+        fact2_pair = (fact2, generate_table(fact2))
+        specs = (fact, fact2, dim)
     generator = QueryGenerator(
         fact, fact_table, dims={dim.name: (dim, dim_table)},
-        seed=qa.seed,
+        seed=qa.seed, fact2=fact2_pair, grammar=qa.grammar,
     )
     paths = "batch/cdm/serial/parallel" + (
         "/serve" if qa.include_serve else ""
     ) + ("/colstore" if qa.include_colstore else "")
     _print(f"fuzzing {qa.queries} queries (seed={qa.seed}, "
-           f"rows={qa.rows}, paths={paths})"
+           f"rows={qa.rows}, grammar={qa.grammar}, paths={paths})"
            + (f", injected bug in path {inject_bug!r}" if inject_bug
               else ""))
 
@@ -103,7 +115,7 @@ def run_fuzz(qa: QaConfig, out: Optional[str] = None,
     with tracer.span("qa.fuzz", seed=qa.seed, queries=qa.queries):
         for i in range(qa.queries):
             case = FuzzCase(
-                tables=(fact, dim), query=generator.generate(),
+                tables=specs, query=generator.generate(),
                 num_batches=qa.num_batches,
                 bootstrap_trials=qa.bootstrap_trials,
                 seed=qa.seed + i, inject_bug=inject_bug,
@@ -133,6 +145,7 @@ def run_fuzz(qa: QaConfig, out: Optional[str] = None,
     rejected = sum(1 for r in reports if r.agreed_rejection)
     summary = {
         "seed": qa.seed,
+        "grammar": qa.grammar,
         "queries": len(reports),
         "ok": len(reports) - len(divergent) - rejected,
         "agreed_rejections": rejected,
@@ -229,6 +242,8 @@ def main_fuzz(args) -> int:
         overrides["shrink"] = False
     if args.artifact_dir is not None:
         overrides["artifact_dir"] = args.artifact_dir
+    if getattr(args, "grammar", None):
+        overrides["grammar"] = args.grammar
     if overrides:
         import dataclasses
 

@@ -15,6 +15,13 @@ A query is represented as a structural :class:`QuerySpec` (lists of
 predicate/aggregate/group-by parts, each rendered SQL plus a kind tag),
 not as a string: the shrinker minimizes failures by dropping parts and
 re-rendering, and failure artifacts serialize the spec as JSON.
+
+The ``deep`` grammar profile adds weighted productions for the deep-OLA
+query surface: window functions over the grouped output (cumulative and
+``ROWS n PRECEDING`` frames), DISTINCT aggregates, quantile aggregates,
+multi-fact subqueries against a second streamed fact table, and two
+edge biases — NaN-heavy ``nullish`` measures and near-empty-group
+filters at extreme data quantiles.
 """
 
 from __future__ import annotations
@@ -29,9 +36,24 @@ from .tables import GROUPABLE_KINDS, NUMERIC_KINDS, TableSpec
 
 AGG_FUNCS = ("SUM", "AVG", "MIN", "MAX", "COUNT")
 
+#: Aggregate functions that accept DISTINCT in the supported dialect.
+DISTINCT_FUNCS = ("COUNT", "SUM", "AVG")
+
+#: Grammar profiles the generator understands.
+GRAMMARS = ("default", "deep")
+
 #: Quantiles used for filter thresholds (kept off the extremes so
 #: predicates select a meaningful, non-degenerate fraction of rows).
 _THRESHOLD_QS = (0.2, 0.35, 0.5, 0.65, 0.8)
+
+#: Extreme quantiles for the empty-group edge bias: a ``> q0.98``
+#: filter leaves most groups with a handful of rows and some with none.
+_EXTREME_QS = (0.02, 0.98)
+
+#: Reservoir capacity of QuantileState: quantile productions are only
+#: offered when the fact fits the reservoir, so every execution path
+#: sees the identical (complete) reservoir regardless of batching.
+_QUANTILE_ROW_LIMIT = 4096
 
 
 @dataclass(frozen=True)
@@ -52,21 +74,72 @@ class Predicate:
 
 @dataclass(frozen=True)
 class AggItem:
-    """One aggregate select item (``func(expr) AS alias``)."""
+    """One aggregate select item (``func(expr) AS alias``).
+
+    ``distinct`` renders ``func(DISTINCT expr)``; ``param`` is the
+    fraction argument of QUANTILE (``QUANTILE(expr, param)``).
+    """
 
     func: str
     expr: str  # "*" for COUNT(*)
     alias: str
+    distinct: bool = False
+    param: Optional[float] = None
 
     def render(self) -> str:
-        return f"{self.func}({self.expr}) AS {self.alias}"
+        inner = f"DISTINCT {self.expr}" if self.distinct else self.expr
+        if self.param is not None:
+            inner = f"{inner}, {self.param:g}"
+        return f"{self.func}({inner}) AS {self.alias}"
 
     def to_dict(self) -> dict:
-        return {"func": self.func, "expr": self.expr, "alias": self.alias}
+        out = {"func": self.func, "expr": self.expr, "alias": self.alias}
+        if self.distinct:
+            out["distinct"] = True
+        if self.param is not None:
+            out["param"] = self.param
+        return out
 
     @classmethod
     def from_dict(cls, d: dict) -> "AggItem":
-        return cls(func=d["func"], expr=d["expr"], alias=d["alias"])
+        return cls(func=d["func"], expr=d["expr"], alias=d["alias"],
+                   distinct=bool(d.get("distinct", False)),
+                   param=d.get("param"))
+
+
+@dataclass(frozen=True)
+class WindowItem:
+    """One window select item over the grouped output.
+
+    Renders ``func(arg) OVER (ORDER BY order_col [ROWS n PRECEDING])``;
+    ``arg`` names a sibling output column (an aggregate alias) and is
+    None for the arg-less COUNT(*) frame-size window.  ``order_col``
+    must be a projected group-by column — the binder enforces both.
+    """
+
+    func: str  # SUM | AVG | COUNT
+    arg: Optional[str]
+    order_col: str
+    alias: str
+    preceding: Optional[int] = None  # None = cumulative frame
+
+    def render(self) -> str:
+        inner = self.arg if self.arg is not None else "*"
+        frame = (f" ROWS {self.preceding} PRECEDING"
+                 if self.preceding is not None else "")
+        return (f"{self.func}({inner}) OVER "
+                f"(ORDER BY {self.order_col}{frame}) AS {self.alias}")
+
+    def to_dict(self) -> dict:
+        return {"func": self.func, "arg": self.arg,
+                "order_col": self.order_col, "alias": self.alias,
+                "preceding": self.preceding}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "WindowItem":
+        return cls(func=d["func"], arg=d.get("arg"),
+                   order_col=d["order_col"], alias=d["alias"],
+                   preceding=d.get("preceding"))
 
 
 @dataclass(frozen=True)
@@ -81,10 +154,12 @@ class QuerySpec:
     having: Optional[str] = None
     order_by: Optional[str] = None  # output column name (aliases ok)
     order_desc: bool = False
+    windows: Tuple[WindowItem, ...] = ()
 
     def render(self) -> str:
         """The SQL text for this spec."""
         select = list(self.group_by) + [a.render() for a in self.aggregates]
+        select += [w.render() for w in self.windows]
         parts = [f"SELECT {', '.join(select)}", f"FROM {self.table}"]
         if self.join is not None:
             dim, left, right, how = self.join
@@ -123,6 +198,7 @@ class QuerySpec:
             "having": self.having,
             "order_by": self.order_by,
             "order_desc": self.order_desc,
+            "windows": [w.to_dict() for w in self.windows],
         }
 
     @classmethod
@@ -138,6 +214,9 @@ class QuerySpec:
             having=d.get("having"),
             order_by=d.get("order_by"),
             order_desc=bool(d.get("order_desc", False)),
+            windows=tuple(
+                WindowItem.from_dict(w) for w in d.get("windows", [])
+            ),
         )
 
 
@@ -151,16 +230,27 @@ class _ColumnStats:
         q = _THRESHOLD_QS[int(rng.integers(len(_THRESHOLD_QS)))]
         return self.quantiles[q]
 
+    def extreme(self, rng: np.random.Generator) -> Tuple[str, float]:
+        """An (op, value) pair selecting a tiny fraction of the rows."""
+        if rng.random() < 0.5:
+            return "<", self.quantiles[_EXTREME_QS[0]]
+        return ">", self.quantiles[_EXTREME_QS[1]]
+
 
 def _column_stats(table: Table) -> Dict[str, _ColumnStats]:
     stats: Dict[str, _ColumnStats] = {}
+    all_qs = _THRESHOLD_QS + _EXTREME_QS
     for col in table.schema:
         if not col.ctype.is_numeric:
             continue
         values = np.asarray(table.column(col.name), dtype=np.float64)
-        qs = np.quantile(values, _THRESHOLD_QS)
+        if not np.isfinite(values).any():
+            continue
+        # nanquantile: nullish columns get thresholds from their finite
+        # mass (a NaN threshold would make every predicate empty).
+        qs = np.nanquantile(values, all_qs)
         stats[col.name] = _ColumnStats(
-            {q: float(v) for q, v in zip(_THRESHOLD_QS, qs)}
+            {q: float(v) for q, v in zip(all_qs, qs)}
         )
     return stats
 
@@ -180,13 +270,27 @@ class QueryGenerator:
             keyed by name, with their materialized tables.
         seed: Generator seed; the i-th query for a given (specs, seed)
             pair is deterministic.
+        fact2: Optional second *streamed* fact (spec, table) sharing the
+            primary fact's first key column; enables the multi-fact
+            subquery productions of the deep grammar.
+        grammar: "default" for the classic nested-aggregate grammar,
+            "deep" to also produce windows, DISTINCT/quantile
+            aggregates, multi-fact subqueries and edge biases.
     """
 
     def __init__(self, fact: TableSpec, fact_table: Table,
                  dims: Optional[Dict[str, Tuple[TableSpec, Table]]] = None,
-                 seed: int = 0):
+                 seed: int = 0,
+                 fact2: Optional[Tuple[TableSpec, Table]] = None,
+                 grammar: str = "default"):
+        if grammar not in GRAMMARS:
+            raise ValueError(
+                f"unknown grammar {grammar!r}; one of {GRAMMARS}"
+            )
         self.fact = fact
         self.dims = dims or {}
+        self.fact2 = fact2
+        self.grammar = grammar
         self.rng = np.random.default_rng(seed)
         self.stats = _column_stats(fact_table)
         self._numeric = [c.name for c in fact.columns
@@ -198,6 +302,12 @@ class QueryGenerator:
             c.name: c.card for c in fact.columns if c.kind == "category"
         }
         self._bools = [c.name for c in fact.columns if c.kind == "bool"]
+        self._distinctable = [c.name for c in fact.columns
+                              if c.kind in ("key", "int")]
+        self._fact2_numeric = (
+            [c.name for c in fact2[0].columns if c.kind in NUMERIC_KINDS]
+            if fact2 is not None else []
+        )
         if not self._numeric:
             raise ValueError("fact table needs at least one numeric column")
 
@@ -220,6 +330,17 @@ class QueryGenerator:
         return f"{col} * {_fmt(float(rng.uniform(0.25, 4.0)))}"
 
     def _aggregate(self, index: int) -> AggItem:
+        if self.grammar == "deep":
+            roll = self.rng.random()
+            if roll < 0.20 and self._distinctable:
+                func = self._choice(DISTINCT_FUNCS)
+                col = self._choice(self._distinctable)
+                return AggItem(func, col, f"agg_{index}", distinct=True)
+            if (roll < 0.35
+                    and self.fact.rows <= _QUANTILE_ROW_LIMIT):
+                q = float(self._choice([0.25, 0.5, 0.75, 0.9, 0.95]))
+                col = self._choice(self._numeric)
+                return AggItem("QUANTILE", col, f"agg_{index}", param=q)
         func = self._choice(AGG_FUNCS)
         if func == "COUNT":
             return AggItem("COUNT", "*", f"agg_{index}")
@@ -301,6 +422,40 @@ class QueryGenerator:
             "in_sub",
         )
 
+    def _fact2_scalar_sub_predicate(self) -> Predicate:
+        """Uncorrelated scalar aggregate over the *second* streamed fact."""
+        col = self._choice(list(self.stats))
+        inner = self._choice(self._fact2_numeric)
+        f = float(self.rng.uniform(0.6, 1.4))
+        op = self._choice(["<", ">"])
+        return Predicate(
+            f"{col} {op} (SELECT {_fmt(f)} * AVG({inner}) "
+            f"FROM {self.fact2[0].name})",
+            "fact2_scalar_sub",
+        )
+
+    def _fact2_keyed_sub_predicate(self) -> Predicate:
+        """Per-key aggregate over the second fact, correlated through
+        the shared key column (correlated resampling across tables)."""
+        key = self._keys[0].name
+        col = self._choice(list(self.stats))
+        inner = self._choice(self._fact2_numeric)
+        f = float(self.rng.uniform(0.6, 1.4))
+        op = self._choice(["<", ">"])
+        fact2 = self.fact2[0].name
+        return Predicate(
+            f"{col} {op} (SELECT {_fmt(f)} * AVG({inner}) FROM {fact2} s "
+            f"WHERE s.{key} = {self.fact.name}.{key})",
+            "fact2_keyed_sub",
+        )
+
+    def _empty_group_predicate(self) -> Predicate:
+        """Extreme-quantile filter: most groups shrink to a few rows,
+        some to zero — the empty-group edge bias."""
+        col = self._choice(list(self.stats))
+        op, value = self.stats[col].extreme(self.rng)
+        return Predicate(f"{col} {op} {_fmt(value)}", "empty_group")
+
     def _predicate(self, allow_subqueries: bool = True) -> Predicate:
         menu = [self._compare_predicate, self._between_predicate]
         if self._categories:
@@ -314,6 +469,10 @@ class QueryGenerator:
             if self._keys:
                 menu += [self._keyed_sub_predicate] * 2
                 menu += [self._in_sub_predicate] * 2
+            if self.grammar == "deep" and self._fact2_numeric:
+                menu += [self._fact2_scalar_sub_predicate] * 2
+                if self._keys:
+                    menu += [self._fact2_keyed_sub_predicate] * 2
         return self._choice(menu)()
 
     def _having(self, aggregates: Tuple[AggItem, ...]) -> Optional[str]:
@@ -387,10 +546,17 @@ class QueryGenerator:
                    for p in predicates) and rng.random() < 0.8:
             # Bias: most fuzz queries must exercise nested aggregates.
             predicates = predicates + (self._predicate_subquery_only(),)
+        if (self.grammar == "deep" and group_by
+                and rng.random() < 0.25):
+            predicates = predicates + (self._empty_group_predicate(),)
 
         having = None
         if group_by and rng.random() < 0.4:
             having = self._having(aggregates)
+
+        windows: Tuple[WindowItem, ...] = ()
+        if self.grammar == "deep":
+            windows = self._windows(group_by, aggregates)
 
         order_by = None
         order_desc = False
@@ -404,7 +570,35 @@ class QueryGenerator:
             table=self.fact.name, aggregates=aggregates,
             predicates=predicates, group_by=group_by, join=join,
             having=having, order_by=order_by, order_desc=order_desc,
+            windows=windows,
         )
+
+    def _windows(self, group_by: Tuple[str, ...],
+                 aggregates: Tuple[AggItem, ...]
+                 ) -> Tuple[WindowItem, ...]:
+        """0-2 window items when the grouped output supports them.
+
+        Windows need a GROUP BY and order deterministically over an
+        int64 key column (the binder accepts any projected group key;
+        int keys keep the generated total order meaningful).
+        """
+        key_cols = [c.name for c in self._keys if c.name in group_by]
+        if not key_cols or self.rng.random() >= 0.5:
+            return ()
+        order_col = self._choice(key_cols)
+        items = []
+        for i in range(int(self.rng.integers(1, 3))):
+            preceding = (int(self.rng.integers(1, 6))
+                         if self.rng.random() < 0.5 else None)
+            if self.rng.random() < 0.25:
+                items.append(WindowItem("COUNT", None, order_col,
+                                        f"win_{i}", preceding))
+                continue
+            func = self._choice(["SUM", "AVG"])
+            arg = self._choice([a.alias for a in aggregates])
+            items.append(WindowItem(func, arg, order_col,
+                                    f"win_{i}", preceding))
+        return tuple(items)
 
     def _predicate_subquery_only(self) -> Predicate:
         makers = [self._scalar_sub_predicate]
@@ -417,9 +611,35 @@ def shrink_candidates(spec: QuerySpec):
     """Yield structurally smaller variants of ``spec``, simplest first.
 
     Used by the shrinker: each candidate removes exactly one part
-    (predicate, HAVING, ORDER BY, join, group-by column, aggregate) so a
-    failing query minimizes to the smallest spec that still diverges.
+    (window, predicate, HAVING, ORDER BY, join, group-by column,
+    aggregate) so a failing query minimizes to the smallest spec that
+    still diverges.  Removing a part that other parts depend on (an
+    aggregate a window reads, a group column a window orders by) also
+    removes the dependents, so every candidate renders valid SQL.
     """
+    for i in range(len(spec.windows)):
+        yield replace(
+            spec, windows=spec.windows[:i] + spec.windows[i + 1:]
+        )
+    for i, agg in enumerate(spec.aggregates):
+        # Simplify DISTINCT/QUANTILE aggregates in place before trying
+        # to remove whole select items.
+        if agg.distinct:
+            plain = (AggItem("COUNT", "*", agg.alias)
+                     if agg.func == "COUNT"
+                     else replace(agg, distinct=False))
+            yield replace(
+                spec,
+                aggregates=(spec.aggregates[:i] + (plain,)
+                            + spec.aggregates[i + 1:]),
+            )
+        elif agg.param is not None:
+            yield replace(
+                spec,
+                aggregates=(spec.aggregates[:i]
+                            + (AggItem("AVG", agg.expr, agg.alias),)
+                            + spec.aggregates[i + 1:]),
+            )
     for i in range(len(spec.predicates)):
         yield replace(
             spec,
@@ -440,6 +660,12 @@ def shrink_candidates(spec: QuerySpec):
             smaller = replace(smaller, order_by=None, order_desc=False)
         if not smaller.group_by and smaller.having is not None:
             smaller = replace(smaller, having=None)
+        kept_windows = tuple(
+            w for w in smaller.windows
+            if w.order_col != dropped and smaller.group_by
+        )
+        if kept_windows != smaller.windows:
+            smaller = replace(smaller, windows=kept_windows)
         yield smaller
     if len(spec.aggregates) > 1:
         for i in range(len(spec.aggregates)):
@@ -450,6 +676,11 @@ def shrink_candidates(spec: QuerySpec):
             )
             if spec.order_by == dropped.alias:
                 smaller = replace(smaller, order_by=None, order_desc=False)
+            kept_windows = tuple(
+                w for w in smaller.windows if w.arg != dropped.alias
+            )
+            if kept_windows != smaller.windows:
+                smaller = replace(smaller, windows=kept_windows)
             yield smaller
 
 

@@ -28,6 +28,10 @@ Column kinds:
     low-cardinality strings with zipf-ish popularity skew.
 ``bool``
     booleans.
+``nullish``
+    float64 measures with a heavy NaN fraction (the engine's stand-in
+    for NULLs) — exercises NaN propagation through aggregates and
+    NaN-dropping comparison predicates identically across paths.
 """
 
 from __future__ import annotations
@@ -40,10 +44,11 @@ import numpy as np
 
 from ..storage.table import Table
 
-COLUMN_KINDS = ("key", "id", "int", "float", "tail", "category", "bool")
+COLUMN_KINDS = ("key", "id", "int", "float", "tail", "category", "bool",
+                "nullish")
 
 #: Kinds that yield numeric measure columns (aggregate arguments).
-NUMERIC_KINDS = ("int", "float", "tail")
+NUMERIC_KINDS = ("int", "float", "tail", "nullish")
 
 #: Kinds that make sensible GROUP BY / correlation keys.
 GROUPABLE_KINDS = ("key", "category", "bool")
@@ -150,6 +155,10 @@ def generate_table(spec: TableSpec) -> Table:
             )
         elif col.kind == "bool":
             columns[col.name] = crng.random(n) < 0.5
+        elif col.kind == "nullish":
+            values = crng.exponential(30.0 * col.scale, n)
+            values[crng.random(n) < 0.35] = np.nan
+            columns[col.name] = values
         else:  # category
             values = _category_values(col.name, col.card)
             weights = 1.0 / np.arange(1, col.card + 1)
@@ -167,8 +176,13 @@ def generate_table(spec: TableSpec) -> Table:
 
 
 def random_fact_spec(rng: np.random.Generator, rows: int,
-                     name: str = "fact", seed: int = 0) -> TableSpec:
-    """A random streamed fact table: keys, measures and dimensions."""
+                     name: str = "fact", seed: int = 0,
+                     grammar: str = "default") -> TableSpec:
+    """A random streamed fact table: keys, measures and dimensions.
+
+    The ``deep`` grammar always includes a NaN-heavy ``nullish`` measure
+    (the NULL-edge bias) alongside the usual float/tail measures.
+    """
     cols: List[ColumnSpec] = [
         ColumnSpec("k1", "key", card=int(rng.integers(6, 24))),
     ]
@@ -183,12 +197,40 @@ def random_fact_spec(rng: np.random.Generator, rows: int,
     if rng.random() < 0.6:
         cols.append(ColumnSpec("m1", "int",
                                scale=float(rng.uniform(0.5, 2.0))))
+    if grammar == "deep" or rng.random() < 0.15:
+        cols.append(ColumnSpec("n1", "nullish",
+                               scale=float(rng.uniform(0.5, 2.0))))
     n_cats = int(rng.integers(1, 3))
     for i in range(n_cats):
         cols.append(ColumnSpec(f"c{i + 1}", "category",
                                card=int(rng.integers(3, 9))))
     if rng.random() < 0.5:
         cols.append(ColumnSpec("flag", "bool"))
+    return TableSpec(name=name, rows=rows, seed=seed,
+                     columns=tuple(cols), streamed=True)
+
+
+_MIN_FACT2_ROWS = 64
+
+
+def random_fact2_spec(rng: np.random.Generator, fact: TableSpec,
+                      name: str = "fact2", seed: int = 2) -> TableSpec:
+    """A second streamed fact sharing the primary fact's first key.
+
+    Multi-fact queries correlate the two facts through this shared key
+    column (same name, same cardinality), so generated subqueries like
+    ``(SELECT AVG(y1) FROM fact2 t WHERE t.k1 = fact.k1)`` always
+    resolve and always have matching key domains.
+    """
+    key = next(c for c in fact.columns if c.kind == "key")
+    cols = [
+        ColumnSpec(key.name, "key", card=key.card),
+        ColumnSpec("y1", "float", scale=float(rng.uniform(0.5, 2.0))),
+    ]
+    if rng.random() < 0.5:
+        cols.append(ColumnSpec("y2", "tail",
+                               scale=float(rng.uniform(0.5, 2.0))))
+    rows = max(_MIN_FACT2_ROWS, fact.rows // 2)
     return TableSpec(name=name, rows=rows, seed=seed,
                      columns=tuple(cols), streamed=True)
 

@@ -101,6 +101,20 @@ class ScalarSelect(SqlExpr):
 
 
 @dataclass(frozen=True)
+class WindowExpr(SqlExpr):
+    """``func(arg) OVER (ORDER BY col [ROWS n PRECEDING])``.
+
+    ``call`` is the windowed function (SUM/AVG/COUNT over an output
+    column); ``preceding`` is the frame extent in rows before the current
+    row, or None for a cumulative (unbounded) frame.
+    """
+
+    call: Call
+    order: SqlExpr
+    preceding: Optional[int] = None
+
+
+@dataclass(frozen=True)
 class CaseExpr(SqlExpr):
     whens: Tuple[Tuple[SqlExpr, SqlExpr], ...]
     otherwise: Optional[SqlExpr] = None

@@ -27,7 +27,7 @@ KEYWORDS = frozenset(
     """
     select distinct from where group by having order limit as and or not
     between in is null case when then else end join inner left on asc desc
-    true false
+    true false over rows preceding
     """.split()
 )
 

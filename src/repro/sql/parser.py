@@ -45,6 +45,7 @@ from .ast_nodes import (
     StringLit,
     TableRef,
     Unary,
+    WindowExpr,
 )
 from .lexer import Token, TokenType, tokenize
 
@@ -326,7 +327,10 @@ class Parser:
         if tok.type is TokenType.IDENT:
             name = self._advance().value
             if self._peek().matches_symbol("("):
-                return self._parse_call(name)
+                call = self._parse_call(name)
+                if self._peek().matches_keyword("over"):
+                    return self._parse_over(call)
+                return call
             parts = [name]
             while self._accept_symbol("."):
                 parts.append(self._expect_ident())
@@ -347,6 +351,26 @@ class Parser:
                 args.append(self.parse_expression())
         self._expect_symbol(")")
         return Call(name, tuple(args), distinct=distinct)
+
+    def _parse_over(self, call: SqlExpr) -> SqlExpr:
+        """``OVER (ORDER BY col [ROWS n PRECEDING])`` following a call."""
+        if not isinstance(call, Call):
+            raise self._error("OVER must follow a function call")
+        self._expect_keyword("over")
+        self._expect_symbol("(")
+        self._expect_keyword("order")
+        self._expect_keyword("by")
+        order = self.parse_expression()
+        preceding = None
+        if self._accept_keyword("rows"):
+            tok = self._peek()
+            if tok.type is not TokenType.NUMBER:
+                raise self._error("ROWS expects a number")
+            self._advance()
+            preceding = int(float(tok.value))
+            self._expect_keyword("preceding")
+        self._expect_symbol(")")
+        return WindowExpr(call, order, preceding)
 
     def _parse_case(self) -> SqlExpr:
         self._expect_keyword("case")

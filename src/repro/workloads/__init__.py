@@ -5,6 +5,8 @@ from .adstream import QUERIES as ADSTREAM_QUERIES
 from .conviva import C1_QUERY, C2_QUERY, C3_QUERY, generate_conviva
 from .conviva import QUERIES as CONVIVA_QUERIES
 from .sessions import SBI_QUERY, figure1_table, generate_sessions
+from .taxi import QUERIES as TAXI_QUERIES
+from .taxi import generate_taxi, register_taxi
 from .tpch import Q11_QUERY, Q17_QUERY, Q18_QUERY, Q20_QUERY, generate_tpch
 from .tpch import QUERIES as TPCH_QUERIES
 
@@ -19,10 +21,13 @@ __all__ = [
     "Q18_QUERY",
     "Q20_QUERY",
     "SBI_QUERY",
+    "TAXI_QUERIES",
     "TPCH_QUERIES",
     "figure1_table",
     "generate_adstream",
     "generate_conviva",
     "generate_sessions",
+    "generate_taxi",
     "generate_tpch",
+    "register_taxi",
 ]

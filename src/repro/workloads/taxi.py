@@ -1,0 +1,244 @@
+"""NYC-taxi-style workload: two facts, two dimensions, deep-OLA queries.
+
+A seeded synthetic ride dataset shaped like the public NYC TLC trip
+records: a ``trips`` fact table (one row per ride), a smaller
+``surcharges`` fact (per-zone fee events — the second streamed relation
+for multi-fact queries), and ``zones``/``vendors`` dimension tables.
+
+The T queries exercise the deep end of the supported query surface —
+window functions over daily aggregates, DISTINCT aggregates, quantiles
+with bootstrap CIs, and two-fact joins through a shared dimension key —
+which is why this workload feeds both the differential fuzzer's "deep"
+grammar and the calibration harness.
+
+The ``tip`` column is deliberately NaN-heavy (cash rides report no tip),
+standing in for NULLs: predicates like ``tip >= 0`` drop the missing
+rows, and aggregates over unfiltered ``tip`` propagate NaN identically
+across execution paths.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..storage.table import Table
+
+BOROUGHS = np.array(
+    ["Manhattan", "Brooklyn", "Queens", "Bronx", "Staten Island"],
+    dtype=object,
+)
+VENDOR_NAMES = np.array(
+    ["Creative Mobile", "VeriFone", "Flywheel", "Curb"], dtype=object
+)
+
+NUM_DAYS = 30
+NUM_ZONES = 40
+NUM_VENDORS = 4
+
+#: T1 — daily ride counts with a cumulative running total.
+T1_QUERY = """
+SELECT day, COUNT(*) AS trips,
+       SUM(trips) OVER (ORDER BY day) AS cum_trips
+FROM trips
+GROUP BY day
+ORDER BY day
+"""
+
+#: T2 — rolling 7-day mean fare over the daily means.
+T2_QUERY = """
+SELECT day, AVG(fare) AS mean_fare,
+       AVG(mean_fare) OVER (ORDER BY day ROWS 6 PRECEDING) AS fare_7d
+FROM trips
+GROUP BY day
+ORDER BY day
+"""
+
+#: T3 — zone coverage per vendor (grouped COUNT DISTINCT).
+T3_QUERY = """
+SELECT vendor_id, COUNT(DISTINCT zone_id) AS active_zones
+FROM trips
+GROUP BY vendor_id
+ORDER BY vendor_id
+"""
+
+#: T4 — how many zones produce premium rides (global COUNT DISTINCT).
+T4_QUERY = """
+SELECT COUNT(DISTINCT zone_id) AS premium_zones
+FROM trips
+WHERE fare > 30.0
+"""
+
+#: T5 — p95 fare per vendor (grouped quantile).
+T5_QUERY = """
+SELECT vendor_id, QUANTILE(fare, 0.95) AS p95_fare
+FROM trips
+GROUP BY vendor_id
+ORDER BY vendor_id
+"""
+
+#: T6 — p95 fare in Manhattan (quantile over a dimension join).
+T6_QUERY = """
+SELECT QUANTILE(t.fare, 0.95) AS p95_fare
+FROM trips t JOIN zones z ON t.zone_id = z.zone_id
+WHERE z.borough = 'Manhattan'
+"""
+
+#: T7 — mean fare of rides out-earning their zone's mean surcharge
+#: (multi-fact: correlated aggregate over the second streamed fact).
+T7_QUERY = """
+SELECT AVG(t.fare) AS avg_fare
+FROM trips t
+WHERE t.fare >
+      (SELECT 5.0 * AVG(s.amount) FROM surcharges s
+       WHERE s.zone_id = t.zone_id)
+"""
+
+#: T8 — tipped rides beating the global mean surcharge (multi-fact,
+#: scalar inner aggregate; NaN tips fail the comparison and drop out).
+T8_QUERY = """
+SELECT COUNT(*) AS generous_trips
+FROM trips
+WHERE tip > (SELECT AVG(amount) FROM surcharges)
+"""
+
+#: T9 — mean reported tip per vendor (``tip >= 0`` drops NaN rows).
+T9_QUERY = """
+SELECT vendor_id, AVG(tip) AS mean_tip
+FROM trips
+WHERE tip >= 0.0
+GROUP BY vendor_id
+ORDER BY vendor_id
+"""
+
+#: T10 — outer-zone daily counts with a bounded COUNT(*) frame window.
+T10_QUERY = """
+SELECT day, COUNT(*) AS outer_trips,
+       COUNT(*) OVER (ORDER BY day ROWS 2 PRECEDING) AS frame_days
+FROM trips
+WHERE zone_id > 30
+GROUP BY day
+ORDER BY day
+"""
+
+QUERIES = {
+    "T1": T1_QUERY,
+    "T2": T2_QUERY,
+    "T3": T3_QUERY,
+    "T4": T4_QUERY,
+    "T5": T5_QUERY,
+    "T6": T6_QUERY,
+    "T7": T7_QUERY,
+    "T8": T8_QUERY,
+    "T9": T9_QUERY,
+    "T10": T10_QUERY,
+}
+
+
+def generate_taxi(num_rows: int, seed: int = 0,
+                  nan_tip_fraction: float = 0.25) -> Dict[str, Table]:
+    """Generate the taxi dataset: both facts plus both dimensions.
+
+    Returns ``{"trips", "surcharges", "zones", "vendors"}``.  ``trips``
+    has ``num_rows`` rows; ``surcharges`` roughly half that.  Register
+    the facts streamed and the dimensions static (see
+    :func:`register_taxi`).
+
+    Zone popularity is Zipf-like and fares are heavy-tailed (base +
+    lognormal distance component), so per-zone and per-vendor statistics
+    have genuine tails for quantile and CI calibration to bite on.
+    ``nan_tip_fraction`` of tips are NaN (cash rides).
+    """
+    if num_rows < 1:
+        raise ValueError("num_rows must be >= 1")
+    rng = np.random.default_rng(seed)
+
+    ranks = np.arange(1, NUM_ZONES + 1)
+    popularity = 1.0 / ranks
+    popularity /= popularity.sum()
+    zone_id = rng.choice(NUM_ZONES, size=num_rows, p=popularity)
+    zone_id = zone_id.astype(np.int64) + 1
+
+    day = rng.integers(0, NUM_DAYS, num_rows, dtype=np.int64)
+    # Weekly demand cycle: weekends shift rides toward outer zones.
+    weekend = (day % 7) >= 5
+    zone_id = np.where(
+        weekend & (rng.random(num_rows) < 0.3),
+        rng.integers(NUM_ZONES // 2, NUM_ZONES, num_rows) + 1,
+        zone_id,
+    ).astype(np.int64)
+
+    vendor_id = rng.integers(1, NUM_VENDORS + 1, num_rows, dtype=np.int64)
+    distance = rng.lognormal(mean=0.7, sigma=0.9, size=num_rows)
+    # Outer zones are longer hauls; fares follow metered distance.
+    distance = distance * (1.0 + 0.04 * zone_id)
+    fare = 3.0 + 2.5 * distance + rng.normal(0.0, 1.5, num_rows)
+    fare = np.maximum(fare, 2.5)
+
+    tip = fare * np.clip(rng.normal(0.18, 0.08, num_rows), 0.0, 0.6)
+    tip[rng.random(num_rows) < nan_tip_fraction] = np.nan
+
+    passengers = 1 + rng.binomial(4, 0.18, num_rows).astype(np.int64)
+
+    trips = Table.from_columns(
+        {
+            "trip_id": np.arange(1, num_rows + 1, dtype=np.int64),
+            "day": day,
+            "vendor_id": vendor_id,
+            "zone_id": zone_id,
+            "distance": distance,
+            "fare": fare,
+            "tip": tip,
+            "passengers": passengers,
+        }
+    )
+
+    m = max(num_rows // 2, 1)
+    s_zone = rng.choice(NUM_ZONES, size=m, p=popularity).astype(np.int64) + 1
+    s_day = rng.integers(0, NUM_DAYS, m, dtype=np.int64)
+    # Per-zone fee baselines (airport/congestion-style surcharges).
+    zone_fee = rng.gamma(shape=3.0, scale=1.2, size=NUM_ZONES)
+    amount = rng.exponential(zone_fee[s_zone - 1], size=m) + 0.5
+    surcharges = Table.from_columns(
+        {
+            "event_id": np.arange(1, m + 1, dtype=np.int64),
+            "zone_id": s_zone,
+            "day": s_day,
+            "amount": amount,
+        }
+    )
+
+    zones = Table.from_columns(
+        {
+            "zone_id": np.arange(1, NUM_ZONES + 1, dtype=np.int64),
+            "borough": BOROUGHS[np.arange(NUM_ZONES) % len(BOROUGHS)],
+        }
+    )
+    vendors = Table.from_columns(
+        {
+            "vendor_id": np.arange(1, NUM_VENDORS + 1, dtype=np.int64),
+            "vendor_name": VENDOR_NAMES[:NUM_VENDORS],
+        }
+    )
+    return {
+        "trips": trips,
+        "surcharges": surcharges,
+        "zones": zones,
+        "vendors": vendors,
+    }
+
+
+def register_taxi(session, num_rows: int, seed: int = 0) -> Dict[str, Table]:
+    """Generate and register the taxi tables on a session.
+
+    Facts (``trips``, ``surcharges``) are registered streamed; the
+    dimensions are static.  Returns the generated tables.
+    """
+    tables = generate_taxi(num_rows, seed=seed)
+    session.register_table("trips", tables["trips"], streamed=True)
+    session.register_table("surcharges", tables["surcharges"],
+                           streamed=True)
+    session.register_table("zones", tables["zones"], streamed=False)
+    session.register_table("vendors", tables["vendors"], streamed=False)
+    return tables

@@ -107,3 +107,50 @@ class TestOnlineAggregates:
             if not snap.is_final:
                 assert snap.interval.width > 0.0
             break
+
+
+class TestEmptyBatchRegressions:
+    """Pinned reproducers found by ``repro fuzz --grammar deep``.
+
+    Both bugs shared a root: code that assumed at least one surviving
+    row per batch.  A predicate that filters a whole mini-batch to zero
+    rows must still flow through joins (schema effects) and produce a
+    zero-row grouped result, identically on every execution path.
+    """
+
+    def _session(self):
+        rng = np.random.default_rng(3)
+        n = 1200
+        s = GolaSession(GolaConfig(num_batches=4, bootstrap_trials=8,
+                                   seed=11))
+        s.register_table("fact", Table.from_columns({
+            "k": rng.integers(0, 6, n).astype(np.int64),
+            "x": rng.normal(0.0, 1.0, n),
+        }))
+        s.register_table("dim", Table.from_columns({
+            "dim_id": np.arange(6, dtype=np.int64),
+            "cat": np.array(list("abcabc"), dtype=object),
+        }), streamed=False)
+        return s
+
+    def test_join_survives_batch_filtered_to_empty(self):
+        # The online delta path used to skip join steps once a filter
+        # emptied the batch, losing the dimension columns the group-by
+        # references (SchemaError: unknown column 'cat').
+        s = self._session()
+        sql = ("SELECT cat, SUM(x) AS v FROM fact "
+               "INNER JOIN dim ON fact.k = dim.dim_id "
+               "WHERE x > 1e9 GROUP BY cat")
+        last = s.sql(sql).run_to_completion()
+        exact = s.execute_batch(sql)
+        assert last.table.num_rows == exact.num_rows == 0
+
+    def test_grouped_distinct_over_empty_input_is_empty(self):
+        # DistinctState/QuantileState emitted one phantom row for a
+        # zero-group grouped input, making the output table ragged.
+        s = self._session()
+        sql = ("SELECT k, COUNT(DISTINCT x) AS v FROM fact "
+               "WHERE x > 1e9 GROUP BY k")
+        last = s.sql(sql).run_to_completion()
+        exact = s.execute_batch(sql)
+        assert last.table.num_rows == exact.num_rows == 0

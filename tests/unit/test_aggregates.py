@@ -8,6 +8,7 @@ from repro.engine.aggregates import (
     AggregateCall,
     AvgState,
     CountState,
+    DistinctState,
     GroupIndex,
     MaxState,
     MinState,
@@ -215,10 +216,12 @@ class TestQuantile:
         state.update(np.zeros(5000, dtype=np.int64), vals)
         assert state.finalize()[0] == pytest.approx(0.9, abs=0.05)
 
-    def test_grouped_rejected(self):
-        state = QuantileState()
-        with pytest.raises(ExecutionError, match="global"):
-            state.update(np.array([0, 1]), np.array([1.0, 2.0]))
+    def test_grouped_medians(self):
+        state = QuantileState(q=0.5, capacity=100)
+        state.update(np.array([0, 0, 0, 1, 1, 1]),
+                     np.array([1.0, 2.0, 3.0, 10.0, 20.0, 30.0]))
+        out = state.finalize()
+        assert out[0] == 2.0 and out[1] == 20.0
 
     def test_merge(self):
         a = QuantileState(q=0.5, capacity=1000, seed=3)
@@ -231,6 +234,112 @@ class TestQuantile:
     def test_invalid_fraction(self):
         with pytest.raises(ExecutionError):
             QuantileState(q=1.5)
+
+    def test_empty_grouped_input_has_no_rows(self):
+        # Regression: a grouped quantile over a filtered-to-empty input
+        # must produce 0 rows like the (empty) group-key columns, not a
+        # phantom row that makes the output table ragged.
+        state = QuantileState(q=0.5, capacity=16)
+        assert len(state.finalize()) == 0
+
+
+class TestDistinct:
+    def test_count_distinct(self):
+        state = DistinctState()
+        state.update(np.array([0, 0, 0, 1]),
+                     np.array([1.0, 1.0, 2.0, 1.0]))
+        np.testing.assert_array_equal(state.finalize(), [2.0, 1.0])
+
+    def test_sum_distinct_ignores_multiplicity(self):
+        state = DistinctState(mode="sum")
+        state.update(np.zeros(4, dtype=np.int64),
+                     np.array([3.0, 3.0, 3.0, 7.0]))
+        assert state.finalize()[0] == 10.0
+
+    def test_scale_invariant_without_singletons(self):
+        # Replicating every seen row adds no distinct value: with no
+        # singleton pairs the k/i multiset rescaling must not inflate
+        # the estimate.
+        state = DistinctState()
+        state.update(np.zeros(4, dtype=np.int64),
+                     np.array([1.0, 1.0, 2.0, 2.0]))
+        assert state.finalize(scale=4.0)[0] == 2.0
+
+    def test_good_toulmin_extrapolates_singletons(self):
+        # Pinned regression for the t_dist calibration under-coverage:
+        # mid-run, singletons predict unseen species via the two-term
+        # Good-Toulmin series t*phi_1 - t^2*phi_2; at the final batch
+        # (scale == 1, t == 0) the answer stays exact.
+        state = DistinctState()
+        state.update(np.zeros(5, dtype=np.int64),
+                     np.array([1.0, 2.0, 3.0, 3.0, 3.0]))
+        assert state.finalize(scale=1.0)[0] == 3.0
+        # phi_1 = 2, phi_2 = 0, t = 1: 3 seen + 2 predicted unseen.
+        assert state.finalize(scale=2.0)[0] == 5.0
+
+    def test_good_toulmin_doubletons_damp_the_extrapolation(self):
+        # phi_1 = phi_2 = 1 at t = 1: the two-term truncation cancels
+        # to zero while first order predicts one unseen species; the
+        # point estimate is the midpoint of that bracket.
+        state = DistinctState()
+        state.update(np.zeros(3, dtype=np.int64),
+                     np.array([1.0, 2.0, 2.0]))
+        assert state.finalize(scale=2.0)[0] == 2.5
+
+    def test_good_toulmin_never_reduces_below_seen(self):
+        # All doubletons: the raw series is negative, the clamp keeps
+        # the estimate at distinct-seen (truth can never be below it).
+        state = DistinctState()
+        state.update(np.zeros(4, dtype=np.int64),
+                     np.array([1.0, 1.0, 2.0, 2.0]))
+        assert state.finalize(scale=3.0)[0] == 2.0
+
+    def test_good_toulmin_sum_weights_singleton_values(self):
+        # SUM DISTINCT extrapolates value-weighted species mass: the
+        # singletons' own values stand in for the unseen tail.
+        state = DistinctState(mode="sum")
+        state.update(np.zeros(2, dtype=np.int64),
+                     np.array([5.0, 2.0]))
+        assert state.finalize(scale=1.0)[0] == 7.0
+        assert state.finalize(scale=2.0)[0] == 14.0  # 7 seen + t * 7
+
+    def test_bootstrap_presence_per_trial(self):
+        # A value survives a replica iff any of its rows drew weight;
+        # every pair also contributes the deterministic e^-c recentering
+        # mass that cancels the Poissonized replicas' downward bias.
+        state = DistinctState(trials=2)
+        weights = np.array([[1.0, 0.0], [0.0, 0.0]])
+        state.update(np.zeros(2, dtype=np.int64),
+                     np.array([5.0, 9.0]), weights)
+        out = state.finalize()[0]
+        kappa = 2 * np.exp(-1.0)  # two raw singletons
+        assert out[0] - out[1] == 1.0  # presence differs by one pair
+        np.testing.assert_allclose(out[1], kappa)
+
+    def test_nan_values_dedup_to_one(self):
+        state = DistinctState()
+        state.update(np.zeros(3, dtype=np.int64),
+                     np.array([np.nan, np.nan, 1.0]))
+        assert state.finalize()[0] == 2.0
+
+    def test_merge_equals_update(self):
+        rng = np.random.default_rng(9)
+        vals = rng.integers(0, 12, 300).astype(np.float64)
+        idx = rng.integers(0, 3, 300)
+        a, b, whole = DistinctState(), DistinctState(), DistinctState()
+        a.update(idx[:150], vals[:150])
+        b.update(idx[150:], vals[150:])
+        whole.update(idx, vals)
+        a.merge(b)
+        np.testing.assert_array_equal(a.finalize(), whole.finalize())
+
+    def test_requires_argument(self):
+        with pytest.raises(ExecutionError, match="argument"):
+            DistinctState().update(np.zeros(1, dtype=np.int64), None)
+
+    def test_empty_grouped_input_has_no_rows(self):
+        # Regression twin of the QuantileState case above.
+        assert len(DistinctState().finalize()) == 0
 
 
 class TestFactoryAndUdaf:

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.errors import BindError, UnsupportedQueryError
-from repro.expr.expressions import SubqueryRef
 from repro.plan import (
     Aggregate,
     Filter,
@@ -138,9 +137,16 @@ class TestAggregateBinding:
         with pytest.raises(BindError, match="nest"):
             bind("SELECT SUM(AVG(x)) FROM fact", cat)
 
-    def test_distinct_aggregate_rejected(self, cat):
+    def test_distinct_count_binds(self, cat):
+        q = bind("SELECT COUNT(DISTINCT x) FROM fact", cat)
+        agg = q.plan
+        while not hasattr(agg, "aggregates"):
+            agg = agg.input
+        assert agg.aggregates[0].distinct
+
+    def test_distinct_unsupported_func_rejected(self, cat):
         with pytest.raises(UnsupportedQueryError, match="DISTINCT"):
-            bind("SELECT COUNT(DISTINCT x) FROM fact", cat)
+            bind("SELECT STDEV(DISTINCT x) FROM fact", cat)
 
 
 class TestSubqueryLifting:

@@ -5,13 +5,17 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro import GolaConfig, GolaSession
+from repro.errors import UnsupportedQueryError
 from repro.qa import (
+    AggItem,
     FuzzCase,
     QueryGenerator,
     QuerySpec,
     TableSpec,
+    WindowItem,
     generate_table,
     random_dim_spec,
+    random_fact2_spec,
     random_fact_spec,
     shrink_candidates,
 )
@@ -27,15 +31,32 @@ def make_generator(seed=0, rows=512):
     ), fact, dim
 
 
+def make_deep_generator(seed=0, rows=512):
+    rng = np.random.default_rng(seed)
+    fact = random_fact_spec(rng, rows=rows, seed=seed, grammar="deep")
+    dim = random_dim_spec(rng, fact, seed=seed + 1)
+    fact2 = random_fact2_spec(rng, fact, seed=seed + 2)
+    gen = QueryGenerator(
+        fact, generate_table(fact),
+        dims={dim.name: (dim, generate_table(dim))}, seed=seed,
+        fact2=(fact2, generate_table(fact2)), grammar="deep",
+    )
+    return gen, (fact, fact2, dim)
+
+
 class TestTableSpecs:
     def test_generation_is_deterministic(self):
         rng = np.random.default_rng(3)
         spec = random_fact_spec(rng, rows=256, seed=3)
         a, b = generate_table(spec), generate_table(spec)
         for name in a.schema.names:
-            assert np.array_equal(
-                np.asarray(a.column(name)), np.asarray(b.column(name))
-            )
+            x = np.asarray(a.column(name))
+            y = np.asarray(b.column(name))
+            # equal_nan: the "nullish" column kind is NaN-heavy by design
+            if x.dtype.kind == "f":
+                assert np.array_equal(x, y, equal_nan=True)
+            else:
+                assert np.array_equal(x, y)
 
     def test_spec_round_trips_through_json_dict(self):
         rng = np.random.default_rng(5)
@@ -122,6 +143,98 @@ class TestShrinkCandidates:
         spec = gen.generate()
         for cand in shrink_candidates(spec):
             session.execute_batch(cand.render())
+
+
+class TestDeepGrammar:
+    def test_deep_constructs_appear_within_a_seeded_run(self):
+        gen, _ = make_deep_generator(seed=41)
+        specs = [gen.generate() for _ in range(120)]
+        rendered = [s.render() for s in specs]
+        assert any("DISTINCT" in r for r in rendered)
+        assert any("QUANTILE(" in r for r in rendered)
+        assert any(s.windows for s in specs)
+        assert any(p.kind == "fact2_scalar_sub"
+                   for s in specs for p in s.predicates)
+        assert any(p.kind == "fact2_keyed_sub"
+                   for s in specs for p in s.predicates)
+        assert any(p.kind == "empty_group"
+                   for s in specs for p in s.predicates)
+
+    def test_window_item_round_trips_through_json_dict(self):
+        w = WindowItem(func="SUM", arg="agg_0", order_col="k1",
+                       alias="w_0", preceding=3)
+        clone = WindowItem.from_dict(w.to_dict())
+        assert clone == w
+        assert "ROWS 3 PRECEDING" in clone.render()
+        bare = WindowItem(func="COUNT", arg=None, order_col="k1",
+                          alias="w_1")
+        assert WindowItem.from_dict(bare.to_dict()) == bare
+
+    def test_deep_spec_round_trips_through_json_dict(self):
+        gen, _ = make_deep_generator(seed=43)
+        for _ in range(40):
+            spec = gen.generate()
+            clone = QuerySpec.from_dict(spec.to_dict())
+            assert clone.render() == spec.render()
+
+    def test_deep_queries_execute_or_reject_cleanly(self):
+        # Deep productions may legitimately exceed the engine surface;
+        # what they must never do is crash with an internal error.
+        gen, specs = make_deep_generator(seed=47, rows=256)
+        session = GolaSession(GolaConfig(num_batches=2,
+                                         bootstrap_trials=4, seed=47))
+        for spec in specs:
+            session.register_table(spec.name, generate_table(spec),
+                                   streamed=spec.streamed)
+        for _ in range(40):
+            try:
+                session.execute_batch(gen.generate().render())
+            except UnsupportedQueryError:
+                pass
+
+    def test_window_shrink_drops_windows_first(self):
+        spec = QuerySpec(
+            table="fact", group_by=("k1",),
+            aggregates=(AggItem("SUM", "x1", "agg_0"),),
+            windows=(WindowItem("SUM", "agg_0", "k1", "w_0"),),
+            order_by="k1",
+        )
+        cands = list(shrink_candidates(spec))
+        assert any(not c.windows and c.aggregates for c in cands)
+
+    def test_group_by_drop_cascades_to_windows(self):
+        spec = QuerySpec(
+            table="fact", group_by=("k1",),
+            aggregates=(AggItem("SUM", "x1", "agg_0"),),
+            windows=(WindowItem("SUM", "agg_0", "k1", "w_0"),),
+            order_by=None,
+        )
+        for cand in shrink_candidates(spec):
+            if "k1" not in cand.group_by:
+                assert not any(w.order_col == "k1" for w in cand.windows)
+
+    def test_distinct_and_quantile_simplify_in_place(self):
+        spec = QuerySpec(
+            table="fact", group_by=("k1",),
+            aggregates=(
+                AggItem("COUNT", "m1", "agg_0", distinct=True),
+                AggItem("QUANTILE", "x1", "agg_1", param=0.9),
+            ),
+        )
+        cands = list(shrink_candidates(spec))
+        assert any(
+            not a.distinct and a.param is None
+            for c in cands for a in c.aggregates
+        )
+
+    def test_fact2_spec_shares_the_join_key(self):
+        rng = np.random.default_rng(53)
+        fact = random_fact_spec(rng, rows=512, seed=53, grammar="deep")
+        fact2 = random_fact2_spec(rng, fact, seed=55)
+        key = fact.columns[0]
+        shared = next(c for c in fact2.columns if c.name == key.name)
+        assert shared.kind == key.kind and shared.card == key.card
+        assert fact2.streamed
 
 
 class TestFuzzCaseRoundTrip:

@@ -34,9 +34,9 @@ class TestBindTimeRejections:
         with pytest.raises(UnsupportedQueryError, match="DISTINCT"):
             session.sql("SELECT DISTINCT x FROM t")
 
-    def test_distinct_aggregate(self, session):
+    def test_distinct_unsupported_aggregate(self, session):
         with pytest.raises(UnsupportedQueryError, match="DISTINCT"):
-            session.sql("SELECT COUNT(DISTINCT x) FROM t")
+            session.sql("SELECT MIN(DISTINCT x) FROM t")
 
     def test_non_aggregate_scalar_subquery(self, session):
         with pytest.raises(UnsupportedQueryError, match="aggregate"):

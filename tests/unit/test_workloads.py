@@ -8,11 +8,13 @@ from repro.workloads import (
     ADSTREAM_QUERIES,
     CONVIVA_QUERIES,
     SBI_QUERY,
+    TAXI_QUERIES,
     TPCH_QUERIES,
     figure1_table,
     generate_adstream,
     generate_conviva,
     generate_sessions,
+    generate_taxi,
     generate_tpch,
 )
 
@@ -137,12 +139,54 @@ class TestAdstream:
             parse_sql(sql)
 
 
+class TestTaxi:
+    def test_tables_and_determinism(self):
+        a = generate_taxi(3000, seed=9)
+        b = generate_taxi(3000, seed=9)
+        assert set(a) == {"trips", "surcharges", "zones", "vendors"}
+        assert a["trips"].num_rows == 3000
+        assert a["surcharges"].num_rows == 1500
+        np.testing.assert_array_equal(a["trips"]["fare"],
+                                      b["trips"]["fare"])
+        np.testing.assert_allclose(a["trips"]["tip"], b["trips"]["tip"],
+                                   equal_nan=True)
+
+    def test_tip_is_nan_heavy(self):
+        t = generate_taxi(20_000, seed=10, nan_tip_fraction=0.25)
+        frac = np.isnan(t["trips"]["tip"]).mean()
+        assert 0.2 < frac < 0.3
+
+    def test_zone_popularity_skewed(self):
+        t = generate_taxi(50_000, seed=11)
+        _, counts = np.unique(t["trips"]["zone_id"], return_counts=True)
+        assert counts.max() > 5 * np.median(counts)
+
+    def test_fares_heavy_tailed(self):
+        t = generate_taxi(50_000, seed=12)
+        fare = t["trips"]["fare"]
+        assert np.quantile(fare, 0.95) > 2 * np.median(fare)
+
+    def test_dimensions_cover_fact_keys(self):
+        t = generate_taxi(5000, seed=13)
+        assert set(t["trips"]["zone_id"]) <= set(t["zones"]["zone_id"])
+        assert set(t["trips"]["vendor_id"]) <= \
+            set(t["vendors"]["vendor_id"])
+        assert set(t["surcharges"]["zone_id"]) <= \
+            set(t["zones"]["zone_id"])
+
+    def test_queries_parse(self):
+        for sql in TAXI_QUERIES.values():
+            parse_sql(sql)
+
+
 class TestQueryTexts:
     def test_all_suites_parse(self):
         for sql in (SBI_QUERY, *CONVIVA_QUERIES.values(),
-                    *TPCH_QUERIES.values(), *ADSTREAM_QUERIES.values()):
+                    *TPCH_QUERIES.values(), *ADSTREAM_QUERIES.values(),
+                    *TAXI_QUERIES.values()):
             parse_sql(sql)
 
     def test_suite_contents(self):
         assert set(CONVIVA_QUERIES) == {"C1", "C2", "C3"}
         assert set(TPCH_QUERIES) == {"Q11", "Q17", "Q18", "Q20"}
+        assert set(TAXI_QUERIES) == {f"T{i}" for i in range(1, 11)}
